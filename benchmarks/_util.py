@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one experiment of EXPERIMENTS.md: it runs the
+workload, prints the result table (and appends it to
+``benchmarks/results.txt`` so the table survives pytest's capture), and
+asserts the *shape* of the paper's claim — who wins, how ratios scale —
+without chasing absolute constants.
+"""
+
+import os
+from typing import Iterable, List, Sequence
+
+_RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [f"== {title} ==", fmt(headers),
+             "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def emit(text: str) -> None:
+    """Print a table and persist it to benchmarks/results.txt."""
+    print("\n" + text)
+    with open(_RESULTS_PATH, "a") as handle:
+        handle.write(text + "\n\n")
+
+
+def ratios(measured: Sequence[float], bound: Sequence[float]) -> List[float]:
+    return [round(m / b, 4) for m, b in zip(measured, bound)]

@@ -1,0 +1,54 @@
+"""E1 — Safety and liveness of the (M,W)-Controller (Lemma 3.2).
+
+Paper claim: at most M permits are granted, and once any request is
+rejected at least M - W permits are eventually granted.  We drive the
+controller to exhaustion on churn scenarios across a grid of (M, W) and
+report granted/rejected totals with the two bounds checked.
+"""
+
+import pytest
+
+from repro import IteratedController
+from repro.workloads import build_random_tree, run_scenario
+
+from _util import emit, format_table
+
+GRID = [(50, 1), (50, 10), (200, 5), (200, 50), (1000, 100)]
+
+
+def drive_to_reject(m, w, seed):
+    tree = build_random_tree(20, seed=seed)
+    controller = IteratedController(tree, m=m, w=w, u=20 + 4 * m)
+    result = run_scenario(tree, controller.handle, steps=6 * m, seed=seed,
+                          stop_when=lambda: controller.rejecting)
+    return controller, result
+
+
+@pytest.mark.parametrize("m,w", GRID)
+def test_e01_safety_liveness(benchmark, m, w):
+    controller, _ = benchmark.pedantic(
+        lambda: drive_to_reject(m, w, seed=m + w), rounds=1, iterations=1)
+    assert controller.granted <= m, "safety violated"
+    assert controller.rejecting, "scenario failed to exhaust the budget"
+    assert controller.granted >= m - w, "liveness violated"
+    benchmark.extra_info.update(
+        m=m, w=w, granted=controller.granted, rejected=controller.rejected)
+
+
+def test_e01_table(benchmark):
+    rows = []
+    def run_all():
+        for m, w in GRID:
+            controller, _ = drive_to_reject(m, w, seed=m * 7 + w)
+            rows.append([
+                m, w, controller.granted, controller.rejected,
+                "yes" if controller.granted <= m else "NO",
+                "yes" if controller.granted >= m - w else "NO",
+            ])
+        return rows
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(format_table(
+        "E1  Lemma 3.2: safety & liveness at exhaustion",
+        ["M", "W", "granted", "rejected", "granted<=M", "granted>=M-W"],
+        rows))
+    assert all(row[4] == "yes" and row[5] == "yes" for row in rows)

@@ -1,0 +1,73 @@
+"""E2 — Centralized move complexity (Observation 3.4).
+
+Paper claim: the iterated controller's move complexity is
+``O(U log^2 U log(M/(W+1)))``.  We sweep U on deep-path topologies with
+churn (the worst regime for package travel), measure total moves, and
+check that (a) measured/bound ratios do not grow with U, and (b) the
+log-log slope of moves against U stays near 1 (near-linear, no hidden
+polynomial).
+"""
+
+from repro import IteratedController
+from repro.metrics.fitting import log_log_slope, observation_3_4_bound
+from repro.workloads import build_path, run_scenario
+
+from _util import emit, format_table
+
+SIZES = [200, 400, 800, 1600, 3200]
+
+
+def run_once(n):
+    tree = build_path(n)
+    u = 2 * n
+    m, w = 4 * n, n // 4
+    controller = IteratedController(tree, m=m, w=w, u=u)
+    run_scenario(tree, controller.handle, steps=n, seed=n)
+    return controller.counters.total, u, m, w
+
+
+def test_e02_move_complexity_sweep(benchmark):
+    rows, measured, bounds = [], [], []
+    def sweep():
+        for n in SIZES:
+            moves, u, m, w = run_once(n)
+            bound = observation_3_4_bound(u, m, w)
+            measured.append(moves)
+            bounds.append(bound)
+            rows.append([n, u, moves, int(bound),
+                         round(moves / bound, 4)])
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_table(
+        "E2  Obs 3.4: moves vs O(U log^2 U log(M/(W+1))) on deep paths",
+        ["n", "U", "moves", "bound", "moves/bound"],
+        rows))
+    # Shape checks: the bound dominates with a stable constant, and the
+    # growth is near-linear in U.
+    ratios = [m / b for m, b in zip(measured, bounds)]
+    assert max(ratios) < 1.0, "constant blew past the bound"
+    assert ratios[-1] <= 2.5 * ratios[0], "ratio grows with U"
+    slope = log_log_slope(SIZES, measured)
+    assert slope < 1.45, f"super-linear move growth (slope {slope:.2f})"
+
+
+def test_e02_log_factor_in_m_over_w(benchmark):
+    """Fix U, sweep M/W: cost must grow (sub-)logarithmically."""
+    n = 600
+    rows, costs, mw = [], [], []
+    def sweep():
+        for w in (600, 150, 30, 6, 1):
+            tree = build_path(n)
+            controller = IteratedController(tree, m=2400, w=w, u=2 * n)
+            run_scenario(tree, controller.handle, steps=n, seed=w)
+            rows.append([2400, w, controller.counters.total,
+                         controller.stages_run])
+            costs.append(controller.counters.total)
+            mw.append(2400 / (w + 1))
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_table(
+        "E2b Obs 3.4: cost growth as M/W increases (fixed U)",
+        ["M", "W", "moves", "stages"],
+        rows))
+    # Shrinking W by 600x should cost far less than 600x more moves —
+    # logarithmic growth means a small multiple.
+    assert costs[-1] <= 8 * costs[0]

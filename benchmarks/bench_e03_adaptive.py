@@ -1,0 +1,62 @@
+"""E3 — The unknown-U controller (Theorem 3.5).
+
+Paper claim: without knowing U in advance, move complexity is
+``O(n0 log^2 n0 log(M/(W+1)) + sum_j log^2 n_j log(M/(W+1)))``.  We run
+churn scenarios of increasing length, evaluate the theorem's RHS from
+the recorded ``n_j`` series, and check the measured/bound ratio stays
+flat while epochs re-estimate U.
+"""
+
+from repro import AdaptiveController
+from repro.metrics.fitting import theorem_3_5_bound
+from repro.workloads import build_random_tree, grow_only_mix, run_scenario
+
+from _util import emit, format_table
+
+
+def run_once(steps, seed, mix=None):
+    tree = build_random_tree(50, seed=seed)
+    controller = AdaptiveController(tree, m=10 * steps + 100, w=50)
+    run_scenario(tree, controller.handle, steps=steps, seed=seed + 1,
+                 mix=mix)
+    bound = theorem_3_5_bound(
+        50, tree.size_history, controller.m, controller.w)
+    return controller, tree, bound
+
+
+def test_e03_churn_sweep(benchmark):
+    rows, ratio_series = [], []
+    def sweep():
+        for steps in (250, 500, 1000, 2000, 4000):
+            controller, tree, bound = run_once(steps, seed=steps)
+            ratio = controller.counters.total / bound
+            ratio_series.append(ratio)
+            rows.append([steps, tree.topology_changes, tree.size,
+                         controller.epochs_run,
+                         controller.counters.total, int(bound),
+                         round(ratio, 4)])
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_table(
+        "E3  Thm 3.5: unknown-U controller vs its bound (churn)",
+        ["requests", "changes", "final n", "epochs", "moves", "bound",
+         "moves/bound"],
+        rows))
+    assert max(ratio_series) < 1.0
+    assert ratio_series[-1] <= 3.0 * ratio_series[0], "ratio drifts upward"
+
+
+def test_e03_growth_epochs(benchmark):
+    """Pure growth doubles U each epoch; epoch count must be O(log n)."""
+    import math
+    def run():
+        tree = build_random_tree(10, seed=9)
+        controller = AdaptiveController(tree, m=100_000, w=500)
+        run_scenario(tree, controller.handle, steps=4000, seed=10,
+                     mix=grow_only_mix())
+        return controller, tree
+    controller, tree = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        "E3b Thm 3.5: epochs under pure growth",
+        ["final n", "epochs", "moves"],
+        [[tree.size, controller.epochs_run, controller.counters.total]]))
+    assert controller.epochs_run <= 4 * math.log2(tree.size)

@@ -1,0 +1,102 @@
+"""E5 — Size estimation (Theorem 5.1) vs the flooding baseline.
+
+Paper claim: every node holds a β-approximation of n at all times, at
+``O(n0 log^2 n0 + sum_j log^2 n_j)`` messages — i.e. O(log^2 n)
+amortized per topological change, versus Theta(n) for recount-per-
+change flooding.
+"""
+
+import math
+import random
+
+from repro import DynamicTree, RequestKind
+from repro.apps import SizeEstimationProtocol
+from repro.baselines import FloodingSizeEstimator
+from repro.workloads import NodePicker, build_random_tree, random_request
+
+from _util import emit, format_table
+
+TOPO_MIX = {
+    RequestKind.ADD_LEAF: 0.35,
+    RequestKind.ADD_INTERNAL: 0.15,
+    RequestKind.REMOVE_LEAF: 0.30,
+    RequestKind.REMOVE_INTERNAL: 0.20,
+}
+
+
+def churn_protocol(tree, protocol, steps, seed):
+    rng = random.Random(seed)
+    picker = NodePicker(tree)
+    worst = 1.0
+    for _ in range(steps):
+        request = random_request(tree, rng, mix=TOPO_MIX, picker=picker)
+        protocol.submit(request)
+        worst = max(worst, protocol.check_approximation())
+    picker.detach()
+    return worst
+
+
+def test_e05_estimator_vs_flooding(benchmark):
+    rows = []
+    def sweep():
+        for n in (100, 400, 1600):
+            seed = n
+            tree = build_random_tree(n, seed=seed)
+            protocol = SizeEstimationProtocol(tree, beta=2.0)
+            worst = churn_protocol(tree, protocol, steps=4 * n, seed=seed)
+            ours_per_change = (protocol.counters.total
+                               / tree.topology_changes)
+
+            tree_f = build_random_tree(n, seed=seed)
+            flooding = FloodingSizeEstimator(tree_f)
+            rng = random.Random(seed)
+            picker = NodePicker(tree_f)
+            from repro.core.requests import perform_event
+            for _ in range(4 * n):
+                request = random_request(tree_f, rng, mix=TOPO_MIX,
+                                         picker=picker)
+                perform_event(tree_f, request)
+            picker.detach()
+            flood_per_change = (flooding.counters.total
+                                / tree_f.topology_changes)
+            rows.append([n, round(worst, 3),
+                         round(ours_per_change, 1),
+                         round(flood_per_change, 1),
+                         round(flood_per_change / ours_per_change, 1),
+                         round(12 * math.log2(n) ** 2, 1)])
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_table(
+        "E5  Thm 5.1: size estimation (beta=2) vs flooding recount",
+        ["n", "worst est. ratio", "ours msgs/change",
+         "flooding msgs/change", "speedup", "12 log^2 n"],
+        rows))
+    for row in rows:
+        assert row[1] <= 2.0, "beta-approximation violated"
+        assert row[2] <= row[5], "amortized cost above polylog envelope"
+    # The gap must widen with n (Theta(n) vs polylog).
+    speedups = [row[4] for row in rows]
+    assert speedups == sorted(speedups)
+
+
+def test_e05_growth_from_singleton(benchmark):
+    """n0 = 1 extreme: iterations double; approximation never breaks."""
+    def run():
+        tree = DynamicTree()
+        protocol = SizeEstimationProtocol(tree, beta=2.0)
+        rng = random.Random(3)
+        picker = NodePicker(tree)
+        worst = 1.0
+        for _ in range(3000):
+            request = random_request(
+                tree, rng, mix={RequestKind.ADD_LEAF: 1.0}, picker=picker)
+            protocol.submit(request)
+            worst = max(worst, protocol.check_approximation())
+        picker.detach()
+        return tree, protocol, worst
+    tree, protocol, worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        "E5b growth from n0=1",
+        ["final n", "iterations", "worst ratio", "msgs/change"],
+        [[tree.size, protocol.iterations_run, round(worst, 3),
+          round(protocol.counters.total / tree.topology_changes, 1)]]))
+    assert worst <= 2.0

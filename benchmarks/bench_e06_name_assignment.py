@@ -1,0 +1,56 @@
+"""E6 — Name assignment (Theorem 5.2).
+
+Paper claim: unique ids in [1, 4n] at all times (log n + O(1) bits) at
+``O(n0 log^2 n0 + sum_j log^2 n_j)`` messages.  We churn, verify the id
+invariants continuously, and report the realized id compactness and the
+amortized message cost.
+"""
+
+import math
+import random
+
+from repro import RequestKind
+from repro.apps import NameAssignmentProtocol
+from repro.workloads import NodePicker, build_random_tree, random_request
+
+TOPO_MIX = {
+    RequestKind.ADD_LEAF: 0.40,
+    RequestKind.ADD_INTERNAL: 0.10,
+    RequestKind.REMOVE_LEAF: 0.30,
+    RequestKind.REMOVE_INTERNAL: 0.20,
+}
+
+from _util import emit, format_table
+
+
+def test_e06_name_assignment(benchmark):
+    rows = []
+    def sweep():
+        for n in (100, 400, 1600):
+            tree = build_random_tree(n, seed=n)
+            protocol = NameAssignmentProtocol(tree)
+            rng = random.Random(n + 1)
+            picker = NodePicker(tree)
+            for _ in range(3 * n):
+                request = random_request(tree, rng, mix=TOPO_MIX,
+                                         picker=picker)
+                protocol.submit(request)
+                protocol.check_invariants()
+            picker.detach()
+            max_id = max(protocol.id_of(v) for v in tree.nodes())
+            id_bits = max_id.bit_length()
+            rows.append([n, tree.size, protocol.iterations_run, max_id,
+                         round(max_id / tree.size, 2), id_bits,
+                         math.ceil(math.log2(tree.size)) + 2,
+                         round(protocol.counters.total
+                               / tree.topology_changes, 1)])
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_table(
+        "E6  Thm 5.2: name assignment under churn",
+        ["n0", "final n", "iters", "max id", "max id / n", "id bits",
+         "log n + 2", "msgs/change"],
+        rows))
+    for row in rows:
+        assert row[4] <= 4.0, "ids exceeded the [1, 4n] range"
+        assert row[5] <= row[6], "ids need more than log n + O(1) bits"
+        assert row[7] <= 14 * math.log2(row[1]) ** 2

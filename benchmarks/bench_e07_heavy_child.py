@@ -1,0 +1,81 @@
+"""E7 — Heavy-child decomposition (Lemma 5.3 / Theorem 5.4).
+
+Paper claim: with the subtree estimator (beta = sqrt(3)) driving the mu
+pointers, every node has O(log n) light ancestors at all times, under
+insertions and deletions of leaves and internal nodes.
+"""
+
+import math
+import random
+
+from repro import RequestKind
+from repro.apps import HeavyChildDecomposition
+from repro.workloads import (
+    NodePicker,
+    build_caterpillar,
+    build_random_tree,
+    random_request,
+)
+
+from _util import emit, format_table
+
+TOPO_MIX = {
+    RequestKind.ADD_LEAF: 0.45,
+    RequestKind.ADD_INTERNAL: 0.15,
+    RequestKind.REMOVE_LEAF: 0.25,
+    RequestKind.REMOVE_INTERNAL: 0.15,
+}
+
+
+def test_e07_light_depth_scaling(benchmark):
+    rows = []
+    def sweep():
+        for n in (100, 400, 1600):
+            tree = build_random_tree(n, seed=n)
+            decomposition = HeavyChildDecomposition(tree)
+            rng = random.Random(n + 2)
+            picker = NodePicker(tree)
+            worst = 0
+            for step in range(2 * n):
+                request = random_request(tree, rng, mix=TOPO_MIX,
+                                         picker=picker)
+                decomposition.submit(request)
+                if step % max(n // 8, 1) == 0:
+                    worst = max(worst, decomposition.max_light_depth())
+            worst = max(worst, decomposition.max_light_depth())
+            picker.detach()
+            log_n = math.log2(tree.size)
+            rows.append([n, tree.size, worst, round(log_n, 1),
+                         round(worst / log_n, 2)])
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_table(
+        "E7  Thm 5.4: max light ancestors under churn",
+        ["n0", "final n", "max light depth", "log2 n", "ratio"],
+        rows))
+    ratios = [row[4] for row in rows]
+    assert all(r <= 6 for r in ratios)
+    # O(log n): the ratio must not grow with n.
+    assert ratios[-1] <= 2.0 * max(ratios[0], 0.5)
+
+
+def test_e07_adversarial_caterpillar(benchmark):
+    """Caterpillar spines maximize naive light depth; the decomposition
+    must keep it logarithmic anyway."""
+    def run():
+        tree = build_caterpillar(400, legs_per_node=3)
+        decomposition = HeavyChildDecomposition(tree)
+        rng = random.Random(5)
+        picker = NodePicker(tree)
+        for _ in range(600):
+            request = random_request(
+                tree, rng, mix={RequestKind.ADD_LEAF: 1.0}, picker=picker)
+            decomposition.submit(request)
+        picker.detach()
+        return tree, decomposition.max_light_depth()
+    tree, worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = 6 * math.log2(tree.size)
+    emit(format_table(
+        "E7b caterpillar growth",
+        ["final n", "max light depth", "6 log2 n"],
+        [[tree.size, worst, round(bound, 1)]]))
+    assert worst <= bound

@@ -1,0 +1,75 @@
+"""E8 — Memory per node (Claim 4.8).
+
+Paper claim: each node v needs ``O(deg(v) log N + log^3 N + log^2 U)``
+bits: mobile packages are stored as per-level counts (O(log U) bits per
+level, O(log^2 U) total), the merged static pool is one O(log M) =
+O(log^3 N) integer, and the agent queue holds at most one O(log N)
+agent per child.  We run a concurrent distributed storm, audit every
+node's encoded state at its peak, and report the worst measured/bound
+ratio.
+"""
+
+import math
+import random
+
+from repro import RequestKind
+from repro.distributed import DistributedController
+from repro.metrics import MemoryAudit
+from repro.workloads import NodePicker, build_random_tree, random_request
+
+from _util import emit, format_table
+
+
+def encoded_bits(board, log_n, log_u):
+    """Bits to encode one whiteboard per the Claim 4.8 representation."""
+    bits = 2.0  # lock flag + reject flag
+    levels = {p.level for p in board.store.mobile}
+    bits += len(levels) * log_u          # count per occupied level
+    if board.store.static_permits:
+        bits += 3 * log_n                # one O(log M) integer
+    bits += len(board.queue) * log_n     # queued agent records
+    return bits
+
+
+def audit_controller(controller, audit, tree, log_n, log_u):
+    for node, board in controller.boards.items():
+        if node.alive:
+            audit.record(node.node_id, node.child_degree,
+                         encoded_bits(board, log_n, log_u))
+
+
+def test_e08_memory_audit(benchmark):
+    rows = []
+    def sweep():
+        for n in (100, 400, 1600):
+            tree = build_random_tree(n, seed=n)
+            u = 4 * n
+            controller = DistributedController(tree, m=6 * n, w=n, u=u)
+            audit = MemoryAudit()
+            log_n, log_u = math.log2(2 * n), math.log2(u)
+            rng = random.Random(n + 3)
+            picker = NodePicker(tree)
+            at = 0.0
+            outcomes = []
+            for _ in range(2 * n):
+                request = random_request(tree, rng, picker=picker)
+                controller.submit(request, delay=at,
+                                  callback=outcomes.append)
+                at += 0.25
+            # Audit mid-flight (peak queueing) and at quiescence.
+            controller.scheduler.run(until=at / 2)
+            audit_controller(controller, audit, tree, log_n, log_u)
+            controller.run()
+            audit_controller(controller, audit, tree, log_n, log_u)
+            picker.detach()
+            worst = audit.worst_ratio(log_n, log_u)
+            rows.append([n, len(audit.samples), round(worst, 4)])
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_table(
+        "E8  Claim 4.8: measured node state vs "
+        "deg*logN + log^3 N + log^2 U bits",
+        ["n", "samples", "worst measured/bound"],
+        rows))
+    ratios = [row[2] for row in rows]
+    assert all(r <= 1.0 for r in ratios), "memory exceeded the claim's bound"
+    assert ratios[-1] <= 2.0 * max(ratios[0], 1e-6), "ratio grows with n"

@@ -1,0 +1,84 @@
+"""E9 — Dynamic ancestry labeling (Corollary 5.7).
+
+Paper claim: ancestry labels on trees stay correct under controlled
+deletions of leaves and internal nodes, with asymptotically optimal
+label size (Theta(log n) bits) maintained by estimate-driven relabeling
+at O(n0 log^2 n0 + sum log^2 n_j) message cost.
+"""
+
+import math
+import random
+
+from repro import RequestKind
+from repro.apps import AncestryLabeling
+from repro.workloads import NodePicker, build_random_tree, random_request
+
+from _util import emit, format_table
+
+
+def test_e09_labels_under_shrinkage(benchmark):
+    rows = []
+    def sweep():
+        for n in (200, 800, 3200):
+            tree = build_random_tree(n, seed=n)
+            labeling = AncestryLabeling(tree)
+            bits_initial = labeling.label_bits()
+            rng = random.Random(n + 4)
+            picker = NodePicker(tree)
+            mix = {RequestKind.REMOVE_LEAF: 0.6,
+                   RequestKind.REMOVE_INTERNAL: 0.4}
+            checks = 0
+            while tree.size > n // 10:
+                request = random_request(tree, rng, mix=mix, picker=picker)
+                if request.kind is RequestKind.REMOVE_LEAF:
+                    tree.remove_leaf(request.node)
+                elif request.kind is RequestKind.REMOVE_INTERNAL:
+                    tree.remove_internal(request.node)
+                else:
+                    continue
+                nodes = list(tree.nodes())
+                pairs = [(nodes[rng.randrange(len(nodes))],
+                          nodes[rng.randrange(len(nodes))])
+                         for _ in range(5)]
+                labeling.check_correctness(pairs)
+                checks += 5
+            picker.detach()
+            bits_final = labeling.label_bits()
+            optimal = 2 * math.ceil(math.log2(tree.size) + 1)
+            rows.append([n, tree.size, bits_initial, bits_final,
+                         optimal, labeling.relabels, checks])
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_table(
+        "E9  Cor 5.7: ancestry labels through 10x shrinkage",
+        ["n0", "final n", "bits before", "bits after",
+         "2(log n + 1)", "relabels", "queries checked"],
+        rows))
+    for row in rows:
+        # Labels shrank with the tree and stay within a constant of the
+        # 2 log n information floor.
+        assert row[3] < row[2]
+        assert row[3] <= row[4] + 2 * math.ceil(math.log2(row[0])) // 2 + 12
+
+
+def test_e09_amortized_relabel_cost(benchmark):
+    def run():
+        tree = build_random_tree(500, seed=7)
+        labeling = AncestryLabeling(tree)
+        rng = random.Random(8)
+        picker = NodePicker(tree)
+        for _ in range(2000):
+            request = random_request(tree, rng, picker=picker)
+            if request.kind is RequestKind.PLAIN:
+                continue
+            from repro.core.requests import perform_event
+            perform_event(tree, request)
+        picker.detach()
+        return tree, labeling
+    tree, labeling = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_change = labeling.counters.total / tree.topology_changes
+    emit(format_table(
+        "E9b amortized relabel cost under full churn",
+        ["changes", "relabels", "msgs/change", "n"],
+        [[tree.topology_changes, labeling.relabels,
+          round(per_change, 2), tree.size]]))
+    assert per_change < tree.size

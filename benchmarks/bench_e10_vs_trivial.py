@@ -1,0 +1,76 @@
+"""E10 — The controller vs the trivial root-round-trip strawman (§1).
+
+Paper claim: the trivial controller pays Omega(n) messages per request
+(Omega(nM) total); the real controller amortizes to polylog per
+request.  The gap must therefore *widen linearly* with n.
+"""
+
+import math
+import random
+
+from repro import CentralizedController, Request, RequestKind
+from repro.baselines import TrivialController
+from repro.workloads import NodePicker, build_path, random_request
+
+from _util import emit, format_table
+
+
+def test_e10_crossover_with_depth(benchmark):
+    rows, speedups = [], []
+    def sweep():
+        for n in (100, 400, 1600):
+            requests = 4 * n
+            tree_a, tree_b = build_path(n), build_path(n)
+            ours = CentralizedController(tree_a, m=2 * requests,
+                                         w=requests, u=4 * n)
+            trivial = TrivialController(tree_b, m=2 * requests)
+            rng_a, rng_b = random.Random(n), random.Random(n)
+            picker_a, picker_b = NodePicker(tree_a), NodePicker(tree_b)
+            mix = {RequestKind.PLAIN: 0.7, RequestKind.ADD_LEAF: 0.3}
+            for _ in range(requests):
+                ours.handle(random_request(tree_a, rng_a, mix=mix,
+                                           picker=picker_a))
+                trivial.handle(random_request(tree_b, rng_b, mix=mix,
+                                              picker=picker_b))
+            speedup = trivial.counters.total / max(ours.counters.total, 1)
+            speedups.append(speedup)
+            rows.append([n, requests, ours.counters.total,
+                         trivial.counters.total, round(speedup, 1)])
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_table(
+        "E10 ours vs trivial controller on deep paths "
+        "(plain-heavy workload)",
+        ["n", "requests", "ours (moves)", "trivial (moves)", "speedup"],
+        rows))
+    assert all(s > 1 for s in speedups), "we should always win"
+    # Omega(n) vs polylog: the speedup must grow with n.
+    assert speedups == sorted(speedups)
+    assert speedups[-1] / speedups[0] > 3
+
+
+def test_e10_repeated_requests_at_one_node(benchmark):
+    """The starkest case: many requests at one deep node — the trivial
+    controller pays the depth every time, ours once per phi permits."""
+    def run():
+        n = 1000
+        tree_a, tree_b = build_path(n), build_path(n)
+        deep_a = max(tree_a.nodes(), key=tree_a.depth)
+        deep_b = max(tree_b.nodes(), key=tree_b.depth)
+        requests = 500
+        # W large relative to U so that phi > 1 and the static pool
+        # amortizes fetches (phi = floor(W / 2U) = 10 here).
+        ours = CentralizedController(tree_a, m=80_000, w=40_000, u=2 * n)
+        trivial = TrivialController(tree_b, m=80_000)
+        for _ in range(requests):
+            ours.handle(Request(RequestKind.PLAIN, deep_a))
+            trivial.handle(Request(RequestKind.PLAIN, deep_b))
+        return ours, trivial
+    ours, trivial = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        "E10b 500 requests at one depth-999 node",
+        ["engine", "total moves", "moves/request"],
+        [["ours", ours.counters.total,
+          round(ours.counters.total / 500, 2)],
+         ["trivial", trivial.counters.total,
+          round(trivial.counters.total / 500, 2)]]))
+    assert ours.counters.total * 10 < trivial.counters.total

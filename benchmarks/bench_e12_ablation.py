@@ -1,0 +1,49 @@
+"""E12 — Ablation: the waste/traffic trade-off behind phi and psi.
+
+Design choice under test: the controller's constants derive from W —
+``phi = max(W/2U, 1)`` sets the static-pool (and smallest-package)
+size, ``psi`` scales inversely with W.  The paper's construction
+predicts a clean trade-off: allowing more waste (larger W) buys larger
+local pools and *shorter* amortized package travel, while tiny W forces
+near-per-request fetches.  This ablation sweeps W at fixed (M, U) on a
+hot-spot workload and reports moves per request, making the mechanism
+the proofs rely on directly visible.
+"""
+
+from repro import CentralizedController, Request, RequestKind
+from repro.workloads import build_path
+
+from _util import emit, format_table
+
+
+def hot_spot_cost(w):
+    n = 600
+    tree = build_path(n)
+    deep = max(tree.nodes(), key=tree.depth)
+    controller = CentralizedController(tree, m=120_000, w=w, u=2 * n)
+    requests = 400
+    for _ in range(requests):
+        controller.handle(Request(RequestKind.PLAIN, deep))
+    params = controller.params
+    return (controller.counters.total / requests,
+            params.phi, params.psi)
+
+
+def test_e12_waste_traffic_tradeoff(benchmark):
+    rows, costs = [], []
+    sweep_w = [1, 1_200, 12_000, 60_000, 110_000]
+    def sweep():
+        for w in sweep_w:
+            per_request, phi, psi = hot_spot_cost(w)
+            costs.append(per_request)
+            rows.append([w, phi, psi, round(per_request, 2)])
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_table(
+        "E12 ablation: W -> (phi, psi) -> moves/request at a hot node "
+        "(M=120k, path n=600)",
+        ["W", "phi", "psi", "moves/request"],
+        rows))
+    # The predicted monotone trade-off: more allowed waste, less traffic.
+    assert costs[-1] < costs[0] / 3, "larger pools failed to amortize"
+    assert all(a >= b * 0.8 for a, b in zip(costs, costs[1:])), \
+        "cost should be (weakly) decreasing in W"

@@ -1,0 +1,63 @@
+"""Dynamic tree data structures: heavy-child + ancestry labels.
+
+Section 5.3 / 5.4: on top of the size/subtree estimators, the library
+maintains two classic informative structures on a *changing* tree:
+
+* a heavy-child decomposition — every node has O(log n) light
+  ancestors, the backbone of dynamic routing and separator schemes;
+* interval ancestry labels — any two nodes decide ancestry from their
+  labels alone, surviving deletions of leaves and internal nodes.
+
+Run:  python examples/dynamic_labels.py
+"""
+
+import math
+import random
+
+from repro import RequestKind
+from repro.apps import AncestryLabeling, HeavyChildDecomposition
+from repro.tree.paths import is_ancestor
+from repro.workloads import NodePicker, build_random_tree, random_request
+
+
+def main():
+    tree = build_random_tree(300, seed=6)
+    decomposition = HeavyChildDecomposition(tree)
+    labels = AncestryLabeling(tree)
+    rng = random.Random(7)
+    picker = NodePicker(tree)
+
+    mix = {
+        RequestKind.ADD_LEAF: 0.35,
+        RequestKind.ADD_INTERNAL: 0.15,
+        RequestKind.REMOVE_LEAF: 0.30,
+        RequestKind.REMOVE_INTERNAL: 0.20,
+    }
+    queries_checked = 0
+    for step in range(1200):
+        request = random_request(tree, rng, mix=mix, picker=picker)
+        decomposition.submit(request)   # labels track via tree listener
+        if step % 50 == 0:
+            nodes = list(tree.nodes())
+            for _ in range(20):
+                u = nodes[rng.randrange(len(nodes))]
+                v = nodes[rng.randrange(len(nodes))]
+                assert labels.query_ancestry(u, v) == is_ancestor(u, v)
+                queries_checked += 20
+    picker.detach()
+
+    n = tree.size
+    print(f"final tree: {n} nodes after "
+          f"{tree.topology_changes} topological changes")
+    print(f"heavy-child decomposition: max light ancestors = "
+          f"{decomposition.max_light_depth()} "
+          f"(log2 n = {math.log2(n):.1f})")
+    print(f"ancestry labels: {labels.label_bits()} bits/label, "
+          f"{labels.relabels} relabels, "
+          f"{queries_checked} label-only queries verified")
+    tree.validate()
+    print("all structures consistent")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build; this
+shim lets ``python setup.py develop`` provide the same editable install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro — a reproduction of Korman & Kutten,
+"Controller and estimator for dynamic networks" (PODC 2007 / I&C 2013).
+
+The library provides:
+
+* :mod:`repro.core` — centralized (M,W)-Controllers for dynamic trees
+  (known-U, halving-iterated, unknown-U, terminating);
+* :mod:`repro.distributed` — the distributed agent-based controller on a
+  simulated asynchronous network;
+* :mod:`repro.apps` — the Section 5 applications: size estimation, name
+  assignment, heavy-child decomposition, dynamic ancestry labels,
+  majority commitment;
+* :mod:`repro.baselines` — the trivial controller and a reconstruction
+  of the AAPS bin-hierarchy controller for growing trees;
+* :mod:`repro.tree`, :mod:`repro.sim`, :mod:`repro.workloads`,
+  :mod:`repro.metrics` — substrates and measurement utilities.
+
+Quickstart::
+
+    from repro import DynamicTree, CentralizedController, Request, RequestKind
+
+    tree = DynamicTree()
+    controller = CentralizedController(tree, m=100, w=20, u=256)
+    outcome = controller.handle(Request(RequestKind.ADD_LEAF, tree.root))
+    assert outcome.granted and tree.size == 2
+"""
+
+from repro.errors import (
+    ControllerError,
+    InvariantViolation,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+from repro.tree import DynamicTree, TreeNode
+from repro.core import (
+    AdaptiveController,
+    CentralizedController,
+    ControllerParams,
+    IteratedController,
+    Outcome,
+    OutcomeStatus,
+    Request,
+    RequestKind,
+    TerminatingController,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "ControllerError",
+    "InvariantViolation",
+    "SimulationError",
+    "ProtocolError",
+    "DynamicTree",
+    "TreeNode",
+    "ControllerParams",
+    "Request",
+    "RequestKind",
+    "Outcome",
+    "OutcomeStatus",
+    "CentralizedController",
+    "IteratedController",
+    "AdaptiveController",
+    "TerminatingController",
+    "__version__",
+]

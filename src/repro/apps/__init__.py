@@ -1,0 +1,32 @@
+"""The Section 5 applications of the controller.
+
+* :class:`SizeEstimationProtocol` — every node holds a β-approximation
+  of the current network size (Theorem 5.1);
+* :class:`NameAssignmentProtocol` — unique ids in [1, 4n] at all times
+  (Theorem 5.2);
+* :class:`SubtreeEstimator` — β-approximate super-weights (Lemma 5.3);
+* :class:`HeavyChildDecomposition` — O(log n) light ancestors
+  (Theorem 5.4);
+* :class:`AncestryLabeling` — dynamic ancestry labels under controlled
+  deletions (Corollary 5.7);
+* :class:`MajorityCommitProtocol` — majority commitment via size
+  estimation (Section 1.3).
+"""
+
+from repro.apps.size_estimation import SizeEstimationProtocol
+from repro.apps.name_assignment import NameAssignmentProtocol
+from repro.apps.subtree_estimator import SubtreeEstimator
+from repro.apps.heavy_child import HeavyChildDecomposition
+from repro.apps.ancestry_labels import AncestryLabeling
+from repro.apps.majority_commit import MajorityCommitProtocol
+from repro.apps.routing_labels import RoutingLabeling
+
+__all__ = [
+    "SizeEstimationProtocol",
+    "NameAssignmentProtocol",
+    "SubtreeEstimator",
+    "HeavyChildDecomposition",
+    "AncestryLabeling",
+    "MajorityCommitProtocol",
+    "RoutingLabeling",
+]

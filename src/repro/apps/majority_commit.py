@@ -1,0 +1,85 @@
+"""Majority commitment via size estimation (Section 1.3).
+
+Bar-Yehuda and Kutten introduced asynchronous size estimation as the
+engine of *majority commitment*: in a network of ``total`` processors,
+many of which may be asleep or initially failed, commit a transaction
+only once it is certain that a majority participates.  The awake nodes
+form a growing spanning tree (wakeups join as leaves); Korman-Kutten's
+estimator generalizes the protocol to trees that also shrink (nodes
+leaving) and gain internal nodes.
+
+This implementation layers directly on
+:class:`~repro.apps.size_estimation.SizeEstimationProtocol`:
+
+* the participant tree evolves through :meth:`join` / :meth:`leave`,
+  each guarded by the estimator's controller;
+* ``n_tilde/beta`` is a certified lower bound on the participant count,
+  so :meth:`can_commit` returns True only when a true majority is
+  guaranteed — at the price that the estimate-based trigger needs
+  ``beta^2``-fold majority to fire;
+* :meth:`commit_exact` runs one exact upcast (n - 1 messages) for the
+  boundary case, mirroring the final counting round of the original
+  protocol.
+"""
+
+from typing import Optional
+
+from repro.errors import ControllerError
+from repro.metrics.counters import MoveCounters
+from repro.tree.dynamic_tree import DynamicTree
+from repro.tree.node import TreeNode
+from repro.core.requests import Outcome, Request, RequestKind
+from repro.apps.size_estimation import SizeEstimationProtocol
+
+
+class MajorityCommitProtocol:
+    """Commit once a majority of ``total`` processors participates."""
+
+    def __init__(self, tree: DynamicTree, total: int, beta: float = 1.5,
+                 counters: Optional[MoveCounters] = None):
+        if total < 1:
+            raise ControllerError("total must be positive")
+        if tree.size > total:
+            raise ControllerError("tree already exceeds the universe size")
+        self.tree = tree
+        self.total = total
+        self.beta = beta
+        self.counters = counters if counters is not None else MoveCounters()
+        self.estimator = SizeEstimationProtocol(
+            tree, beta=beta, counters=self.counters,
+        )
+        self.committed = False
+
+    # ------------------------------------------------------------------
+    def join(self, parent: TreeNode) -> Optional[TreeNode]:
+        """A processor wakes up and joins below ``parent``."""
+        if self.tree.size >= self.total:
+            raise ControllerError("all processors are already awake")
+        outcome = self.estimator.submit(
+            Request(RequestKind.ADD_LEAF, parent)
+        )
+        return outcome.new_node if outcome.granted else None
+
+    def leave(self, node: TreeNode) -> Outcome:
+        """A processor leaves (leaf or internal — the generalization)."""
+        kind = (RequestKind.REMOVE_LEAF if not node.children
+                else RequestKind.REMOVE_INTERNAL)
+        return self.estimator.submit(Request(kind, node))
+
+    # ------------------------------------------------------------------
+    def certified_participants(self) -> float:
+        """A lower bound on the participant count from the estimate."""
+        return self.estimator.estimate / self.beta
+
+    def can_commit(self) -> bool:
+        """True only when the estimate *certifies* a strict majority."""
+        if self.committed:
+            return True
+        return self.certified_participants() > self.total / 2
+
+    def commit_exact(self) -> bool:
+        """Exact counting round (one upcast): decide at the boundary."""
+        self.counters.reset_moves += max(self.tree.size - 1, 0)
+        if self.tree.size > self.total / 2:
+            self.committed = True
+        return self.committed

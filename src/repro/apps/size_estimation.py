@@ -1,0 +1,124 @@
+"""The size-estimation protocol (Theorem 5.1).
+
+Every node maintains ``n_tilde`` with ``n/beta <= n_tilde <= beta*n``
+at all times.  The protocol runs in iterations:
+
+* at the start of iteration i the exact size ``N_i`` is counted and
+  broadcast (all nodes adopt ``n_tilde = N_i``);
+* with ``alpha = 1 - 1/beta``, a terminating
+  ``(alpha*N_i, alpha*N_i/2)``-controller guards all topological
+  changes during the iteration;
+* the iteration ends when the controller terminates, which caps the
+  number of changes at ``alpha*N_i`` — hence
+  ``N_i/beta <= n <= (2 - 1/beta) N_i <= beta*N_i`` throughout.
+
+Because the controller grants at least ``alpha*N_i/2 = Omega(N_i)``
+permits before terminating, each iteration's ``O(N_i log^2 N_i)``
+messages amortize to ``O(log^2 n)`` per change — the Theorem 5.1 bound.
+
+The protocol exposes ``submit`` for topological requests; requests that
+arrive while an iteration rolls over are transparently resubmitted to
+the next iteration (the queue of Observation 2.1).
+"""
+
+import math
+from typing import Callable, List, Optional
+
+from repro.errors import ControllerError
+from repro.metrics.counters import MoveCounters
+from repro.tree.dynamic_tree import DynamicTree
+from repro.tree.node import TreeNode
+from repro.core.requests import Outcome, OutcomeStatus, Request
+from repro.core.terminating import TerminatingController
+
+
+class SizeEstimationProtocol:
+    """β-approximate size estimation on a dynamic tree.
+
+    Parameters
+    ----------
+    beta:
+        Approximation factor (> 1).  Theorem 5.1 holds for any constant.
+    permit_flow_observer:
+        Forwarded to each iteration's inner controller; the subtree
+        estimator of Lemma 5.3 plugs in here.
+    on_iteration:
+        Callback invoked at each iteration start with the fresh ``N_i``
+        (after the broadcast) — used by the layered applications.
+    """
+
+    def __init__(self, tree: DynamicTree, beta: float = 2.0,
+                 counters: Optional[MoveCounters] = None,
+                 permit_flow_observer=None,
+                 on_iteration: Optional[Callable[[int], None]] = None):
+        if beta <= 1.0:
+            raise ControllerError(f"beta must exceed 1, got {beta}")
+        self.tree = tree
+        self.beta = beta
+        self.alpha = 1.0 - 1.0 / beta
+        self.counters = counters if counters is not None else MoveCounters()
+        self.permit_flow_observer = permit_flow_observer
+        self.on_iteration = on_iteration
+        self.iterations_run = 0
+        self.estimate = 0
+        self._controller: Optional[TerminatingController] = None
+        self._start_iteration()
+
+    # ------------------------------------------------------------------
+    # Public queries.
+    # ------------------------------------------------------------------
+    def estimate_at(self, node: TreeNode) -> int:
+        """The estimate ``n_tilde(v)`` held at ``node``.
+
+        Every node holds the same iteration-start value (the broadcast
+        delivered it); the per-node signature documents the distributed
+        reading of the guarantee.
+        """
+        return self.estimate
+
+    def check_approximation(self) -> float:
+        """Current ratio max(n_tilde/n, n/n_tilde); must stay <= beta."""
+        n = self.tree.size
+        if n == 0 or self.estimate == 0:
+            raise ControllerError("degenerate size")
+        return max(self.estimate / n, n / self.estimate)
+
+    # ------------------------------------------------------------------
+    # Request path.
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> Outcome:
+        """Guard one topological request with the current controller."""
+        while True:
+            outcome = self._controller.submit(request)
+            if outcome.status is not OutcomeStatus.PENDING:
+                return outcome
+            self._roll_iteration()
+
+    # ------------------------------------------------------------------
+    # Iterations.
+    # ------------------------------------------------------------------
+    def _start_iteration(self) -> None:
+        self.iterations_run += 1
+        n_i = self.tree.size
+        self.estimate = n_i
+        # Count and broadcast N_i: upcast + broadcast.
+        self.counters.reset_moves += 2 * max(n_i - 1, 0)
+        m_i = max(int(self.alpha * n_i), 1)
+        w_i = max(m_i // 2, 1)
+        u_i = max(2 * n_i, 2)
+        self._controller = TerminatingController(
+            self.tree, m=m_i, w=w_i, u=u_i, counters=self.counters,
+        )
+        # Give the layered estimator its monitoring hook.
+        self._controller.inner.permit_flow_observer = self.permit_flow_observer
+        if self.on_iteration is not None:
+            self.on_iteration(n_i)
+
+    def _roll_iteration(self) -> None:
+        self._controller.detach()
+        self._start_iteration()
+
+    def detach(self) -> None:
+        if self._controller is not None:
+            self._controller.detach()
+            self._controller = None

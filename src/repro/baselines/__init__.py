@@ -1,0 +1,16 @@
+"""Baseline comparators.
+
+* :class:`TrivialController` — the strawman of Section 1: every request
+  walks to the root and back, Omega(n) messages per request;
+* :class:`AAPSController` — a reconstruction of the Afek-Awerbuch-
+  Plotkin-Saks bin-hierarchy controller [4], which supports only the
+  grow-only dynamic model (leaf insertions);
+* :class:`FloodingSizeEstimator` — naive size estimation recounting the
+  whole tree on every topological change.
+"""
+
+from repro.baselines.trivial import TrivialController
+from repro.baselines.aaps import AAPSController
+from repro.baselines.flooding import FloodingSizeEstimator
+
+__all__ = ["TrivialController", "AAPSController", "FloodingSizeEstimator"]

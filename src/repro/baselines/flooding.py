@@ -1,0 +1,53 @@
+"""Naive size estimation by full recount (baseline for Theorem 5.1).
+
+The obvious way to keep every node's size estimate current is to
+re-count after each topological change: broadcast down, upcast the
+subtree counts, broadcast the total back — Theta(n) messages per
+change.  The paper's estimator amortizes to O(log^2 n) messages per
+change; bench E5 reports both so the gap is visible.
+"""
+
+from typing import Optional
+
+from repro.metrics.counters import MessageCounters
+from repro.tree.dynamic_tree import DynamicTree, TreeListener
+from repro.tree.node import TreeNode
+
+
+class FloodingSizeEstimator(TreeListener):
+    """Exact size at every node, recounted per change (3(n-1) messages)."""
+
+    def __init__(self, tree: DynamicTree,
+                 counters: Optional[MessageCounters] = None):
+        self.tree = tree
+        self.counters = counters if counters is not None else MessageCounters()
+        self.estimate = tree.size
+        self.changes_seen = 0
+        tree.add_listener(self)
+
+    def estimate_at(self, node: TreeNode) -> int:
+        """The estimate held at ``node`` — exact, by construction."""
+        return self.estimate
+
+    def _recount(self) -> None:
+        self.changes_seen += 1
+        # Upcast the counts, then broadcast the total and a trigger wave.
+        self.counters.broadcast_messages += 3 * max(self.tree.size - 1, 0)
+        self.estimate = self.tree.size
+
+    def on_add_leaf(self, node: TreeNode) -> None:
+        self._recount()
+
+    def on_add_internal(self, node: TreeNode, parent: TreeNode,
+                        child: TreeNode) -> None:
+        self._recount()
+
+    def on_remove_leaf(self, node: TreeNode, parent: TreeNode) -> None:
+        self._recount()
+
+    def on_remove_internal(self, node: TreeNode, parent: TreeNode,
+                           children) -> None:
+        self._recount()
+
+    def detach(self) -> None:
+        self.tree.remove_listener(self)

@@ -1,0 +1,357 @@
+"""The centralized (M,W)-Controller with known U (Section 3.1).
+
+This is the reference semantics of the paper's contribution.  Permits
+start at the root; requests trigger ``GrantOrReject``:
+
+1. a node holding a reject package rejects locally;
+2. a node holding static permits grants one locally;
+3. otherwise the algorithm climbs toward the root looking for the
+   closest *filler node* — an ancestor holding a mobile package whose
+   level matches its distance window — falling back to creating a fresh
+   package at the root (or broadcasting a reject wave when the root's
+   storage cannot cover it);
+4. the found/created package is distributed down the path to the
+   requester by the recursive ``Proc``: a level-``k`` package moves to
+   ``u_{k-1}`` (the ancestor ``3 * 2^(k-2) * psi`` hops above ``u``),
+   splits in two, leaves one half parked there for future requests, and
+   recurses with the other half; the final level-0 package becomes the
+   requester's static pool.
+
+The prose of the paper states ``Proc`` as "move P (level k) to u_k", but
+``u_k`` is only defined for ``k <= j(u) - 1`` and the domain construction
+(Section 3.2, Case 2) requires the *post* state "one level-k package at
+u_k for every k < j(u)"; the shift-by-one implemented here is the unique
+reading satisfying both, and the machine-checked domain invariants in
+``tests/core/test_domains.py`` confirm it.
+
+Move complexity is charged per hop of package movement, per the
+centralized cost model of Section 2.2.
+"""
+
+from typing import Optional
+
+from repro.errors import ControllerError
+from repro.metrics.counters import MoveCounters
+from repro.tree.dynamic_tree import DynamicTree, TreeListener
+from repro.tree.node import TreeNode
+from repro.tree.paths import ancestor_at
+from repro.core.domains import DomainTracker
+from repro.core.packages import MobilePackage, StoreMap
+from repro.core.params import ControllerParams
+from repro.core.requests import Outcome, OutcomeStatus, Request, RequestKind
+
+
+class CentralizedController(TreeListener):
+    """Known-U centralized (M,W)-Controller.
+
+    Parameters
+    ----------
+    tree:
+        The dynamic spanning tree the controller manages.
+    m, w, u:
+        The controller parameters (see :class:`ControllerParams`).
+        ``u`` must upper-bound the number of nodes ever to exist.
+    counters:
+        Optional shared :class:`MoveCounters` (the iterated/adaptive
+        wrappers pass one across their inner controllers).
+    track_domains:
+        Enable the analysis-only :class:`DomainTracker` so property tests
+        can check the Section 3.2 invariants.
+    reject_on_exhaustion:
+        When the root cannot cover a needed package, the paper's basic
+        controller broadcasts a reject wave.  Wrappers set this to False
+        to intercept exhaustion (Observation 3.4's halving iterations and
+        Observation 2.1's terminating variant); the request then returns
+        with ``OutcomeStatus.PENDING`` and :attr:`exhausted` flips.
+    track_intervals:
+        Maintain explicit permit serial-number intervals on every package
+        (used by the name-assignment protocol of Section 5.2).  Serials
+        for this controller are ``interval_base + 1 .. interval_base + m``.
+    apply_topology:
+        When True (default) the controller itself performs granted
+        topological changes on the tree, playing the "requesting entity"
+        of the model.  The distributed engine reuses this class purely as
+        a package data structure with ``apply_topology=False``.
+    """
+
+    def __init__(self, tree: DynamicTree, m: int, w: int, u: int,
+                 counters: Optional[MoveCounters] = None,
+                 track_domains: bool = False,
+                 reject_on_exhaustion: bool = True,
+                 track_intervals: bool = False,
+                 interval_base: int = 0,
+                 apply_topology: bool = True,
+                 permit_flow_observer=None):
+        # ``permit_flow_observer(node, permits)`` is invoked whenever a
+        # package carrying ``permits`` permits passes *down* through
+        # ``node`` — the monitoring hook the subtree estimator of
+        # Lemma 5.3 taps ("each node monitors the packages ... which
+        # pass through it down the tree").
+        self.permit_flow_observer = permit_flow_observer
+        self.tree = tree
+        self.params = ControllerParams(m=m, w=w, u=u)
+        self.counters = counters if counters is not None else MoveCounters()
+        self.stores = StoreMap()
+        self.storage = m
+        self.granted = 0
+        self.rejected = 0
+        self.rejecting = False
+        self.exhausted = False
+        self.reject_on_exhaustion = reject_on_exhaustion
+        self.track_intervals = track_intervals
+        self._interval_next = interval_base + 1
+        self._interval_end = interval_base + m
+        self._apply_topology = apply_topology
+        self.domains: Optional[DomainTracker] = (
+            DomainTracker(tree, self.params) if track_domains else None
+        )
+        self._attached = True
+        tree.add_listener(self)
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+    def handle(self, request: Request) -> Outcome:
+        """Run ``GrantOrReject`` for one request, synchronously."""
+        if not self._attached:
+            raise ControllerError("controller has been detached")
+        node = request.node
+        if node not in self.tree or not self._still_meaningful(request):
+            return Outcome(OutcomeStatus.CANCELLED, request)
+
+        store = self.stores.get(node)
+        # Item 1: a reject package answers immediately.
+        if store.has_reject or self.rejecting:
+            self.rejected += 1
+            return Outcome(OutcomeStatus.REJECTED, request)
+
+        # Item 3: replenish the static pool if needed.
+        if store.static_permits == 0:
+            replenished = self._fetch_permits(node)
+            if not replenished:
+                if self.reject_on_exhaustion:
+                    self.rejected += 1
+                    return Outcome(OutcomeStatus.REJECTED, request)
+                return Outcome(OutcomeStatus.PENDING, request)
+            store = self.stores.get(node)
+
+        # Item 2: grant one static permit and perform the event.
+        store.static_permits -= 1
+        serial = store.take_static_serial() if self.track_intervals else None
+        self.granted += 1
+        if self.granted > self.params.m:
+            raise ControllerError(
+                f"safety violated: granted {self.granted} > M={self.params.m}"
+            )
+        new_node = self._execute_event(request)
+        return Outcome(OutcomeStatus.GRANTED, request,
+                       new_node=new_node, serial=serial)
+
+    def unused_permits(self) -> int:
+        """Permits not yet granted: root storage plus parked packages.
+
+        This is the quantity ``L`` the halving iterations of
+        Observation 3.4 re-budget with.
+        """
+        return self.storage + self.stores.total_parked_permits()
+
+    def detach(self) -> None:
+        """Unregister from the tree; the controller becomes inert."""
+        if self._attached:
+            self.tree.remove_listener(self)
+            if self.domains is not None:
+                self.domains.detach()
+            self._attached = False
+
+    # ------------------------------------------------------------------
+    # GrantOrReject internals.
+    # ------------------------------------------------------------------
+    def _fetch_permits(self, node: TreeNode) -> bool:
+        """Items 3-4: find/create a package and distribute it to ``node``.
+
+        Returns False when the root's storage cannot cover the required
+        package (exhaustion); in reject mode this also broadcasts the
+        reject wave.
+        """
+        package, dist = self._find_filler(node)
+        if package is None:
+            dist_to_root = self.tree.depth(node)
+            level = self.params.creation_level(dist_to_root)
+            need = self.params.mobile_size(level)
+            if self.storage < need:
+                if self.reject_on_exhaustion:
+                    self._broadcast_reject_wave()
+                self.exhausted = True
+                return False
+            package = MobilePackage(level=level, size=need,
+                                    interval=self._take_interval(need))
+            self.storage -= need
+            dist = dist_to_root
+            if self.permit_flow_observer is not None:
+                # Freshly created permits "enter" the root as well.
+                self.permit_flow_observer(self.tree.root, need)
+        self._distribute(package, dist, node)
+        return True
+
+    def _find_filler(self, node: TreeNode):
+        """Closest ancestor that is a filler node w.r.t. ``node``.
+
+        Returns ``(package, distance)``, removing the package from its
+        host's store — or ``(None, None)`` if no filler exists up to and
+        including the root.
+        """
+        dist = 0
+        current: Optional[TreeNode] = node
+        while current is not None:
+            store = self.stores.peek(current)
+            if store is not None and store.mobile:
+                chosen = None
+                for package in store.mobile:
+                    if self.params.in_filler_window(package.level, dist):
+                        if chosen is None or package.level < chosen.level:
+                            chosen = package
+                if chosen is not None:
+                    store.mobile.remove(chosen)
+                    return chosen, dist
+            current = current.parent
+            dist += 1
+        return None, None
+
+    def _distribute(self, package: MobilePackage, dist: int,
+                    node: TreeNode) -> None:
+        """Procedure ``Proc``: split the package down the path to ``node``.
+
+        ``dist`` is the package's current distance above ``node``.
+        """
+        while package.level > 0:
+            new_level = package.level - 1
+            target_dist = self.params.uk_distance(new_level)
+            target = ancestor_at(node, target_dist)
+            self.counters.package_moves += dist - target_dist
+            self._observe_flow(node, dist - 1, target_dist, package.size)
+            if self.domains is not None:
+                self.domains.cancel(package)
+            left_interval, right_interval = package.split_interval()
+            half = package.size // 2
+            parked = MobilePackage(level=new_level, size=half,
+                                   interval=left_interval)
+            self.stores.get(target).mobile.append(parked)
+            if self.domains is not None:
+                self.domains.assign_domain(parked, target, toward=node)
+            package.level = new_level
+            package.size = half
+            package.interval = right_interval
+            dist = target_dist
+        # Level 0: the package reaches the requester and becomes static.
+        self.counters.package_moves += dist
+        self._observe_flow(node, dist - 1, 0, package.size)
+        if self.domains is not None:
+            self.domains.cancel(package)
+        store = self.stores.get(node)
+        store.static_permits += package.size
+        if package.interval is not None:
+            store.static_intervals.append(package.interval)
+
+    def _observe_flow(self, node: TreeNode, from_dist: int, to_dist: int,
+                      permits: int) -> None:
+        """Report a downward package move to the flow observer.
+
+        The package entered every node at distances ``from_dist`` down
+        to ``to_dist`` (inclusive) above ``node``.
+        """
+        if self.permit_flow_observer is None or from_dist < to_dist:
+            return
+        current = ancestor_at(node, to_dist)
+        for _ in range(from_dist - to_dist + 1):
+            self.permit_flow_observer(current, permits)
+            parent = current.parent
+            if parent is None:
+                break
+            current = parent
+
+    def _take_interval(self, size: int):
+        """Carve the next ``size`` serial numbers out of the root storage."""
+        if not self.track_intervals:
+            return None
+        lo = self._interval_next
+        hi = lo + size - 1
+        if hi > self._interval_end:
+            raise ControllerError("interval storage exhausted")
+        self._interval_next = hi + 1
+        return (lo, hi)
+
+    def _broadcast_reject_wave(self) -> None:
+        """Place a reject package at every node (item 3b).
+
+        Centrally the broadcast is instantaneous; the cost is one move
+        per node, exactly as splitting/moving reject packages would pay.
+        """
+        if self.rejecting:
+            return
+        self.rejecting = True
+        self.counters.reject_moves += self.tree.size
+        for node in self.tree.nodes():
+            self.stores.get(node).has_reject = True
+
+    # ------------------------------------------------------------------
+    # Event execution (the controller plays the granted entity).
+    # ------------------------------------------------------------------
+    def _still_meaningful(self, request: Request) -> bool:
+        """Check the request's event is still executable (Section 4.2)."""
+        kind = request.kind
+        node = request.node
+        if kind is RequestKind.REMOVE_LEAF:
+            return not node.is_root and not node.children
+        if kind is RequestKind.REMOVE_INTERNAL:
+            return not node.is_root and bool(node.children)
+        if kind is RequestKind.ADD_INTERNAL:
+            return (request.child is not None and request.child.alive
+                    and request.child.parent is node)
+        return True
+
+    def _execute_event(self, request: Request) -> Optional[TreeNode]:
+        if not self._apply_topology or not request.kind.is_topological:
+            return None
+        if request.kind is RequestKind.ADD_LEAF:
+            return self.tree.add_leaf(request.node)
+        if request.kind is RequestKind.ADD_INTERNAL:
+            return self.tree.add_internal(request.node, request.child)
+        if request.kind is RequestKind.REMOVE_LEAF:
+            self.tree.remove_leaf(request.node)
+            return None
+        if request.kind is RequestKind.REMOVE_INTERNAL:
+            self.tree.remove_internal(request.node)
+            return None
+        raise ControllerError(f"unknown request kind {request.kind}")
+
+    # ------------------------------------------------------------------
+    # Tree listener: graceful hand-over on deletions; reject propagation
+    # to newborn nodes (the parent "informs" the child, item 2b).
+    # ------------------------------------------------------------------
+    def on_add_leaf(self, node: TreeNode) -> None:
+        if self.rejecting:
+            self.stores.get(node).has_reject = True
+
+    def on_add_internal(self, node: TreeNode, parent: TreeNode,
+                        child: TreeNode) -> None:
+        if self.rejecting:
+            self.stores.get(node).has_reject = True
+
+    def on_remove_leaf(self, node: TreeNode, parent: TreeNode) -> None:
+        self._relocate_store(node, parent)
+
+    def on_remove_internal(self, node: TreeNode, parent: TreeNode,
+                           children) -> None:
+        self._relocate_store(node, parent)
+
+    def _relocate_store(self, node: TreeNode, parent: TreeNode) -> None:
+        store = self.stores.discard(node)
+        if store is None or store.is_empty:
+            return
+        # One move carries the whole set of packages one hop (Section 2.2
+        # allows moving a set of objects in one move).
+        self.counters.relocation_moves += 1
+        if self.domains is not None:
+            for package in store.mobile:
+                self.domains.set_host(package, parent)
+        self.stores.get(parent).merge_from(store)

@@ -1,0 +1,185 @@
+"""Package domains and the three domain invariants (Section 3.2).
+
+Domains exist *for analysis only*: the algorithm never communicates to
+maintain them ("the algorithm does not need to use any communication for
+updating domains").  We therefore implement them as an optional tracker
+that controllers feed; property tests enable it and machine-check the
+paper's three invariants after every step of randomized scenarios:
+
+1. the domain of each existing level-k mobile package contains exactly
+   ``2^(k-1) * psi`` nodes (deleted nodes included — Case 5 keeps them);
+2. domains of existing packages of the same level are pairwise disjoint;
+3. the *currently existing* nodes of a domain form a path hanging down
+   from some child of the node hosting the package.
+
+Maintenance rules implemented (mirroring Cases 1-5 of Section 3.2):
+
+* a package formed by a split during ``Proc`` receives as domain the
+  ``2^(k-1) * psi`` nodes just below its landing spot on the path to the
+  requesting node;
+* splits and static conversions cancel the parent package's domain;
+* an internal insertion above a domain node joins the domain and evicts
+  the bottom-most *existing* domain node;
+* deletions leave the domain unchanged (dead nodes keep membership).
+"""
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import InvariantViolation
+from repro.tree.dynamic_tree import DynamicTree, TreeListener
+from repro.tree.node import TreeNode
+from repro.core.packages import MobilePackage
+from repro.core.params import ControllerParams
+
+
+class DomainTracker(TreeListener):
+    """Tracks domains of live mobile packages and checks the invariants.
+
+    The tracker registers itself as a tree listener to apply the
+    insertion rule (Case 4); the owning controller calls
+    :meth:`assign_domain` / :meth:`cancel` / :meth:`set_host` at the
+    package lifecycle points.
+    """
+
+    def __init__(self, tree: DynamicTree, params: ControllerParams):
+        self._tree = tree
+        self._params = params
+        # package_id -> ordered domain path, top (nearest host) first.
+        self._domains: Dict[int, List[TreeNode]] = {}
+        # package_id -> (package, host node)
+        self._packages: Dict[int, MobilePackage] = {}
+        self._hosts: Dict[int, TreeNode] = {}
+        tree.add_listener(self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle notifications from the controller.
+    # ------------------------------------------------------------------
+    def assign_domain(self, package: MobilePackage, host: TreeNode,
+                      toward: TreeNode) -> None:
+        """Give ``package`` (just parked at ``host``) its initial domain.
+
+        The domain is the first ``2^(k-1) * psi`` nodes of the path that
+        descends from ``host`` toward the requesting node ``toward``
+        (Case 2: vertices ``x`` with ``1 <= d(x, host) <= 2^(k-1) psi``).
+        """
+        size = self._params.domain_size(package.level)
+        path: List[TreeNode] = []
+        current = toward
+        while current is not host:
+            path.append(current)
+            current = current.parent
+            if current is None:
+                raise InvariantViolation(
+                    f"host {host} not an ancestor of {toward}"
+                )
+        # ``path`` is toward..child-of-host, bottom-up; the domain is the
+        # topmost ``size`` nodes of it (closest to the host).
+        if len(path) < size:
+            raise InvariantViolation(
+                f"path below host has {len(path)} nodes, domain needs {size}"
+            )
+        domain_bottom_up = path[-size:]
+        self._domains[package.package_id] = list(reversed(domain_bottom_up))
+        self._packages[package.package_id] = package
+        self._hosts[package.package_id] = host
+
+    def cancel(self, package: MobilePackage) -> None:
+        """Drop the domain (package split, became static, or consumed)."""
+        self._domains.pop(package.package_id, None)
+        self._packages.pop(package.package_id, None)
+        self._hosts.pop(package.package_id, None)
+
+    def set_host(self, package: MobilePackage, host: TreeNode) -> None:
+        """Record that ``package`` now sits at ``host`` (deletion move)."""
+        if package.package_id in self._hosts:
+            self._hosts[package.package_id] = host
+
+    def tracked_packages(self) -> List[MobilePackage]:
+        return list(self._packages.values())
+
+    def domain_of(self, package: MobilePackage) -> Optional[List[TreeNode]]:
+        return self._domains.get(package.package_id)
+
+    # ------------------------------------------------------------------
+    # Tree listener: Case 4 (insertion) — deletions need no action.
+    # ------------------------------------------------------------------
+    def on_add_internal(self, node: TreeNode, parent: TreeNode,
+                        child: TreeNode) -> None:
+        for package_id, domain in self._domains.items():
+            try:
+                index = domain.index(child)
+            except ValueError:
+                continue
+            # ``node`` became the parent of a domain member: it joins just
+            # above ``child``; the bottom-most existing member leaves.
+            domain.insert(index, node)
+            for position in range(len(domain) - 1, -1, -1):
+                if domain[position].alive:
+                    del domain[position]
+                    break
+            else:
+                raise InvariantViolation(
+                    f"domain of package {package_id} has no existing node"
+                )
+
+    # ------------------------------------------------------------------
+    # Invariant checks (used by tests after every scenario step).
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`InvariantViolation` if any invariant is broken."""
+        by_level: Dict[int, List[int]] = {}
+        for package_id, package in self._packages.items():
+            by_level.setdefault(package.level, []).append(package_id)
+
+        for package_id, package in self._packages.items():
+            domain = self._domains[package_id]
+            expected = self._params.domain_size(package.level)
+            if len(domain) != expected:
+                raise InvariantViolation(
+                    f"invariant 1: package {package_id} level "
+                    f"{package.level} domain has {len(domain)} nodes, "
+                    f"expected {expected}"
+                )
+            self._check_path_invariant(package_id, domain)
+
+        for level, package_ids in by_level.items():
+            seen: Set[TreeNode] = set()
+            for package_id in package_ids:
+                for node in self._domains[package_id]:
+                    if node in seen:
+                        raise InvariantViolation(
+                            f"invariant 2: level {level} domains overlap "
+                            f"at {node}"
+                        )
+                    seen.add(node)
+
+    def _check_path_invariant(self, package_id: int,
+                              domain: List[TreeNode]) -> None:
+        """Invariant 3: alive domain nodes form a path below the host."""
+        host = self._hosts[package_id]
+        alive = [node for node in domain if node.alive]
+        if not alive:
+            # All domain members were deleted; the path condition is
+            # vacuous (the paper's invariant speaks of existing nodes).
+            return
+        if alive[0].parent is not host:
+            raise InvariantViolation(
+                f"invariant 3: top of domain {alive[0]} does not hang "
+                f"from host {host} (parent is {alive[0].parent})"
+            )
+        for upper, lower in zip(alive, alive[1:]):
+            if lower.parent is not upper:
+                raise InvariantViolation(
+                    f"invariant 3: {lower} not a child of {upper} in the "
+                    f"domain of package {package_id}"
+                )
+
+    def clear(self) -> None:
+        """Forget everything (controller reset between iterations)."""
+        self._domains.clear()
+        self._packages.clear()
+        self._hosts.clear()
+
+    def detach(self) -> None:
+        """Unregister from the tree (end of controller lifetime)."""
+        self._tree.remove_listener(self)

@@ -1,0 +1,115 @@
+"""Controller parameter arithmetic (Section 3.1).
+
+The whole combinatorial structure of the controller is driven by two
+derived quantities:
+
+* ``phi`` — the static-package size, ``max(floor(W / 2U), 1)``;
+* ``psi`` — the distance unit, ``4 * ceil(log2(U) + 2) * max(ceil(U/W), 1)``.
+
+A mobile package of *level* ``i`` holds exactly ``2^i * phi`` permits.
+An ancestor ``w`` of ``u`` holding a level-``j`` package is a *filler
+node* for ``u`` iff
+
+* ``j = 0`` and ``0 <= d(u, w) <= 2 * psi``, or
+* ``j >= 1`` and ``2^j * psi < d(u, w) <= 2^(j+1) * psi``.
+
+``psi`` is a multiple of 4, which keeps every distance used by the
+algorithm (``u_k`` at ``3 * 2^(k-1) * psi`` hops above ``u``, domains of
+``2^(k-1) * psi`` nodes) an exact integer even for ``k = 0``.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ControllerError
+
+
+@dataclass(frozen=True)
+class ControllerParams:
+    """Derived parameters of an (M, W)-Controller with known bound U.
+
+    Parameters
+    ----------
+    m:
+        Permit budget M (safety: never grant more than M).
+    w:
+        Waste allowance W (liveness: once anything is rejected, at least
+        M - W permits must eventually be granted).  The inner controller
+        requires ``w >= 1`` — the paper handles W = 0 by composing an
+        (M, 1)-controller with a trivial (1, 0)-controller, which
+        :class:`repro.core.iterated.IteratedController` implements.
+    u:
+        Upper bound on the number of nodes *ever to exist* (initial nodes
+        plus all additions).  Section 3.3 removes the need to know U; the
+        removal is implemented by :class:`repro.core.adaptive.AdaptiveController`.
+    """
+
+    m: int
+    w: int
+    u: int
+    phi: int = field(init=False)
+    psi: int = field(init=False)
+
+    def __post_init__(self):
+        if self.m < 0:
+            raise ControllerError(f"M must be non-negative, got {self.m}")
+        if self.w < 1:
+            raise ControllerError(
+                f"inner controller needs W >= 1 (got {self.w}); "
+                "use IteratedController for W = 0"
+            )
+        if self.u < 1:
+            raise ControllerError(f"U must be positive, got {self.u}")
+        phi = max(self.w // (2 * self.u), 1)
+        log_term = math.ceil(math.log2(self.u) + 2) if self.u > 1 else 2
+        psi = 4 * log_term * max(math.ceil(self.u / self.w), 1)
+        object.__setattr__(self, "phi", phi)
+        object.__setattr__(self, "psi", psi)
+
+    # ------------------------------------------------------------------
+    # Package sizes and levels.
+    # ------------------------------------------------------------------
+    def mobile_size(self, level: int) -> int:
+        """Permit count of a level-``level`` mobile package: 2^level * phi."""
+        return (1 << level) * self.phi
+
+    @property
+    def max_level(self) -> int:
+        """Levels run from 0 to ``ceil(log2 U) + 1`` (Section 3.1)."""
+        return (math.ceil(math.log2(self.u)) if self.u > 1 else 0) + 1
+
+    # ------------------------------------------------------------------
+    # Filler windows.
+    # ------------------------------------------------------------------
+    def in_filler_window(self, level: int, dist: int) -> bool:
+        """Is an ancestor at hop distance ``dist`` holding a level-``level``
+        package a filler node?  (Definition before GrantOrReject.)"""
+        if level == 0:
+            return 0 <= dist <= 2 * self.psi
+        low = (1 << level) * self.psi
+        high = (1 << (level + 1)) * self.psi
+        return low < dist <= high
+
+    def creation_level(self, dist_to_root: int) -> int:
+        """Smallest ``j >= 0`` with ``d(u, r) <= 2^(j+1) * psi`` (item 3b)."""
+        j = 0
+        while dist_to_root > (1 << (j + 1)) * self.psi:
+            j += 1
+        return j
+
+    # ------------------------------------------------------------------
+    # Distribution geometry (item 4 / Proc).
+    # ------------------------------------------------------------------
+    def uk_distance(self, k: int) -> int:
+        """Distance of ``u_k`` above ``u``: ``3 * 2^(k-1) * psi``.
+
+        Exact integer because ``psi`` is a multiple of 4 (for ``k = 0``
+        this is ``3 * psi / 2``).
+        """
+        return (3 * self.psi * (1 << k)) // 2 if k > 0 else (3 * self.psi) // 2
+
+    def domain_size(self, level: int) -> int:
+        """Domain cardinality of a level-``level`` package: 2^(level-1)*psi."""
+        if level == 0:
+            return self.psi // 2
+        return (1 << (level - 1)) * self.psi

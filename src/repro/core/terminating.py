@@ -1,0 +1,85 @@
+"""Terminating (M,W)-Controller — Observation 2.1.
+
+A terminating controller never rejects.  Instead, once the budget cannot
+cover further requests it *terminates*: a reject-signal broadcast is
+replaced by queuing the would-be-rejected requests, and a broadcast +
+upcast round confirms that every permitted event actually occurred before
+the root outputs the termination signal.  Guarantees at termination time
+``t``: between ``M - W`` and ``M`` permits were granted, no permit is
+granted after ``t``, and all granted events have occurred.
+
+This is the form all Section 5 applications consume: they run in
+iterations, each iteration driven by one terminating controller; the
+requests still pending at termination are resubmitted by the application
+to the next iteration's controller.
+"""
+
+from typing import List, Optional
+
+from repro.errors import ControllerError
+from repro.metrics.counters import MoveCounters
+from repro.tree.dynamic_tree import DynamicTree
+from repro.core.centralized import CentralizedController
+from repro.core.requests import Outcome, OutcomeStatus, Request
+
+
+class TerminatingController:
+    """Terminating wrapper around a known-U centralized controller.
+
+    Parameters mirror :class:`CentralizedController`; the wrapped inner
+    controller is created with ``reject_on_exhaustion=False`` so that
+    exhaustion surfaces as ``PENDING`` instead of a reject wave.
+    """
+
+    def __init__(self, tree: DynamicTree, m: int, w: int, u: int,
+                 counters: Optional[MoveCounters] = None,
+                 track_domains: bool = False,
+                 track_intervals: bool = False,
+                 interval_base: int = 0):
+        self.tree = tree
+        self.counters = counters if counters is not None else MoveCounters()
+        self.inner = CentralizedController(
+            tree, m=m, w=w, u=u, counters=self.counters,
+            track_domains=track_domains,
+            reject_on_exhaustion=False,
+            track_intervals=track_intervals,
+            interval_base=interval_base,
+        )
+        self.terminated = False
+        self.pending: List[Request] = []
+
+    @property
+    def granted(self) -> int:
+        return self.inner.granted
+
+    def submit(self, request: Request) -> Outcome:
+        """Serve a request, or queue it if the controller terminated."""
+        if self.terminated:
+            self.pending.append(request)
+            return Outcome(OutcomeStatus.PENDING, request)
+        outcome = self.inner.handle(request)
+        if outcome.status is OutcomeStatus.REJECTED:
+            raise ControllerError(
+                "terminating controller's inner controller rejected; "
+                "it must be configured with reject_on_exhaustion=False"
+            )
+        if outcome.status is OutcomeStatus.PENDING:
+            self._terminate()
+            self.pending.append(request)
+        return outcome
+
+    def _terminate(self) -> None:
+        """Broadcast the termination signal and upcast acknowledgements.
+
+        Centrally both phases are instantaneous; their cost is one
+        message per node each (the additive linear term allowed by
+        Observation 2.1).
+        """
+        self.terminated = True
+        self.counters.reset_moves += 2 * self.tree.size
+        self.inner.detach()
+
+    def detach(self) -> None:
+        if not self.terminated:
+            self.inner.detach()
+        self.terminated = True

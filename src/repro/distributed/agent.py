@@ -1,0 +1,80 @@
+"""Mobile request agents (Section 4.3.1).
+
+An agent is created when a request arrives; it carries its request, its
+locked path (the taxi layer of Section 4.3.2 is realized by the path
+list: ``Distance`` is ``len(path) - 1``, ``DistToTop`` is the index of
+the topmost locked node, and the Down routing uses the saved path
+instead of per-node saved ports — an equivalent representation under
+the graceful-change contract, since splices patch the path exactly
+where the paper's pointer hand-over would re-point ports).
+
+The ``Bag`` of the paper (the level of the package being distributed)
+is the ``package`` field.
+"""
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional
+
+from repro.core.packages import MobilePackage
+from repro.core.requests import Outcome, Request
+from repro.tree.node import TreeNode
+
+_agent_ids = itertools.count()
+
+
+class AgentState(Enum):
+    """Where the agent is in its journey.
+
+    The splice rules key off this: a new internal node is handed to the
+    agent locking the child endpoint only while that agent still travels
+    *upward* (CLIMBING / WAITING); in every downward phase the agent has
+    already turned around and will never pass the new node.
+    """
+
+    CLIMBING = "climbing"
+    WAITING = "waiting"
+    DESCENDING = "descending"      # distributing a package (Proc)
+    RETURNING = "returning"        # post-grant walk back to the top
+    UNLOCKING = "unlocking"        # final downward unlock pass
+    DONE = "done"
+
+
+@dataclass
+class Agent:
+    """One request's mobile agent."""
+
+    request: Request
+    origin: TreeNode
+    callback: Optional[Callable[[Outcome], None]] = None
+    agent_id: int = field(default_factory=lambda: next(_agent_ids))
+    state: AgentState = AgentState.CLIMBING
+    # Locked path, origin first.  path[0] is always the origin (the only
+    # exception is transient: the origin is popped when the agent's own
+    # deletion request removes it).
+    path: List[TreeNode] = field(default_factory=list)
+    # Position index into ``path`` during downward/upward phases.
+    pos: int = 0
+    package: Optional[MobilePackage] = None
+    waiting_at: Optional[TreeNode] = None
+    # Outcome to deliver at the end of the unlock walk (grants deliver
+    # early, at grant time, per the paper's ordering).
+    final_outcome: Optional[Outcome] = None
+    place_rejects: bool = False
+    delivered: bool = False
+
+    @property
+    def distance(self) -> int:
+        """The taxi's Distance counter: hops from the origin."""
+        return len(self.path) - 1
+
+    def __hash__(self) -> int:
+        return self.agent_id
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:
+        return (f"<Agent {self.agent_id} {self.state.value} "
+                f"req={self.request.kind.value}@{self.origin.node_id}>")

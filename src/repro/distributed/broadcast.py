@@ -1,0 +1,29 @@
+"""Broadcast / upcast (convergecast) message accounting.
+
+The paper repeatedly charges "a broadcast and upcast operation" — for
+termination detection (Observation 2.1), for counting ``N_{i+1}`` and
+``Y_i`` between epochs (Appendix A), and for the DFS traversals of the
+name-assignment protocol (Section 5.2).  On a tree with n nodes a
+broadcast sends one message per edge (n - 1) and an upcast sends one
+message per edge back; a DFS traversal sends two messages per edge.
+
+These helpers centralize that accounting so every layer charges the
+same way.
+"""
+
+from repro.tree.dynamic_tree import DynamicTree
+
+
+def broadcast_cost(tree: DynamicTree) -> int:
+    """Messages for a root-to-all broadcast: one per tree edge."""
+    return max(tree.size - 1, 0)
+
+
+def upcast_cost(tree: DynamicTree) -> int:
+    """Messages for an all-to-root upcast: one per tree edge."""
+    return max(tree.size - 1, 0)
+
+
+def dfs_traversal_cost(tree: DynamicTree) -> int:
+    """Messages for one full DFS traversal: two per tree edge."""
+    return 2 * max(tree.size - 1, 0)

@@ -1,0 +1,563 @@
+"""The distributed (M,W)-Controller (Sections 4.3-4.4).
+
+Execution model: requests are submitted with :meth:`DistributedController.submit`
+(optionally at staggered simulated times); :meth:`run` drains the event
+queue.  Every agent hop costs one message; reject waves cost one message
+per node; deletions cost the ``O(deg(v) + log^2 U)`` data-move messages
+of the discussion after Lemma 4.5.
+
+The locking discipline follows Section 4.3.1 exactly:
+
+* an agent locks every node on its way up; reaching a locked node it
+  waits in the node's FIFO queue;
+* when a node is unlocked, the lock is handed atomically to the head
+  waiter, which resumes "as if it had just entered the node";
+* after finding a filler/creating at the root, the agent performs
+  ``Proc`` down the locked path, grants at the origin, climbs back to
+  the topmost node it reached, then descends unlocking every node.
+
+Graceful topology changes (Section 4.2) are implemented in the tree
+listener hooks at the bottom of this class; the correctness argument of
+Lemma 4.3/4.5 (serializability of the distributed execution into the
+centralized one) is exercised directly by ``tests/distributed/``, which
+compare grant totals and package layouts against the centralized engine
+on identical scenarios.
+"""
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ControllerError, ProtocolError
+from repro.metrics.counters import MessageCounters
+from repro.sim.delays import DelayModel, UniformDelay
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Tracer
+from repro.tree.dynamic_tree import DynamicTree, TreeListener
+from repro.tree.node import TreeNode
+from repro.core.packages import MobilePackage
+from repro.core.params import ControllerParams
+from repro.core.requests import (
+    Outcome,
+    OutcomeStatus,
+    Request,
+    RequestKind,
+    perform_event,
+)
+from repro.distributed.agent import Agent, AgentState
+from repro.distributed.whiteboard import WhiteboardMap
+
+
+class DistributedController(TreeListener):
+    """Distributed (M,W)-Controller with known bound U.
+
+    Parameters
+    ----------
+    terminate_on_exhaustion:
+        False (default): broadcast a reject wave when the root's storage
+        cannot cover a request (the plain controller).  True: switch to
+        the *terminating* behaviour of Observation 2.1 — no rejects;
+        the exhausting and all later requests come back ``PENDING`` and
+        :attr:`terminated` flips after the termination broadcast/upcast.
+    apply_topology:
+        When True the controller performs granted topological changes on
+        the tree itself (playing the requesting entity).
+    """
+
+    def __init__(self, tree: DynamicTree, m: int, w: int, u: int,
+                 scheduler: Optional[Scheduler] = None,
+                 delays: Optional[DelayModel] = None,
+                 counters: Optional[MessageCounters] = None,
+                 tracer: Optional[Tracer] = None,
+                 terminate_on_exhaustion: bool = False,
+                 apply_topology: bool = True):
+        self.tree = tree
+        self.params = ControllerParams(m=m, w=w, u=u)
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.delays = delays if delays is not None else UniformDelay(seed=0)
+        self.counters = counters if counters is not None else MessageCounters()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.terminate_on_exhaustion = terminate_on_exhaustion
+        self._apply_topology = apply_topology
+
+        self.boards = WhiteboardMap()
+        self.storage = m
+        self.granted = 0
+        self.rejected = 0
+        self.cancelled = 0
+        self.pending = 0
+        self.rejecting = False
+        self.terminated = False
+        self.outcomes: List[Outcome] = []
+        self.active_agents = 0
+        self._attached = True
+        tree.add_listener(self)
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+    def submit(self, request: Request, delay: float = 0.0,
+               callback: Optional[Callable[[Outcome], None]] = None) -> None:
+        """Schedule a request's arrival ``delay`` time units from now."""
+        if not self._attached:
+            raise ControllerError("controller has been detached")
+        self.scheduler.schedule(
+            delay, lambda: self._on_request_arrival(request, callback)
+        )
+
+    def run(self) -> None:
+        """Drain the event queue (all in-flight agents complete)."""
+        self.scheduler.run()
+
+    def submit_and_run(self, request: Request) -> Outcome:
+        """Convenience for tests: one request, run to quiescence."""
+        result: List[Outcome] = []
+        self.submit(request, callback=result.append)
+        self.run()
+        if not result:
+            raise ProtocolError(f"request {request.request_id} never resolved")
+        return result[0]
+
+    def unused_permits(self) -> int:
+        return self.storage + self.boards.total_parked_permits()
+
+    def detach(self) -> None:
+        if self._attached:
+            self.tree.remove_listener(self)
+            self._attached = False
+
+    # ------------------------------------------------------------------
+    # Request arrival (algorithm item 1).
+    # ------------------------------------------------------------------
+    def _on_request_arrival(self, request: Request,
+                            callback: Optional[Callable]) -> None:
+        node = request.node
+        if node not in self.tree:
+            self._record(Outcome(OutcomeStatus.CANCELLED, request), callback)
+            return
+        if self.terminated:
+            self._record(Outcome(OutcomeStatus.PENDING, request), callback)
+            return
+        agent = Agent(request=request, origin=node, callback=callback)
+        self.active_agents += 1
+        self.tracer.emit(self.scheduler.now, "agent_created",
+                         agent=agent.agent_id, node=node.node_id)
+        board = self.boards.get(node)
+        if board.store.has_reject:
+            # Item 1b: created at a reject node.
+            self._deliver(agent, OutcomeStatus.REJECTED)
+            return
+        if board.locked_by is None:
+            board.locked_by = agent
+            agent.path = [node]
+            self._after_lock(agent)
+        else:
+            agent.state = AgentState.WAITING
+            agent.waiting_at = node
+            board.queue.append(agent)
+
+    # ------------------------------------------------------------------
+    # Lock acquisition and the per-node decision (items 2-3).
+    # ------------------------------------------------------------------
+    def _after_lock(self, agent: Agent) -> None:
+        """Agent just locked ``path[-1]``; decide what to do there."""
+        node = agent.path[-1]
+        board = self.boards.get(node)
+        agent.state = AgentState.CLIMBING
+        agent.waiting_at = None
+
+        # Item 2: at the origin, a static permit grants immediately.
+        if len(agent.path) == 1 and board.store.static_permits > 0:
+            self._grant_from_static(agent)
+            return
+
+        # Item 3a: filler check at the current distance.
+        package = self._take_filler(board, agent.distance)
+        if package is not None:
+            self.tracer.emit(self.scheduler.now, "filler_found",
+                             agent=agent.agent_id, node=node.node_id,
+                             level=package.level, dist=agent.distance)
+            self._begin_distribution(agent, package)
+            return
+
+        # Item 3c: at the root, create or exhaust.
+        if node.is_root:
+            self._at_root(agent)
+            return
+
+        # Keep climbing.
+        self._hop(agent, self._climb_arrive)
+
+    def _take_filler(self, board, dist: int) -> Optional[MobilePackage]:
+        chosen = None
+        for package in board.store.mobile:
+            if self.params.in_filler_window(package.level, dist):
+                if chosen is None or package.level < chosen.level:
+                    chosen = package
+        if chosen is not None:
+            board.store.mobile.remove(chosen)
+        return chosen
+
+    def _climb_arrive(self, agent: Agent) -> None:
+        """The agent's upward hop lands at ``path[-1].parent``.
+
+        The parent is resolved *at arrival time*: if a graceful splice
+        re-shaped the path mid-flight, the agent lands on the logically
+        correct next node.
+        """
+        parent = agent.path[-1].parent
+        if parent is None:
+            raise ProtocolError(f"{agent} climbed past the root")
+        board = self.boards.get(parent)
+        if board.store.has_reject:
+            # Item 1b: walk home placing rejects.  One hop back onto the
+            # locked path, then the unlock walk.
+            agent.place_rejects = True
+            agent.final_outcome = Outcome(OutcomeStatus.REJECTED,
+                                          agent.request)
+            agent.state = AgentState.UNLOCKING
+            agent.pos = len(agent.path) - 1
+            self._hop(agent, self._unlock_current)
+            return
+        if board.locked_by is not None:
+            agent.state = AgentState.WAITING
+            agent.waiting_at = parent
+            board.queue.append(agent)
+            return
+        board.locked_by = agent
+        agent.path.append(parent)
+        self._after_lock(agent)
+
+    def _at_root(self, agent: Agent) -> None:
+        """Item 3c: create a package at the root, or exhaust."""
+        dist = agent.distance
+        level = self.params.creation_level(dist)
+        need = self.params.mobile_size(level)
+        if self.storage >= need:
+            self.storage -= need
+            package = MobilePackage(level=level, size=need)
+            self.tracer.emit(self.scheduler.now, "root_created",
+                             agent=agent.agent_id, level=level, size=need)
+            self._begin_distribution(agent, package)
+            return
+        # Exhaustion.
+        if self.terminate_on_exhaustion:
+            if not self.terminated:
+                self.terminated = True
+                # Termination broadcast + upcast (Observation 2.1).
+                self.counters.broadcast_messages += 2 * self.tree.size
+                self.tracer.emit(self.scheduler.now, "terminated")
+            agent.final_outcome = Outcome(OutcomeStatus.PENDING,
+                                          agent.request)
+        else:
+            if not self.rejecting:
+                self._broadcast_reject_wave()
+            agent.place_rejects = True
+            agent.final_outcome = Outcome(OutcomeStatus.REJECTED,
+                                          agent.request)
+        agent.state = AgentState.UNLOCKING
+        agent.pos = len(agent.path) - 1
+        self._unlock_current(agent)
+
+    def _broadcast_reject_wave(self) -> None:
+        """Reject agents flood the tree: one message per node.
+
+        Modelled as an atomic placement (the wave's asynchrony does not
+        interact with correctness: a node rejects only once its own flag
+        is set, and we set flags before any later event runs).
+        """
+        self.rejecting = True
+        self.counters.reject_messages += self.tree.size
+        for node in self.tree.nodes():
+            self.boards.get(node).store.has_reject = True
+        self.tracer.emit(self.scheduler.now, "reject_wave")
+
+    # ------------------------------------------------------------------
+    # Distribution (item 4, Proc) and granting.
+    # ------------------------------------------------------------------
+    def _begin_distribution(self, agent: Agent,
+                            package: MobilePackage) -> None:
+        agent.package = package
+        agent.pos = len(agent.path) - 1
+        if agent.pos == 0:
+            # Filler at the origin itself (level 0 at distance 0).
+            self._package_reaches_origin(agent)
+            return
+        agent.state = AgentState.DESCENDING
+        self._hop(agent, self._descend_arrive)
+
+    def _descend_arrive(self, agent: Agent) -> None:
+        agent.pos -= 1
+        node = agent.path[agent.pos]
+        package = agent.package
+        while (package.level > 0
+               and agent.pos == self.params.uk_distance(package.level - 1)):
+            new_level = package.level - 1
+            half = package.size // 2
+            parked = MobilePackage(level=new_level, size=half)
+            self.boards.get(node).store.mobile.append(parked)
+            package.level = new_level
+            package.size = half
+            self.tracer.emit(self.scheduler.now, "split",
+                             agent=agent.agent_id, node=node.node_id,
+                             level=new_level)
+        if agent.pos == 0:
+            self._package_reaches_origin(agent)
+        else:
+            self._hop(agent, self._descend_arrive)
+
+    def _package_reaches_origin(self, agent: Agent) -> None:
+        """The level-0 package becomes the origin's static pool."""
+        package = agent.package
+        if package.level != 0:
+            raise ProtocolError(
+                f"package level {package.level} reached origin of {agent}"
+            )
+        origin = agent.path[0]
+        board = self.boards.get(origin)
+        board.store.static_permits += package.size
+        agent.package = None
+        self._grant_from_static(agent)
+
+    def _grant_from_static(self, agent: Agent) -> None:
+        """Grant at the origin, perform the event, start the return walk."""
+        origin = agent.path[0]
+        board = self.boards.get(origin)
+        request = agent.request
+        if not self._still_meaningful(request):
+            # The event lost its meaning while the agent travelled
+            # (Section 4.2); the static permit stays for future requests.
+            agent.final_outcome = Outcome(OutcomeStatus.CANCELLED, request)
+        else:
+            board.store.static_permits -= 1
+            self.granted += 1
+            if self.granted > self.params.m:
+                raise ControllerError(
+                    f"safety violated: granted {self.granted} > "
+                    f"M={self.params.m}"
+                )
+            new_node = None
+            if self._apply_topology and request.kind.is_topological:
+                new_node = perform_event(self.tree, request)
+            self.tracer.emit(self.scheduler.now, "granted",
+                             agent=agent.agent_id, node=origin.node_id)
+            # Grants are delivered at grant time (the walk is cleanup).
+            self._record(Outcome(OutcomeStatus.GRANTED, request,
+                                 new_node=new_node), agent.callback)
+            agent.delivered = True
+        # A self-deletion with a single-node path leaves nothing locked.
+        if not agent.path:
+            agent.state = AgentState.DONE
+            self.active_agents -= 1
+            return
+        # Walk up to the topmost locked node, then descend unlocking.
+        agent.pos = 0
+        if agent.pos == len(agent.path) - 1:
+            agent.state = AgentState.UNLOCKING
+            self._unlock_current(agent)
+        else:
+            agent.state = AgentState.RETURNING
+            self._hop(agent, self._return_arrive)
+
+    def _return_arrive(self, agent: Agent) -> None:
+        agent.pos += 1
+        if agent.pos == len(agent.path) - 1:
+            agent.state = AgentState.UNLOCKING
+            self._unlock_current(agent)
+        else:
+            self._hop(agent, self._return_arrive)
+
+    # ------------------------------------------------------------------
+    # The final unlock walk (and reject placement).
+    # ------------------------------------------------------------------
+    def _unlock_current(self, agent: Agent) -> None:
+        node = agent.path[agent.pos]
+        board = self.boards.get(node)
+        if agent.place_rejects:
+            board.store.has_reject = True
+        if board.locked_by is agent:
+            self._release_lock(node)
+        if agent.pos == 0:
+            self._finish(agent)
+        else:
+            self._hop(agent, self._unlock_arrive)
+
+    def _unlock_arrive(self, agent: Agent) -> None:
+        agent.pos -= 1
+        self._unlock_current(agent)
+
+    def _finish(self, agent: Agent) -> None:
+        agent.state = AgentState.DONE
+        if agent.final_outcome is not None and not agent.delivered:
+            self._record(agent.final_outcome, agent.callback)
+            agent.delivered = True
+        elif agent.final_outcome is None and not agent.delivered:
+            raise ProtocolError(f"{agent} finished without an outcome")
+        self.active_agents -= 1
+
+    def _release_lock(self, node: TreeNode) -> None:
+        """Unlock ``node``, handing the lock to the head waiter (FIFO)."""
+        board = self.boards.get(node)
+        board.locked_by = None
+        if board.queue:
+            waiter = board.queue.popleft()
+            board.locked_by = waiter
+            # Local computation takes zero time (Section 4.3.1).
+            self.scheduler.schedule(
+                0.0, lambda: self._resumed_at(waiter, node)
+            )
+
+    def _resumed_at(self, agent: Agent, node: TreeNode) -> None:
+        """A dequeued agent resumes holding ``node``'s lock."""
+        board = self.boards.get(node)
+        if board.locked_by is not agent:
+            raise ProtocolError(f"{agent} resumed without the lock")
+        if board.store.has_reject:
+            # The node turned into a reject node while the agent waited.
+            self._release_lock(node)
+            if not agent.path:
+                self._deliver(agent, OutcomeStatus.REJECTED)
+                return
+            agent.place_rejects = True
+            agent.final_outcome = Outcome(OutcomeStatus.REJECTED,
+                                          agent.request)
+            agent.state = AgentState.UNLOCKING
+            agent.pos = len(agent.path) - 1
+            self._unlock_current(agent)
+            return
+        agent.path.append(node)
+        self._after_lock(agent)
+
+    # ------------------------------------------------------------------
+    # Hop primitive: one message per hop.
+    # ------------------------------------------------------------------
+    def _hop(self, agent: Agent, arrive: Callable[[Agent], None]) -> None:
+        self.counters.agent_hops += 1
+        self.scheduler.schedule(self.delays.sample(),
+                                lambda: arrive(agent))
+
+    # ------------------------------------------------------------------
+    # Outcome bookkeeping.
+    # ------------------------------------------------------------------
+    def _deliver(self, agent: Agent, status: OutcomeStatus) -> None:
+        """Terminal outcome for an agent that holds no locks."""
+        agent.state = AgentState.DONE
+        agent.delivered = True
+        self.active_agents -= 1
+        self._record(Outcome(status, agent.request), agent.callback)
+
+    def _record(self, outcome: Outcome, callback: Optional[Callable]) -> None:
+        if outcome.status is OutcomeStatus.REJECTED:
+            self.rejected += 1
+        elif outcome.status is OutcomeStatus.CANCELLED:
+            self.cancelled += 1
+        elif outcome.status is OutcomeStatus.PENDING:
+            self.pending += 1
+        self.outcomes.append(outcome)
+        if callback is not None:
+            callback(outcome)
+
+    def _still_meaningful(self, request: Request) -> bool:
+        node = request.node
+        if node not in self.tree:
+            return False
+        kind = request.kind
+        if kind is RequestKind.REMOVE_LEAF:
+            return not node.is_root and not node.children
+        if kind is RequestKind.REMOVE_INTERNAL:
+            return not node.is_root and bool(node.children)
+        if kind is RequestKind.ADD_INTERNAL:
+            return (request.child is not None and request.child.alive
+                    and request.child.parent is node)
+        return True
+
+    # ------------------------------------------------------------------
+    # Tree listener: graceful topology hand-over (Section 4.2).
+    # ------------------------------------------------------------------
+    def on_add_leaf(self, node: TreeNode) -> None:
+        if self.rejecting:
+            self.boards.get(node).store.has_reject = True
+
+    def on_add_internal(self, node: TreeNode, parent: TreeNode,
+                        child: TreeNode) -> None:
+        """Splice: hand the new node's lock to the agent holding the
+        child endpoint, if that agent still travels upward."""
+        if self.rejecting:
+            self.boards.get(node).store.has_reject = True
+        child_board = self.boards.peek(child)
+        holder = child_board.locked_by if child_board is not None else None
+        if holder is None:
+            return
+        if holder.state not in (AgentState.CLIMBING, AgentState.WAITING):
+            # The holder already turned around; it will never pass the
+            # new node, which therefore stays unlocked.
+            return
+        if holder.path and holder.path[-1] is child:
+            holder.path.append(node)
+            self.boards.get(node).locked_by = holder
+
+    def on_remove_leaf(self, node: TreeNode, parent: TreeNode) -> None:
+        self._graceful_removal(node, parent, 0)
+
+    def on_remove_internal(self, node: TreeNode, parent: TreeNode,
+                           children) -> None:
+        self._graceful_removal(node, parent, len(children))
+
+    def _graceful_removal(self, node: TreeNode, parent: TreeNode,
+                          degree: int) -> None:
+        board = self.boards.discard(node)
+        if board is None:
+            return
+        parent_board = self.boards.get(parent)
+        # Move the package store: O(deg + packages) messages of
+        # O(log N) bits (see the discussion following Lemma 4.5).
+        if not board.store.is_empty:
+            self.counters.relocation_messages += (
+                1 + degree + len(board.store.mobile)
+            )
+            parent_board.store.merge_from(board.store)
+        # The deleting agent holds the node's lock and pops it from its
+        # path (it proceeds from the parent; one data-move message).
+        holder = board.locked_by
+        if holder is not None:
+            if not holder.path or holder.path[0] is not node:
+                raise ProtocolError(
+                    f"removed node {node} locked mid-path by {holder}"
+                )
+            holder.path.pop(0)
+            self.counters.relocation_messages += 1
+        # Queued agents move to the parent (kept in arrival order).
+        for waiter in board.queue:
+            self.counters.relocation_messages += 1
+            if waiter.path:
+                # Mid-climb: it will resume at the parent seamlessly.
+                waiter.waiting_at = parent
+                parent_board.queue.append(waiter)
+            else:
+                self._rehome_fresh_waiter(waiter, node, parent, parent_board)
+        board.queue.clear()
+        # If the parent is currently unlocked (the deleting agent found
+        # its permit at the deleted node itself and never locked the
+        # parent), the relocated waiters must be dispatched now — no
+        # future unlock event would otherwise drain the queue.
+        if parent_board.locked_by is None and parent_board.queue:
+            waiter = parent_board.queue.popleft()
+            parent_board.locked_by = waiter
+            self.scheduler.schedule(
+                0.0, lambda w=waiter: self._resumed_at(w, parent)
+            )
+
+    def _rehome_fresh_waiter(self, waiter: Agent, removed: TreeNode,
+                             parent: TreeNode, parent_board) -> None:
+        """A waiter that was *created* at the removed node.
+
+        Requests anchored to the removed node lose their meaning
+        (Section 4.2) and are cancelled; plain requests are re-homed to
+        the parent.
+        """
+        request = waiter.request
+        if request.kind is RequestKind.PLAIN:
+            waiter.origin = parent
+            request.node = parent
+            waiter.waiting_at = parent
+            parent_board.queue.append(waiter)
+        else:
+            self._deliver(waiter, OutcomeStatus.CANCELLED)

@@ -1,0 +1,167 @@
+"""Distributed halving iterations (Theorem 4.7).
+
+The distributed equivalent of Observation 3.4: run terminating
+``(M_i, M_i/2)``-stages; when stage i terminates, count the unused
+permits L with a broadcast/upcast round (O(U) messages of O(log M)
+bits), reset the data structure with another broadcast, and start stage
+i+1 with ``M_{i+1} = L``.  After O(log(M/(W+1))) stages the final
+``(L, W)``-stage runs with real rejects.  For W = 0 the final permits
+are served by the trivial root-walk controller (2·depth messages per
+request), as prescribed at the end of Section 4.4.1.
+
+Stages are separated by quiescence: the terminating controller's
+broadcast/upcast round (Observation 2.1) already guarantees that all
+in-flight work of a stage completes before the next begins, so driving
+the stage boundary from the harness is faithful to the protocol.
+"""
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.errors import ControllerError
+from repro.metrics.counters import MessageCounters
+from repro.sim.delays import DelayModel, UniformDelay
+from repro.sim.scheduler import Scheduler
+from repro.tree.dynamic_tree import DynamicTree
+from repro.core.requests import (
+    Outcome,
+    OutcomeStatus,
+    Request,
+    perform_event,
+)
+from repro.distributed.controller import DistributedController
+
+
+class DistributedIteratedController:
+    """Full distributed (M,W)-Controller via terminating stages.
+
+    Use :meth:`process` to feed a batch of requests: it submits them to
+    the current stage, runs the simulator to quiescence, rolls stages
+    over while requests come back PENDING, and returns every request's
+    final outcome (in completion order).
+    """
+
+    def __init__(self, tree: DynamicTree, m: int, w: int, u: int,
+                 scheduler: Optional[Scheduler] = None,
+                 delays: Optional[DelayModel] = None,
+                 counters: Optional[MessageCounters] = None):
+        self.tree = tree
+        self.m = m
+        self.w = w
+        self.u = u
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.delays = delays if delays is not None else UniformDelay(seed=0)
+        self.counters = counters if counters is not None else MessageCounters()
+        self.granted = 0
+        self.rejected = 0
+        self.stages_run = 0
+        self.rejecting = False
+        self._trivial_storage = 0
+        self._trivial_active = False
+        self._stage: Optional[DistributedController] = None
+        self._spawn_stage(m)
+
+    # ------------------------------------------------------------------
+    def process(self, requests: Iterable[Request],
+                callback: Optional[Callable[[Outcome], None]] = None
+                ) -> List[Outcome]:
+        """Serve a batch of requests to completion across stages."""
+        batch = list(requests)
+        resolved: List[Outcome] = []
+        while batch:
+            pending_next: List[Request] = []
+            if self._trivial_active:
+                for request in batch:
+                    outcome = self._handle_trivial(request)
+                    resolved.append(outcome)
+                    if callback is not None:
+                        callback(outcome)
+                return resolved
+            stage = self._stage
+            outcomes: List[Outcome] = []
+            for request in batch:
+                stage.submit(request, callback=outcomes.append)
+            stage.run()
+            for outcome in outcomes:
+                if outcome.status is OutcomeStatus.PENDING:
+                    pending_next.append(outcome.request)
+                else:
+                    if outcome.status is OutcomeStatus.REJECTED:
+                        self.rejected += 1
+                        self.rejecting = True
+                    resolved.append(outcome)
+                    if callback is not None:
+                        callback(outcome)
+            batch = pending_next
+            if batch:
+                self._rollover()
+        return resolved
+
+    def unused_permits(self) -> int:
+        if self._trivial_active:
+            return self._trivial_storage
+        return self.m - self.granted - self._stage.granted
+
+    # ------------------------------------------------------------------
+    def _spawn_stage(self, budget: int) -> None:
+        self.stages_run += 1
+        effective_w = max(self.w, 1)
+        halving = budget > 2 * (effective_w + 1) and budget // 2 > effective_w
+        if halving:
+            stage_w = budget // 2
+            terminate = True
+        else:
+            stage_w = effective_w
+            # The final stage rejects for real, unless W = 0 (then we
+            # terminate once more and fall through to the trivial stage).
+            terminate = self.w == 0
+        self._halving_stage = halving
+        self._stage = DistributedController(
+            self.tree, m=budget, w=stage_w, u=self.u,
+            scheduler=self.scheduler, delays=self.delays,
+            counters=self.counters, terminate_on_exhaustion=terminate,
+        )
+
+    def _rollover(self) -> None:
+        stage = self._stage
+        if not stage.terminated:
+            raise ControllerError("rollover without stage termination")
+        self.granted += stage.granted
+        leftover = self.m - self.granted
+        stage.detach()
+        # Count L (broadcast + upcast) and reset the data structure
+        # (broadcast): 3(n-1) messages.
+        self.counters.broadcast_messages += 3 * max(self.tree.size - 1, 0)
+        if self._halving_stage:
+            self._spawn_stage(leftover)
+        elif self.w == 0:
+            # (M,1) terminated; at most one permit remains: trivial stage.
+            self._trivial_storage = leftover
+            self._trivial_active = True
+            self.stages_run += 1
+        else:
+            raise ControllerError("final rejecting stage cannot terminate")
+
+    # ------------------------------------------------------------------
+    def _handle_trivial(self, request: Request) -> Outcome:
+        """The (L, 0) trivial stage: every request walks to the root."""
+        node = request.node
+        if node not in self.tree:
+            return Outcome(OutcomeStatus.CANCELLED, request)
+        if self.rejecting:
+            self.rejected += 1
+            return Outcome(OutcomeStatus.REJECTED, request)
+        self.counters.agent_hops += 2 * self.tree.depth(node)
+        if self._trivial_storage > 0:
+            self._trivial_storage -= 1
+            self.granted += 1
+            new_node = perform_event(self.tree, request)
+            return Outcome(OutcomeStatus.GRANTED, request, new_node=new_node)
+        self.rejecting = True
+        self.rejected += 1
+        self.counters.reject_messages += self.tree.size
+        return Outcome(OutcomeStatus.REJECTED, request)
+
+    def detach(self) -> None:
+        if self._stage is not None:
+            self._stage.detach()
+            self._stage = None

@@ -1,0 +1,58 @@
+"""Per-node whiteboard state (Section 4.3.1).
+
+The whiteboard at a node holds the node's package store, the lock
+variable (``state`` in the paper: locked/unlocked, here the locking
+agent or ``None``), and the FIFO queue of agents waiting for the lock.
+Agents read and write a whiteboard only while visiting the node — the
+simulator enforces this structurally because all whiteboard access goes
+through the controller's arrival handlers.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from repro.core.packages import NodeStore
+
+
+@dataclass
+class Whiteboard:
+    """State stored at one node by the distributed controller."""
+
+    store: NodeStore = field(default_factory=NodeStore)
+    locked_by: Optional[object] = None  # the Agent holding the lock
+    queue: Deque[object] = field(default_factory=deque)
+
+    @property
+    def is_empty(self) -> bool:
+        return (self.store.is_empty and self.locked_by is None
+                and not self.queue)
+
+
+class WhiteboardMap:
+    """Lazy node -> whiteboard map (nodes without state cost nothing)."""
+
+    def __init__(self):
+        self._boards: Dict[object, Whiteboard] = {}
+
+    def get(self, node) -> Whiteboard:
+        board = self._boards.get(node)
+        if board is None:
+            board = Whiteboard()
+            self._boards[node] = board
+        return board
+
+    def peek(self, node) -> Optional[Whiteboard]:
+        return self._boards.get(node)
+
+    def discard(self, node) -> Optional[Whiteboard]:
+        return self._boards.pop(node, None)
+
+    def items(self):
+        return self._boards.items()
+
+    def total_parked_permits(self) -> int:
+        return sum(b.store.total_permits() for b in self._boards.values())
+
+    def clear(self) -> None:
+        self._boards.clear()

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so that callers can catch library failures without
+swallowing unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """An illegal topology mutation was attempted.
+
+    Examples: removing the root, removing a non-existent node, attaching a
+    leaf to a deleted parent, or removing a degree-one node via
+    ``remove_internal``.
+    """
+
+
+class ControllerError(ReproError):
+    """The controller was driven outside of its contract.
+
+    Examples: submitting a request after the controller terminated, or
+    constructing a controller with invalid parameters (``M < 0``,
+    ``W < 0``, ``U`` smaller than the current node count).
+    """
+
+
+class InvariantViolation(ReproError):
+    """An internal invariant of the algorithm was found broken.
+
+    These errors indicate a bug in the implementation (or a deliberately
+    corrupted state in a test), never a user mistake.  Property tests rely
+    on the auditors raising this eagerly.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was misused.
+
+    Examples: scheduling an event in the past, or running a simulation
+    whose event handlers raise/loop beyond the configured safety budget.
+    """
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol message or agent reached an impossible state."""

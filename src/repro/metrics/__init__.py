@@ -1,0 +1,13 @@
+"""Measurement utilities: move/message counters and bound fitting."""
+
+from repro.metrics.counters import MoveCounters, MessageCounters, MemoryAudit
+from repro.metrics.fitting import bound_ratio, log_log_slope, amortized_series
+
+__all__ = [
+    "MoveCounters",
+    "MessageCounters",
+    "MemoryAudit",
+    "bound_ratio",
+    "log_log_slope",
+    "amortized_series",
+]

@@ -1,0 +1,124 @@
+"""Cost counters for the two execution models.
+
+Centralized executions are charged in *moves* (Section 2.2: one move
+transfers an arbitrary set of objects one hop); distributed executions are
+charged in *messages* of O(log N) bits.  Keeping the breakdown per cause
+lets the benches report exactly which term of each theorem dominates.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class MoveCounters:
+    """Move-complexity accounting for the centralized controller.
+
+    Attributes mirror the cost sources enumerated in Lemma 3.3:
+
+    * ``package_moves`` — hops travelled by permit packages during
+      ``Proc`` distribution (the dominant term);
+    * ``relocation_moves`` — one move per deletion that carried packages
+      to the deleted node's parent ("at most U" in the lemma);
+    * ``reject_moves`` — delivering reject packages to every node
+      ("at most U" in the lemma);
+    * ``reset_moves`` — clearing the data structure between the halving
+      iterations of Observation 3.4 and between the unknown-U epochs of
+      Theorem 3.5.
+    """
+
+    package_moves: int = 0
+    relocation_moves: int = 0
+    reject_moves: int = 0
+    reset_moves: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.package_moves + self.relocation_moves
+                + self.reject_moves + self.reset_moves)
+
+    def merge(self, other: "MoveCounters") -> None:
+        """Accumulate another counter set into this one."""
+        self.package_moves += other.package_moves
+        self.relocation_moves += other.relocation_moves
+        self.reject_moves += other.reject_moves
+        self.reset_moves += other.reset_moves
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "package_moves": self.package_moves,
+            "relocation_moves": self.relocation_moves,
+            "reject_moves": self.reject_moves,
+            "reset_moves": self.reset_moves,
+            "total": self.total,
+        }
+
+
+@dataclass
+class MessageCounters:
+    """Message-complexity accounting for the distributed controller.
+
+    * ``agent_hops`` — each hop of a request agent is one message
+      (Section 4.4.1: messages are used only to move the agents);
+    * ``reject_messages`` — the reject-wave broadcast;
+    * ``broadcast_messages`` — broadcast/upcast rounds (termination
+      detection, counting, resets; Appendix A);
+    * ``relocation_messages`` — moving a deleted node's data structure to
+      its parent, ``O(deg(v) + log^2 U)`` messages per deletion
+      (discussion after Lemma 4.5).
+    """
+
+    agent_hops: int = 0
+    reject_messages: int = 0
+    broadcast_messages: int = 0
+    relocation_messages: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.agent_hops + self.reject_messages
+                + self.broadcast_messages + self.relocation_messages)
+
+    def merge(self, other: "MessageCounters") -> None:
+        self.agent_hops += other.agent_hops
+        self.reject_messages += other.reject_messages
+        self.broadcast_messages += other.broadcast_messages
+        self.relocation_messages += other.relocation_messages
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "agent_hops": self.agent_hops,
+            "reject_messages": self.reject_messages,
+            "broadcast_messages": self.broadcast_messages,
+            "relocation_messages": self.relocation_messages,
+            "total": self.total,
+        }
+
+
+@dataclass
+class MemoryAudit:
+    """Per-node memory audit in bits, for Claim 4.8.
+
+    The claim: each node ``v`` needs
+    ``O(deg(v) * log N + log^3 N + log^2 U)`` bits.  The audit records the
+    *measured* bit requirement of each node's state (packages encoded as
+    per-level counts, the static pool as one integer, queue entries at
+    O(log N) bits each) so the bench can report measured/bound ratios.
+    """
+
+    samples: List[Dict[str, float]] = field(default_factory=list)
+
+    def record(self, node_id: int, degree: int, bits: float) -> None:
+        self.samples.append({
+            "node_id": node_id,
+            "degree": degree,
+            "bits": bits,
+        })
+
+    def worst_ratio(self, log_n: float, log_u: float) -> float:
+        """max over samples of measured_bits / bound(deg, logN, logU)."""
+        worst = 0.0
+        for sample in self.samples:
+            bound = (sample["degree"] * log_n + log_n ** 3 + log_u ** 2)
+            if bound > 0:
+                worst = max(worst, sample["bits"] / bound)
+        return worst

@@ -1,0 +1,75 @@
+"""Bound-fitting helpers for the complexity experiments.
+
+The theorems give asymptotic bounds; the benches check the *shape* of the
+measured curves by computing measured/bound ratios across a parameter
+sweep (a healthy reproduction shows a ratio that is flat or shrinking)
+and log-log slopes (which expose accidental polynomial blow-ups).
+"""
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+
+def bound_ratio(measured: Sequence[float], bound: Sequence[float]) -> List[float]:
+    """Element-wise measured/bound ratios; bound entries must be positive."""
+    if len(measured) != len(bound):
+        raise ValueError("measured and bound series differ in length")
+    return [m / b for m, b in zip(measured, bound)]
+
+
+def log_log_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    For a measured cost ``y ~ x^a polylog(x)``, the slope approaches ``a``
+    from above; the benches assert it stays near 1 for the near-linear
+    bounds of Observation 3.4 and Theorem 3.5.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two points with matching lengths")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1e-12)) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    num = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    den = sum((a - mean_x) ** 2 for a in lx)
+    if den == 0:
+        raise ValueError("x values are all equal")
+    return num / den
+
+
+def amortized_series(costs: Iterable[float]) -> List[float]:
+    """Running amortized cost: prefix_sum(costs)[i] / (i+1).
+
+    Used for the per-topological-change amortized message bounds of the
+    Section 5 applications.
+    """
+    result: List[float] = []
+    total = 0.0
+    for i, cost in enumerate(costs):
+        total += cost
+        result.append(total / (i + 1))
+    return result
+
+
+def theorem_3_5_bound(n0: int, sizes_at_changes: Sequence[int],
+                      m: int, w: int) -> float:
+    """The RHS of Theorem 3.5 part 1 (without its hidden constant).
+
+    ``O(n0 log^2 n0 * log(M/(W+1)) + sum_j log^2 n_j * log(M/(W+1)))``.
+    """
+    log_factor = max(math.log2(max(m, 2) / (w + 1)), 1.0)
+    base = n0 * max(math.log2(max(n0, 2)), 1.0) ** 2
+    churn = sum(max(math.log2(max(nj, 2)), 1.0) ** 2 for nj in sizes_at_changes)
+    return (base + churn) * log_factor
+
+
+def observation_3_4_bound(u: int, m: int, w: int) -> float:
+    """The RHS of Observation 3.4: ``O(U log^2 U log(M/(W+1)))``."""
+    log_factor = max(math.log2(max(m, 2) / (w + 1)), 1.0)
+    return u * max(math.log2(max(u, 2)), 1.0) ** 2 * log_factor
+
+
+def pairwise(xs: Sequence[float]) -> List[Tuple[float, float]]:
+    """Adjacent pairs of a sequence (helper for monotonicity checks)."""
+    return list(zip(xs, xs[1:]))

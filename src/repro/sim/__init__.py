@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate.
+
+The paper assumes the standard asynchronous point-to-point message-passing
+model (Section 2.1): messages incur arbitrary but finite delays.  This
+package provides a deterministic discrete-event simulator that realizes
+that model: events are (time, sequence) ordered, message delays are drawn
+from seeded delay models, and the whole execution is reproducible from the
+seed.
+"""
+
+from repro.sim.scheduler import Event, Scheduler
+from repro.sim.delays import (
+    DelayModel,
+    UnitDelay,
+    UniformDelay,
+    HeavyTailDelay,
+)
+from repro.sim.tracing import TraceEvent, Tracer
+
+__all__ = [
+    "Event",
+    "Scheduler",
+    "DelayModel",
+    "UnitDelay",
+    "UniformDelay",
+    "HeavyTailDelay",
+    "TraceEvent",
+    "Tracer",
+]

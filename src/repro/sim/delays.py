@@ -1,0 +1,80 @@
+"""Message-delay models for the asynchronous network simulation.
+
+Section 2.1 of the paper assumes messages incur an *arbitrary but finite*
+delay.  The correctness proofs quantify over all such delay assignments,
+so exercising several delay distributions (including a heavy-tailed one
+that creates long reorderings) gives the property tests real adversarial
+power.  All models draw from a private ``random.Random`` so that a seed
+fully determines the execution.
+"""
+
+import random
+
+from repro.errors import SimulationError
+
+
+class DelayModel:
+    """Base class: maps each message send to a positive finite delay."""
+
+    def sample(self) -> float:
+        raise NotImplementedError
+
+    def split(self, salt: int) -> "DelayModel":
+        """Derive an independent model (used per-channel if desired)."""
+        raise NotImplementedError
+
+
+class UnitDelay(DelayModel):
+    """Every message takes exactly one time unit (synchronous-like).
+
+    Useful for debugging: with unit delays the execution is close to a
+    round-based schedule.
+    """
+
+    def sample(self) -> float:
+        return 1.0
+
+    def split(self, salt: int) -> "UnitDelay":
+        return UnitDelay()
+
+
+class UniformDelay(DelayModel):
+    """Delays drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, seed: int = 0, low: float = 0.5, high: float = 1.5):
+        if low <= 0 or high < low:
+            raise SimulationError(f"invalid delay bounds [{low}, {high}]")
+        self._rng = random.Random(seed)
+        self._low = low
+        self._high = high
+        self._seed = seed
+
+    def sample(self) -> float:
+        return self._rng.uniform(self._low, self._high)
+
+    def split(self, salt: int) -> "UniformDelay":
+        return UniformDelay(self._seed ^ (salt * 0x9E3779B9), self._low, self._high)
+
+
+class HeavyTailDelay(DelayModel):
+    """Pareto-ish delays: mostly fast, occasionally very slow messages.
+
+    This produces deep reorderings between concurrent agents, which is the
+    adversarial regime the locking discipline of Section 4.3 must survive.
+    ``cap`` keeps delays finite as the model requires.
+    """
+
+    def __init__(self, seed: int = 0, shape: float = 1.5, cap: float = 50.0):
+        if shape <= 0 or cap <= 0:
+            raise SimulationError("shape and cap must be positive")
+        self._rng = random.Random(seed)
+        self._shape = shape
+        self._cap = cap
+        self._seed = seed
+
+    def sample(self) -> float:
+        value = self._rng.paretovariate(self._shape)
+        return min(value, self._cap)
+
+    def split(self, salt: int) -> "HeavyTailDelay":
+        return HeavyTailDelay(self._seed ^ (salt * 0x9E3779B9), self._shape, self._cap)

@@ -1,0 +1,110 @@
+"""Event-driven simulator core.
+
+The scheduler maintains a priority queue of events keyed by
+``(time, sequence_number)``.  The sequence number breaks ties
+deterministically in insertion order, which makes every simulation run
+reproducible for a fixed seed and workload.
+
+The simulator is deliberately minimal: the distributed layer builds
+message passing, agents and locks on top of :meth:`Scheduler.schedule`.
+"""
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so that the event heap pops them in
+    deterministic chronological order.  ``fn`` is excluded from the
+    comparison.
+    """
+
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when popped."""
+        self.cancelled = True
+
+
+class Scheduler:
+    """Deterministic discrete-event scheduler.
+
+    Parameters
+    ----------
+    max_events:
+        Safety budget: :meth:`run` raises :class:`SimulationError` if more
+        than this many events are executed, which catches accidental
+        livelocks in protocol code during tests.
+    """
+
+    def __init__(self, max_events: int = 50_000_000):
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._max_events = max_events
+        self.executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay`` time units from now.
+
+        Returns the :class:`Event`, which the caller may cancel.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = Event(time=self._now + delay, seq=self._seq, fn=fn)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        return self.schedule(time - self._now, fn)
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``False`` when the event queue is empty, ``True`` otherwise.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.executed += 1
+            if self.executed > self._max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({self._max_events} events); "
+                    "likely livelock in protocol code"
+                )
+            event.fn()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains (or simulated time passes ``until``)."""
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                return
+            self.step()
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

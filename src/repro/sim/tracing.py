@@ -1,0 +1,55 @@
+"""Structured trace log for simulations.
+
+A :class:`Tracer` collects tagged events (message sends, lock acquisitions,
+grants, topology changes...).  Tests use it to assert ordering properties
+("no grant after termination"), and benchmark harnesses use it to derive
+per-phase message counts without instrumenting protocol code twice.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """One trace record: simulated time, a tag, and free-form details."""
+
+    time: float
+    tag: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Append-only trace collector with simple query helpers.
+
+    Tracing defaults to disabled so that large benchmark runs pay nothing;
+    tests construct a ``Tracer(enabled=True)``.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def emit(self, time: float, tag: str, **details: Any) -> None:
+        """Record one event (no-op when disabled)."""
+        if self.enabled:
+            self.events.append(TraceEvent(time=time, tag=tag, details=details))
+
+    def with_tag(self, tag: str) -> Iterator[TraceEvent]:
+        """Iterate over events carrying ``tag``."""
+        return (e for e in self.events if e.tag == tag)
+
+    def count(self, tag: str) -> int:
+        """Number of recorded events with ``tag``."""
+        return sum(1 for e in self.events if e.tag == tag)
+
+    def last(self, tag: str) -> Optional[TraceEvent]:
+        """Most recent event with ``tag``, or ``None``."""
+        for event in reversed(self.events):
+            if event.tag == tag:
+                return event
+        return None
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()

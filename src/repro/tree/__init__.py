@@ -1,0 +1,43 @@
+"""Dynamic rooted-tree substrate.
+
+The controller operates on a network spanned by a rooted tree whose root
+is never deleted (Section 2.1.2).  The tree supports the paper's four
+topological changes:
+
+* ``add_leaf`` — a new degree-one node attached below an existing node;
+* ``remove_leaf`` — a non-root node without children is deleted;
+* ``add_internal`` — a tree edge ``(v, w)`` is split by a new node;
+* ``remove_internal`` — a non-root node with children is deleted and its
+  children are re-attached to its parent.
+
+Mutations notify registered :class:`TreeListener` observers so that the
+controller layers (packages, domains, agents, applications) can implement
+the paper's "graceful" hand-over contract (Section 4.2) without the tree
+knowing anything about them.
+"""
+
+from repro.tree.node import TreeNode
+from repro.tree.ports import AdversarialPortAssigner, SequentialPortAssigner
+from repro.tree.dynamic_tree import DynamicTree, TreeListener
+from repro.tree.paths import (
+    ancestors,
+    ancestor_at,
+    depth,
+    distance_to_ancestor,
+    is_ancestor,
+    path_between,
+)
+
+__all__ = [
+    "TreeNode",
+    "AdversarialPortAssigner",
+    "SequentialPortAssigner",
+    "DynamicTree",
+    "TreeListener",
+    "ancestors",
+    "ancestor_at",
+    "depth",
+    "distance_to_ancestor",
+    "is_ancestor",
+    "path_between",
+]

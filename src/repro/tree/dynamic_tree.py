@@ -1,0 +1,249 @@
+"""The dynamic rooted spanning tree and its mutation events.
+
+This module implements the dynamic model of Section 2.1.2: a rooted tree
+whose root is never deleted, undergoing additions and removals of both
+leaves and internal nodes.  Every mutation notifies registered listeners
+*after* the structural change, handing them exactly the information the
+"graceful manner" contract of Section 4.2 promises (which node vanished,
+who its parent was, which children were re-attached), so that controller
+layers can relocate packages, whiteboard data and queued agents.
+
+Non-tree edges (allowed by the paper but irrelevant to the controller,
+whose messages travel only on tree edges) are deliberately not modelled;
+Section 2.1.2 classifies their insertion/removal as non-topological
+events, which our request layer supports directly.
+"""
+
+from typing import Callable, Iterator, List, Optional, Set
+
+from repro.errors import TopologyError
+from repro.tree.node import TreeNode
+from repro.tree.ports import AdversarialPortAssigner
+
+
+class TreeListener:
+    """Observer interface for topology mutations.
+
+    Subclasses override the hooks they care about.  Hooks run synchronously
+    inside the mutation, after the structure is updated, in registration
+    order.
+    """
+
+    def on_add_leaf(self, node: TreeNode) -> None:
+        """``node`` was just attached as a leaf below ``node.parent``."""
+
+    def on_add_internal(self, node: TreeNode, parent: TreeNode,
+                        child: TreeNode) -> None:
+        """``node`` was spliced into the former edge ``(parent, child)``."""
+
+    def on_remove_leaf(self, node: TreeNode, parent: TreeNode) -> None:
+        """Leaf ``node`` (former child of ``parent``) was deleted."""
+
+    def on_remove_internal(self, node: TreeNode, parent: TreeNode,
+                           children: List[TreeNode]) -> None:
+        """Internal ``node`` was deleted; ``children`` moved to ``parent``."""
+
+
+class DynamicTree:
+    """A mutable rooted tree with listener notifications and accounting.
+
+    Attributes
+    ----------
+    root:
+        The never-deleted root node.
+    total_ever:
+        Number of nodes that ever existed (deleted ones included) — the
+        quantity the paper's parameter ``U`` upper-bounds.
+    topology_changes:
+        Count of mutations performed (the ``j`` index of Theorem 3.5).
+    size_history:
+        ``n_j`` — the number of nodes at the time of the j'th change,
+        recorded *before* applying the change; used by the complexity
+        benches to evaluate the ``sum_j log^2 n_j`` bound.
+    """
+
+    def __init__(self, port_assigner=None):
+        self._port_assigner = port_assigner or AdversarialPortAssigner(seed=0)
+        self._next_id = 0
+        self.root = self._new_node(parent=None)
+        self._alive: Set[TreeNode] = {self.root}
+        self.total_ever = 1
+        self.topology_changes = 0
+        self.size_history: List[int] = []
+        self._listeners: List[TreeListener] = []
+
+    # ------------------------------------------------------------------
+    # Listener plumbing.
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: TreeListener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: TreeListener) -> None:
+        self._listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Current number of (alive) nodes, the paper's ``n``."""
+        return len(self._alive)
+
+    def __contains__(self, node: TreeNode) -> bool:
+        return node in self._alive
+
+    def nodes(self) -> Iterator[TreeNode]:
+        """Iterate over alive nodes in DFS (preorder) from the root."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            # Reversed so that iteration visits children left-to-right.
+            stack.extend(reversed(node.children))
+
+    def depth(self, node: TreeNode) -> int:
+        """Hop distance from ``node`` to the root."""
+        hops = 0
+        current = node
+        while current.parent is not None:
+            current = current.parent
+            hops += 1
+        return hops
+
+    # ------------------------------------------------------------------
+    # Mutations (Section 2.1.2).
+    # ------------------------------------------------------------------
+    def add_leaf(self, parent: TreeNode) -> TreeNode:
+        """Attach a new degree-one node below ``parent``."""
+        self._require_alive(parent, "add_leaf parent")
+        self._record_change()
+        node = self._new_node(parent=parent)
+        parent.children.append(node)
+        self._wire_edge(parent, node)
+        self._alive.add(node)
+        self.total_ever += 1
+        for listener in self._listeners:
+            listener.on_add_leaf(node)
+        return node
+
+    def add_internal(self, parent: TreeNode, child: TreeNode) -> TreeNode:
+        """Split tree edge ``(parent, child)`` with a new node.
+
+        ``parent`` must currently be ``child``'s parent.  The new node
+        takes ``child``'s position in ``parent.children`` so DFS order is
+        preserved.
+        """
+        self._require_alive(parent, "add_internal parent")
+        self._require_alive(child, "add_internal child")
+        if child.parent is not parent:
+            raise TopologyError(
+                f"{parent} is not the parent of {child}; cannot split edge"
+            )
+        self._record_change()
+        node = self._new_node(parent=parent)
+        index = parent.children.index(child)
+        parent.children[index] = node
+        node.children.append(child)
+        child.parent = node
+        # Re-wire ports: parent's old port to child now reaches node;
+        # node gets fresh ports on both sides; child's parent port is new.
+        parent.detach_port_to(child)
+        child.detach_port_to(parent)
+        self._wire_edge(parent, node)
+        self._wire_edge(node, child)
+        self._alive.add(node)
+        self.total_ever += 1
+        for listener in self._listeners:
+            listener.on_add_internal(node, parent, child)
+        return node
+
+    def remove_leaf(self, node: TreeNode) -> None:
+        """Delete a childless non-root node."""
+        self._require_alive(node, "remove_leaf target")
+        if node.is_root:
+            raise TopologyError("the root is never deleted")
+        if node.children:
+            raise TopologyError(f"{node} has children; use remove_internal")
+        self._record_change()
+        parent = node.parent
+        parent.children.remove(node)
+        parent.detach_port_to(node)
+        node.alive = False
+        self._alive.discard(node)
+        for listener in self._listeners:
+            listener.on_remove_leaf(node, parent)
+
+    def remove_internal(self, node: TreeNode) -> None:
+        """Delete a non-root node with children; children move to parent.
+
+        The children are spliced into the parent's child list at the
+        deleted node's position, preserving DFS order.
+        """
+        self._require_alive(node, "remove_internal target")
+        if node.is_root:
+            raise TopologyError("the root is never deleted")
+        if not node.children:
+            raise TopologyError(f"{node} is a leaf; use remove_leaf")
+        self._record_change()
+        parent = node.parent
+        children = list(node.children)
+        index = parent.children.index(node)
+        parent.children[index:index + 1] = children
+        parent.detach_port_to(node)
+        for child in children:
+            child.parent = parent
+            child.detach_port_to(node)
+            self._wire_edge(parent, child)
+        node.children.clear()
+        node.alive = False
+        self._alive.discard(node)
+        for listener in self._listeners:
+            listener.on_remove_internal(node, parent, children)
+
+    # ------------------------------------------------------------------
+    # Validation (tests call this after random mutation storms).
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural integrity; raises ``TopologyError`` on damage."""
+        seen: Set[TreeNode] = set()
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                raise TopologyError(f"cycle through {node}")
+            seen.add(node)
+            if not node.alive:
+                raise TopologyError(f"dead node {node} still reachable")
+            for child in node.children:
+                if child.parent is not node:
+                    raise TopologyError(
+                        f"{child}.parent is {child.parent}, expected {node}"
+                    )
+                stack.append(child)
+        if seen != self._alive:
+            raise TopologyError(
+                f"reachable set ({len(seen)}) != alive set ({len(self._alive)})"
+            )
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+    def _new_node(self, parent: Optional[TreeNode]) -> TreeNode:
+        node = TreeNode(self._next_id, parent=parent)
+        self._next_id += 1
+        return node
+
+    def _wire_edge(self, parent: TreeNode, child: TreeNode) -> None:
+        parent_port = self._port_assigner.next_port(parent)
+        parent.attach_port(parent_port, child)
+        child_port = self._port_assigner.next_port(child)
+        child.attach_port(child_port, parent)
+        child.port_to_parent = child_port
+
+    def _record_change(self) -> None:
+        self.size_history.append(self.size)
+        self.topology_changes += 1
+
+    def _require_alive(self, node: TreeNode, role: str) -> None:
+        if node not in self._alive:
+            raise TopologyError(f"{role} {node} is not in the tree")

@@ -1,0 +1,109 @@
+"""Tree node representation.
+
+A :class:`TreeNode` carries only topology (parent pointer, ordered child
+list) plus the port-number bookkeeping of Section 2.1.2.  Protocol state
+(packages, whiteboards, locks) lives in the controller layers, keyed by
+node object, so several protocols can share one tree — the unknown-U
+distributed controller of Appendix A runs *two* controllers on the same
+tree simultaneously and relies on this separation.
+"""
+
+from typing import Dict, List, Optional
+
+
+class TreeNode:
+    """One vertex of the dynamic spanning tree.
+
+    Attributes
+    ----------
+    node_id:
+        A globally unique integer, assigned once and never reused.  It is
+        *not* visible to the distributed algorithms (which are anonymous
+        apart from port numbers); it exists for debugging, hashing and
+        deterministic ordering in the simulator.
+    parent:
+        Parent node, ``None`` only for the root.
+    children:
+        Ordered list of children (order matters for DFS-based protocols
+        such as the name-assignment traversals of Section 5.2).
+    alive:
+        Flips to ``False`` on deletion; layers use it to detect stale
+        references (a deleted node may still appear in package *domains*,
+        which is exactly what Case 5 of the domain rules prescribes).
+    """
+
+    __slots__ = (
+        "node_id",
+        "parent",
+        "children",
+        "alive",
+        "port_to_parent",
+        "_ports",
+    )
+
+    def __init__(self, node_id: int, parent: Optional["TreeNode"] = None):
+        self.node_id = node_id
+        self.parent = parent
+        self.children: List["TreeNode"] = []
+        self.alive = True
+        # Port bookkeeping: every incident tree edge has a port number at
+        # each endpoint; each node knows the port leading to its parent.
+        self.port_to_parent: Optional[int] = None
+        self._ports: Dict[int, "TreeNode"] = {}
+
+    # ------------------------------------------------------------------
+    # Port management (Section 2.1.2: adversarially assigned, distinct).
+    # ------------------------------------------------------------------
+    def attach_port(self, port: int, neighbor: "TreeNode") -> None:
+        """Bind ``port`` to ``neighbor``; ports must be locally distinct."""
+        if port in self._ports:
+            raise ValueError(f"port {port} already in use at node {self.node_id}")
+        self._ports[port] = neighbor
+
+    def detach_port_to(self, neighbor: "TreeNode") -> None:
+        """Remove whichever port points at ``neighbor`` (if any)."""
+        for port, other in list(self._ports.items()):
+            if other is neighbor:
+                del self._ports[port]
+                return
+
+    def port_of(self, neighbor: "TreeNode") -> Optional[int]:
+        """Port number leading to ``neighbor``, or ``None``."""
+        for port, other in self._ports.items():
+            if other is neighbor:
+                return port
+        return None
+
+    def neighbor_on(self, port: int) -> Optional["TreeNode"]:
+        """Neighbor reached through ``port``, or ``None``."""
+        return self._ports.get(port)
+
+    def ports_in_use(self):
+        """All port numbers currently bound at this node."""
+        return self._ports.keys()
+
+    # ------------------------------------------------------------------
+    # Convenience topology queries.
+    # ------------------------------------------------------------------
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def child_degree(self) -> int:
+        """Number of children (``deg(v)`` in Claim 4.8's memory bound)."""
+        return len(self.children)
+
+    def __repr__(self) -> str:
+        status = "" if self.alive else ",dead"
+        return f"<Node {self.node_id}{status}>"
+
+    def __hash__(self) -> int:
+        return self.node_id
+
+    def __eq__(self, other: object) -> bool:
+        return self is other

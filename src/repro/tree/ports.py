@@ -1,0 +1,48 @@
+"""Port-number assignment strategies.
+
+Section 2.1.2: "we assume the relatively wasteful model in which the port
+numbers are assigned by an adversary", encoded on O(log N) bits.  The
+adversarial assigner therefore hands out scattered, non-consecutive
+numbers (but keeps them within a polynomial range so the O(log N)-bit
+assumption holds).  The sequential assigner exists for readable debugging
+output and for the designer-port memory variant discussed in 4.4.2.
+
+Both assigners treat the node's live port table as the source of truth,
+so numbers stay locally distinct through any sequence of edge rewirings.
+"""
+
+import random
+
+
+class SequentialPortAssigner:
+    """Ports numbered 0, 1, 2, ... per node (the designer-port model)."""
+
+    def next_port(self, node) -> int:
+        used = set(node.ports_in_use())
+        if node.port_to_parent is not None:
+            used.add(node.port_to_parent)
+        candidate = 0
+        while candidate in used:
+            candidate += 1
+        return candidate
+
+
+class AdversarialPortAssigner:
+    """Ports drawn pseudo-randomly from a polynomial-size space.
+
+    The draw is deterministic in the seed, and collisions at a node are
+    re-drawn, so ports are always locally distinct as the model requires.
+    """
+
+    def __init__(self, seed: int = 0, space: int = 1 << 30):
+        self._rng = random.Random(seed)
+        self._space = space
+
+    def next_port(self, node) -> int:
+        used = set(node.ports_in_use())
+        if node.port_to_parent is not None:
+            used.add(node.port_to_parent)
+        while True:
+            candidate = self._rng.randrange(self._space)
+            if candidate not in used:
+                return candidate

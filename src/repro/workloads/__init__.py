@@ -1,0 +1,27 @@
+"""Workload generation: initial trees, request mixes, churn scenarios."""
+
+from repro.workloads.scenarios import (
+    NodePicker,
+    ScenarioResult,
+    build_caterpillar,
+    build_path,
+    build_random_tree,
+    build_star,
+    default_mix,
+    grow_only_mix,
+    random_request,
+    run_scenario,
+)
+
+__all__ = [
+    "NodePicker",
+    "ScenarioResult",
+    "build_caterpillar",
+    "build_path",
+    "build_random_tree",
+    "build_star",
+    "default_mix",
+    "grow_only_mix",
+    "random_request",
+    "run_scenario",
+]

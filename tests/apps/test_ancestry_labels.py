@@ -1,0 +1,88 @@
+"""Tests for the dynamic ancestry labeling (Corollary 5.7)."""
+
+import math
+import random
+
+from repro import DynamicTree, RequestKind
+from repro.apps import AncestryLabeling
+from repro.tree.paths import is_ancestor
+from repro.workloads import NodePicker, build_random_tree, random_request
+
+
+def assert_labels_correct(tree, labeling, rng, samples=30):
+    nodes = list(tree.nodes())
+    pairs = [(nodes[rng.randrange(len(nodes))],
+              nodes[rng.randrange(len(nodes))]) for _ in range(samples)]
+    labeling.check_correctness(pairs)
+
+
+def test_static_labels_answer_all_pairs():
+    tree = build_random_tree(50, seed=1)
+    labeling = AncestryLabeling(tree)
+    for u in tree.nodes():
+        for v in tree.nodes():
+            assert labeling.query_ancestry(u, v) == is_ancestor(u, v)
+
+
+def test_labels_survive_leaf_and_internal_deletions():
+    tree = build_random_tree(80, seed=2)
+    labeling = AncestryLabeling(tree)
+    rng = random.Random(3)
+    picker = NodePicker(tree)
+    mix = {RequestKind.REMOVE_LEAF: 0.6, RequestKind.REMOVE_INTERNAL: 0.4}
+    for _ in range(60):
+        request = random_request(tree, rng, mix=mix, picker=picker)
+        if request.kind is RequestKind.REMOVE_LEAF:
+            tree.remove_leaf(request.node)
+        elif request.kind is RequestKind.REMOVE_INTERNAL:
+            tree.remove_internal(request.node)
+        assert_labels_correct(tree, labeling, rng)
+    picker.detach()
+
+
+def test_labels_correct_under_full_churn():
+    tree = build_random_tree(40, seed=4)
+    labeling = AncestryLabeling(tree)
+    rng = random.Random(5)
+    picker = NodePicker(tree)
+    for _ in range(200):
+        request = random_request(tree, rng, picker=picker)
+        if request.kind is RequestKind.PLAIN:
+            continue
+        if request.kind is RequestKind.ADD_LEAF:
+            tree.add_leaf(request.node)
+        elif request.kind is RequestKind.ADD_INTERNAL:
+            tree.add_internal(request.node, request.child)
+        elif request.kind is RequestKind.REMOVE_LEAF:
+            tree.remove_leaf(request.node)
+        else:
+            tree.remove_internal(request.node)
+        assert_labels_correct(tree, labeling, rng)
+    picker.detach()
+
+
+def test_relabel_keeps_label_bits_logarithmic():
+    """Shrink the tree by 10x: label bits must shrink too."""
+    tree = build_random_tree(300, seed=6)
+    labeling = AncestryLabeling(tree)
+    bits_full = labeling.label_bits()
+    rng = random.Random(7)
+    while tree.size > 25:
+        leaves = [n for n in tree.nodes()
+                  if n.is_leaf and not n.is_root]
+        tree.remove_leaf(leaves[rng.randrange(len(leaves))])
+    assert labeling.relabels > 1
+    bits_small = labeling.label_bits()
+    assert bits_small < bits_full
+    assert bits_small <= 2 * (math.log2(tree.size * labeling.slack) + 4)
+
+
+def test_gap_exhaustion_triggers_relabel():
+    tree = DynamicTree()
+    labeling = AncestryLabeling(tree, slack=4)
+    node = tree.root
+    for _ in range(30):  # nested chain exhausts halving gaps
+        node = tree.add_leaf(node)
+    assert labeling.relabels > 1
+    rng = random.Random(8)
+    assert_labels_correct(tree, labeling, rng)

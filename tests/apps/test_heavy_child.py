@@ -1,0 +1,77 @@
+"""Tests for the heavy-child decomposition (Theorem 5.4)."""
+
+import math
+import random
+
+from repro import RequestKind
+from repro.apps import HeavyChildDecomposition
+from repro.workloads import (
+    NodePicker,
+    build_caterpillar,
+    build_random_tree,
+    random_request,
+)
+
+
+def churn(tree, decomposition, steps, seed, mix=None):
+    rng = random.Random(seed)
+    picker = NodePicker(tree)
+    done = 0
+    while done < steps:
+        request = random_request(tree, rng, mix=mix, picker=picker)
+        if request.kind is RequestKind.PLAIN:
+            continue
+        decomposition.submit(request)
+        done += 1
+    picker.detach()
+
+
+def test_every_internal_node_has_a_heavy_child():
+    tree = build_random_tree(60, seed=1)
+    decomposition = HeavyChildDecomposition(tree)
+    churn(tree, decomposition, steps=200, seed=2)
+    for node in tree.nodes():
+        if node.children:
+            heavy = decomposition.heavy_child(node)
+            assert heavy is not None
+            assert heavy.parent is node
+        else:
+            assert decomposition.heavy_child(node) is None
+
+
+def test_light_depth_logarithmic_on_random_churn():
+    tree = build_random_tree(100, seed=3)
+    decomposition = HeavyChildDecomposition(tree)
+    churn(tree, decomposition, steps=400, seed=4)
+    n = tree.size
+    bound = 6 * math.log2(max(n, 2)) + 6
+    assert decomposition.max_light_depth() <= bound
+
+
+def test_light_depth_logarithmic_on_caterpillar_growth():
+    tree = build_caterpillar(60)
+    decomposition = HeavyChildDecomposition(tree)
+    churn(tree, decomposition, steps=300, seed=5,
+          mix={RequestKind.ADD_LEAF: 1.0})
+    n = tree.size
+    bound = 6 * math.log2(max(n, 2)) + 6
+    assert decomposition.max_light_depth() <= bound
+
+
+def test_root_is_never_light():
+    tree = build_random_tree(20, seed=6)
+    decomposition = HeavyChildDecomposition(tree)
+    assert not decomposition.is_light(tree.root)
+
+
+def test_mu_pointers_survive_removals():
+    tree = build_random_tree(80, seed=7)
+    decomposition = HeavyChildDecomposition(tree)
+    churn(tree, decomposition, steps=300, seed=8,
+          mix={RequestKind.REMOVE_LEAF: 0.5, RequestKind.REMOVE_INTERNAL: 0.2,
+               RequestKind.ADD_LEAF: 0.3})
+    for node in tree.nodes():
+        heavy = decomposition.heavy_child(node)
+        if node.children:
+            assert heavy is not None and heavy.parent is node
+    tree.validate()

@@ -1,0 +1,74 @@
+"""Tests for the name-assignment protocol (Theorem 5.2)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import RequestKind
+from repro.apps import NameAssignmentProtocol
+from repro.workloads import NodePicker, build_random_tree, random_request
+
+
+def churn(tree, protocol, steps, seed, on_step=None):
+    rng = random.Random(seed)
+    picker = NodePicker(tree)
+    done = 0
+    while done < steps:
+        request = random_request(tree, rng, picker=picker)
+        if request.kind is RequestKind.PLAIN:
+            continue
+        protocol.submit(request)
+        done += 1
+        if on_step is not None:
+            on_step(done)
+    picker.detach()
+
+
+def test_initial_ids_are_one_to_n():
+    tree = build_random_tree(25, seed=1)
+    protocol = NameAssignmentProtocol(tree)
+    ids = sorted(protocol.id_of(node) for node in tree.nodes())
+    assert ids == list(range(1, 26))
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_ids_unique_and_short_at_all_times(seed):
+    tree = build_random_tree(40, seed=seed)
+    protocol = NameAssignmentProtocol(tree)
+    def check(step):
+        protocol.check_invariants()
+    churn(tree, protocol, steps=250, seed=seed + 1, on_step=check)
+
+
+def test_new_nodes_get_ids_from_permit_serials():
+    tree = build_random_tree(20, seed=2)
+    protocol = NameAssignmentProtocol(tree)
+    n_i = 20
+    from repro.core.requests import Request
+    outcome = protocol.submit(Request(RequestKind.ADD_LEAF, tree.root))
+    assert outcome.granted
+    new_id = protocol.id_of(outcome.new_node)
+    # First iteration serials live in (N_1, 3 N_1 / 2].
+    assert n_i < new_id <= 3 * n_i // 2
+
+
+def test_iterations_renumber_compactly():
+    tree = build_random_tree(30, seed=3)
+    protocol = NameAssignmentProtocol(tree)
+    churn(tree, protocol, steps=400, seed=4)
+    assert protocol.iterations_run > 1
+    protocol.check_invariants()
+    # After many iterations ids stay within [1, 4n] even though > 400
+    # names were handed out in total.
+    max_id = max(protocol.id_of(node) for node in tree.nodes())
+    assert max_id <= 4 * tree.size
+
+
+def test_removed_nodes_release_ids():
+    tree = build_random_tree(15, seed=5)
+    protocol = NameAssignmentProtocol(tree)
+    from repro.core.requests import Request
+    leaf = next(n for n in tree.nodes() if n.is_leaf)
+    protocol.submit(Request(RequestKind.REMOVE_LEAF, leaf))
+    assert leaf not in protocol.ids

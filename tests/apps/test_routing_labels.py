@@ -1,0 +1,91 @@
+"""Tests for the interval routing scheme (Corollary 5.6)."""
+
+import random
+
+from repro import DynamicTree
+from repro.apps import RoutingLabeling
+from repro.tree.paths import ancestors, depth
+from repro.workloads import build_path, build_random_tree
+
+
+def tree_distance(a, b):
+    ancestry = set(ancestors(a))
+    current = b
+    while current not in ancestry:
+        current = current.parent
+    return depth(a) + depth(b) - 2 * depth(current)
+
+
+def assert_exact_routing(tree, labeling, rng, samples=50):
+    nodes = list(tree.nodes())
+    for _ in range(samples):
+        a = nodes[rng.randrange(len(nodes))]
+        b = nodes[rng.randrange(len(nodes))]
+        path = labeling.route(a, b)
+        assert path[0] is a and path[-1] is b
+        assert len(path) - 1 == tree_distance(a, b)  # stretch 1
+
+
+def test_routing_exact_on_static_trees():
+    rng = random.Random(1)
+    for builder in (lambda: build_random_tree(80, seed=2),
+                    lambda: build_path(60)):
+        tree = builder()
+        labeling = RoutingLabeling(tree)
+        assert_exact_routing(tree, labeling, rng)
+
+
+def test_routing_survives_leaf_deletions_without_relabel():
+    tree = build_random_tree(100, seed=3)
+    labeling = RoutingLabeling(tree)
+    relabels_before = labeling.relabels
+    rng = random.Random(4)
+    for _ in range(30):  # < half the tree: no relabel triggered
+        leaves = [n for n in tree.nodes() if n.is_leaf and not n.is_root]
+        tree.remove_leaf(leaves[rng.randrange(len(leaves))])
+        assert_exact_routing(tree, labeling, rng, samples=10)
+    assert labeling.relabels == relabels_before
+
+
+def test_routing_survives_internal_deletions():
+    tree = build_random_tree(100, seed=5)
+    labeling = RoutingLabeling(tree)
+    rng = random.Random(6)
+    for _ in range(25):
+        internals = [n for n in tree.nodes()
+                     if n.children and not n.is_root]
+        if not internals:
+            break
+        tree.remove_internal(internals[rng.randrange(len(internals))])
+        assert_exact_routing(tree, labeling, rng, samples=10)
+
+
+def test_shrinkage_relabel_restores_compact_labels():
+    tree = build_random_tree(400, seed=7)
+    labeling = RoutingLabeling(tree)
+    bits_before = labeling.label_bits()
+    rng = random.Random(8)
+    while tree.size > 40:
+        leaves = [n for n in tree.nodes() if n.is_leaf and not n.is_root]
+        tree.remove_leaf(leaves[rng.randrange(len(leaves))])
+    assert labeling.relabels > 1
+    assert labeling.label_bits() < bits_before
+    assert_exact_routing(tree, labeling, rng, samples=30)
+
+
+def test_additions_relabel_and_stay_correct():
+    tree = build_random_tree(30, seed=9)
+    labeling = RoutingLabeling(tree)
+    rng = random.Random(10)
+    nodes = list(tree.nodes())
+    for _ in range(20):
+        parent = nodes[rng.randrange(len(nodes))]
+        nodes.append(tree.add_leaf(parent))
+    assert_exact_routing(tree, labeling, rng, samples=30)
+
+
+def test_route_to_self_is_trivial():
+    tree = build_random_tree(10, seed=11)
+    labeling = RoutingLabeling(tree)
+    node = next(iter(tree.nodes()))
+    assert labeling.route(node, node) == [node]

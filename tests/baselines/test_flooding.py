@@ -1,0 +1,28 @@
+"""Tests for the flooding (recount-per-change) size estimator."""
+
+from repro import DynamicTree
+from repro.baselines import FloodingSizeEstimator
+
+
+def test_estimate_is_exact_after_every_change():
+    tree = DynamicTree()
+    estimator = FloodingSizeEstimator(tree)
+    a = tree.add_leaf(tree.root)
+    assert estimator.estimate_at(tree.root) == 2
+    b = tree.add_leaf(a)
+    tree.add_internal(a, b)
+    assert estimator.estimate_at(a) == 4
+    tree.remove_leaf(b)
+    assert estimator.estimate_at(tree.root) == 3
+
+
+def test_cost_is_linear_per_change():
+    tree = DynamicTree()
+    estimator = FloodingSizeEstimator(tree)
+    node = tree.root
+    for _ in range(50):
+        node = tree.add_leaf(node)
+    # Change j happens at size j+1 -> costs 3 * (size_after - 1).
+    expected = sum(3 * size for size in range(1, 51))
+    assert estimator.counters.broadcast_messages == expected
+    assert estimator.changes_seen == 50

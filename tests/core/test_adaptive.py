@@ -1,0 +1,80 @@
+"""Tests for the unknown-U controller (Theorem 3.5)."""
+
+import pytest
+
+from repro.errors import ControllerError
+from repro import (
+    AdaptiveController,
+    DynamicTree,
+    Request,
+    RequestKind,
+)
+from repro.workloads import build_random_tree, grow_only_mix, run_scenario
+
+
+def test_epochs_roll_over_under_churn():
+    tree = build_random_tree(10, seed=1)
+    controller = AdaptiveController(tree, m=5000, w=100)
+    run_scenario(tree, controller.handle, steps=600, seed=2)
+    assert controller.epochs_run > 1
+
+
+def test_epoch_u_always_bounds_nodes_during_epoch():
+    """U_i = 2 N_i with the epoch cut at U_i/4 changes keeps U_i valid."""
+    tree = build_random_tree(10, seed=3)
+    controller = AdaptiveController(tree, m=20000, w=100)
+    def check(step, outcome):
+        assert tree.size <= controller._epoch_u
+    run_scenario(tree, controller.handle, steps=800, seed=4, on_step=check)
+
+
+def test_grant_conservation():
+    tree = build_random_tree(10, seed=5)
+    controller = AdaptiveController(tree, m=900, w=50)
+    result = run_scenario(tree, controller.handle, steps=500, seed=6)
+    assert controller.granted == result.granted
+    assert controller.granted <= 900
+
+
+def test_liveness_composes_across_epochs():
+    for seed in range(4):
+        tree = build_random_tree(8, seed=seed)
+        controller = AdaptiveController(tree, m=120, w=9)
+        run_scenario(tree, controller.handle, steps=900, seed=seed + 20,
+                     stop_when=lambda: controller.rejecting)
+        if controller.rejecting:
+            assert controller.granted >= 120 - 9
+
+
+def test_growth_scenario_scales_epochs():
+    """Pure growth: the epoch budget (U_i/4 changes) doubles each time."""
+    tree = DynamicTree()
+    controller = AdaptiveController(tree, m=100000, w=1000)
+    run_scenario(tree, controller.handle, steps=2000, seed=7,
+                 mix=grow_only_mix())
+    assert controller.epochs_run >= 3
+    assert tree.size > 500
+
+
+def test_maxsize_variant():
+    tree = DynamicTree()
+    controller = AdaptiveController(tree, m=100000, w=1000,
+                                    variant="maxsize")
+    run_scenario(tree, controller.handle, steps=1500, seed=8,
+                 mix=grow_only_mix())
+    assert controller.epochs_run > 1
+    assert controller.granted <= 100000
+
+
+def test_unknown_variant_rejected():
+    tree = DynamicTree()
+    with pytest.raises(ControllerError):
+        AdaptiveController(tree, m=10, w=1, variant="bogus")
+
+
+def test_detach():
+    tree = DynamicTree()
+    controller = AdaptiveController(tree, m=10, w=1)
+    controller.detach()
+    with pytest.raises(ControllerError):
+        controller.handle(Request(RequestKind.PLAIN, tree.root))

@@ -1,0 +1,106 @@
+"""Property-based safety/conservation tests on the core controller.
+
+These are the two facts the whole paper rests on:
+
+* **safety** — the number of grants never exceeds M, under any request
+  stream and any topology churn;
+* **conservation** — permits never appear or vanish: granted + storage
+  + parked-in-packages = M at every instant.
+
+Plus the structural invariant that every package's size matches its
+level (`2^level * phi`), which ``Proc``'s halving must preserve.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import CentralizedController
+from repro.workloads import (
+    build_caterpillar,
+    build_path,
+    build_random_tree,
+    build_star,
+    run_scenario,
+)
+
+
+BUILDERS = {
+    "random": lambda n, seed: build_random_tree(n, seed=seed),
+    "path": lambda n, seed: build_path(n),
+    "star": lambda n, seed: build_star(n),
+    "caterpillar": lambda n, seed: build_caterpillar(n),
+}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shape=st.sampled_from(sorted(BUILDERS)),
+    n=st.integers(2, 60),
+    m=st.integers(1, 400),
+    w=st.integers(1, 100),
+    seed=st.integers(0, 10_000),
+)
+def test_safety_and_conservation(shape, n, m, w, seed):
+    tree = BUILDERS[shape](n, seed)
+    controller = CentralizedController(tree, m=m, w=w, u=4 * n + 400)
+
+    def check(step, outcome):
+        assert controller.granted <= m
+        assert controller.granted + controller.unused_permits() == m
+        assert controller.storage >= 0
+
+    run_scenario(tree, controller.handle, steps=120, seed=seed,
+                 on_step=check)
+    tree.validate()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(2, 50),
+    m=st.integers(50, 500),
+    w=st.integers(1, 60),
+    seed=st.integers(0, 10_000),
+)
+def test_package_sizes_match_levels(n, m, w, seed):
+    tree = build_random_tree(n, seed=seed)
+    controller = CentralizedController(tree, m=m, w=w, u=4 * n + 300)
+
+    def check(step, outcome):
+        for node, store in controller.stores.items():
+            for package in store.mobile:
+                expected = controller.params.mobile_size(package.level)
+                assert package.size == expected
+            assert store.static_permits >= 0
+
+    run_scenario(tree, controller.handle, steps=100, seed=seed + 1,
+                 on_step=check)
+
+
+@settings(max_examples=15, deadline=None)
+@given(m=st.integers(1, 80), w=st.integers(1, 20),
+       seed=st.integers(0, 10_000))
+def test_liveness_property(m, w, seed):
+    """Whenever the reject wave fires, granted >= M - W."""
+    tree = build_random_tree(10, seed=seed)
+    controller = CentralizedController(tree, m=m, w=w, u=2000)
+    run_scenario(tree, controller.handle, steps=400, seed=seed + 2,
+                 stop_when=lambda: controller.rejecting)
+    if controller.rejecting:
+        assert controller.granted >= m - w
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), w=st.integers(1, 1000))
+def test_static_pools_never_exceed_phi_without_deletions(seed, w):
+    """On grow-only scenarios a node's static pool stays <= phi
+    (deletion hand-over is the only way pools can merge)."""
+    from repro.workloads import grow_only_mix
+    tree = build_random_tree(10, seed=seed)
+    controller = CentralizedController(tree, m=2 * w + 10, w=w, u=2000)
+    phi = controller.params.phi
+
+    def check(step, outcome):
+        for node, store in controller.stores.items():
+            assert store.static_permits <= phi
+
+    run_scenario(tree, controller.handle, steps=100, seed=seed + 3,
+                 mix=grow_only_mix(), on_step=check)

@@ -1,0 +1,53 @@
+"""Tests for package and store data structures."""
+
+from repro.core.packages import MobilePackage, NodeStore, StoreMap
+from repro import DynamicTree
+
+
+def test_mobile_package_interval_split():
+    package = MobilePackage(level=2, size=8, interval=(1, 8))
+    left, right = package.split_interval()
+    assert left == (1, 4) and right == (5, 8)
+    assert MobilePackage(level=0, size=1).split_interval() == (None, None)
+
+
+def test_node_store_totals():
+    store = NodeStore()
+    store.mobile.append(MobilePackage(level=1, size=4))
+    store.static_permits = 3
+    assert store.total_permits() == 7
+    assert not store.is_empty
+
+
+def test_take_static_serial_consumes_intervals_in_order():
+    store = NodeStore()
+    store.static_intervals = [(5, 6), (9, 9)]
+    assert [store.take_static_serial() for _ in range(4)] == [5, 6, 9, None]
+    assert store.static_intervals == []
+
+
+def test_merge_from_moves_everything():
+    a, b = NodeStore(), NodeStore()
+    b.mobile.append(MobilePackage(level=0, size=1))
+    b.static_permits = 2
+    b.static_intervals = [(1, 2)]
+    b.has_reject = True
+    a.merge_from(b)
+    assert a.total_permits() == 3
+    assert a.has_reject
+    assert b.is_empty or b.has_reject  # reject flag may remain on b
+    assert b.total_permits() == 0
+
+
+def test_store_map_lazy_and_discard():
+    tree = DynamicTree()
+    stores = StoreMap()
+    assert stores.peek(tree.root) is None
+    store = stores.get(tree.root)
+    store.static_permits = 4
+    assert stores.peek(tree.root) is store
+    assert stores.total_parked_permits() == 4
+    taken = stores.discard(tree.root)
+    assert taken is store
+    assert stores.peek(tree.root) is None
+    assert stores.discard(tree.root) is None

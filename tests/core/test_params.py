@@ -1,0 +1,136 @@
+"""Tests for the controller parameter arithmetic (Section 3.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ControllerError
+from repro.core import ControllerParams
+
+
+def test_phi_formula():
+    # W >= 2U: phi = floor(W / 2U); otherwise 1.
+    assert ControllerParams(m=100, w=100, u=10).phi == 5
+    assert ControllerParams(m=100, w=19, u=10).phi == 1
+    assert ControllerParams(m=100, w=1, u=100).phi == 1
+
+
+def test_psi_formula():
+    params = ControllerParams(m=100, w=50, u=64)
+    # ceil(log2(64) + 2) = 8; max(ceil(64/50), 1) = 2 -> 4 * 8 * 2 = 64.
+    assert params.psi == 64
+    params = ControllerParams(m=100, w=100, u=64)
+    assert params.psi == 4 * 8 * 1
+
+
+def test_psi_is_a_multiple_of_four():
+    for u in (1, 2, 3, 17, 100, 999):
+        for w in (1, 3, 2 * u, 10 * u):
+            assert ControllerParams(m=10, w=w, u=u).psi % 4 == 0
+
+
+def test_mobile_size_doubles_per_level():
+    params = ControllerParams(m=1000, w=400, u=10)
+    phi = params.phi
+    assert [params.mobile_size(i) for i in range(4)] == [
+        phi, 2 * phi, 4 * phi, 8 * phi
+    ]
+
+
+def test_filler_window_level_zero_includes_distance_zero():
+    params = ControllerParams(m=10, w=5, u=16)
+    assert params.in_filler_window(0, 0)
+    assert params.in_filler_window(0, 2 * params.psi)
+    assert not params.in_filler_window(0, 2 * params.psi + 1)
+
+
+def test_filler_window_higher_levels_are_half_open():
+    params = ControllerParams(m=10, w=5, u=16)
+    psi = params.psi
+    for level in (1, 2, 3):
+        low = (1 << level) * psi
+        high = (1 << (level + 1)) * psi
+        assert not params.in_filler_window(level, low)
+        assert params.in_filler_window(level, low + 1)
+        assert params.in_filler_window(level, high)
+        assert not params.in_filler_window(level, high + 1)
+
+
+def test_windows_of_consecutive_levels_tile_the_line():
+    """Every distance >= 0 lies in exactly one level's window."""
+    params = ControllerParams(m=10, w=5, u=64)
+    for dist in range(0, 40 * params.psi, 13):
+        matching = [lvl for lvl in range(12)
+                    if params.in_filler_window(lvl, dist)]
+        assert len(matching) == 1, f"distance {dist} matched {matching}"
+
+
+def test_creation_level_matches_window():
+    params = ControllerParams(m=10, w=5, u=128)
+    psi = params.psi
+    assert params.creation_level(0) == 0
+    assert params.creation_level(2 * psi) == 0
+    assert params.creation_level(2 * psi + 1) == 1
+    assert params.creation_level(4 * psi) == 1
+    assert params.creation_level(4 * psi + 1) == 2
+
+
+def test_uk_distances_are_integral_and_ordered():
+    params = ControllerParams(m=10, w=5, u=256)
+    distances = [params.uk_distance(k) for k in range(6)]
+    assert distances[0] == 3 * params.psi // 2
+    for a, b in zip(distances, distances[1:]):
+        assert b == 2 * a
+
+
+def test_uk_below_window_floor():
+    """u_{k-1} lies strictly below any level-k filler (or creation)."""
+    params = ControllerParams(m=10, w=5, u=256)
+    psi = params.psi
+    for k in range(1, 8):
+        assert params.uk_distance(k - 1) < (1 << k) * psi
+
+
+def test_domain_sizes():
+    params = ControllerParams(m=10, w=5, u=64)
+    psi = params.psi
+    assert params.domain_size(0) == psi // 2
+    assert params.domain_size(1) == psi
+    assert params.domain_size(3) == 4 * psi
+
+
+def test_domain_fits_between_uk_and_request():
+    """Dom(P_k) needs 2^(k-1) psi nodes below u_k; u_k is at 3*2^(k-1) psi."""
+    params = ControllerParams(m=10, w=5, u=256)
+    for k in range(8):
+        assert params.domain_size(k) < params.uk_distance(k)
+
+
+def test_max_level_bound():
+    assert ControllerParams(m=10, w=5, u=1).max_level == 1
+    assert ControllerParams(m=10, w=5, u=64).max_level == 7
+    assert ControllerParams(m=10, w=5, u=100).max_level == 8
+
+
+def test_parameter_validation():
+    with pytest.raises(ControllerError):
+        ControllerParams(m=-1, w=1, u=1)
+    with pytest.raises(ControllerError):
+        ControllerParams(m=1, w=0, u=1)
+    with pytest.raises(ControllerError):
+        ControllerParams(m=1, w=1, u=0)
+
+
+@given(m=st.integers(0, 10**6), w=st.integers(1, 10**6),
+       u=st.integers(1, 10**5))
+def test_properties_hold_for_arbitrary_parameters(m, w, u):
+    params = ControllerParams(m=m, w=w, u=u)
+    assert params.phi >= 1
+    assert params.psi >= 8
+    assert params.psi % 4 == 0
+    # The key inequality of Lemma 3.2's proof:
+    # phi / psi <= W / (4 U ceil(log U + 2)), i.e. the total permits
+    # stuck in any one level's packages stay below W / (2 log U).
+    log_term = math.ceil(math.log2(u) + 2) if u > 1 else 2
+    assert params.phi * 4 * log_term * u <= params.psi * w

@@ -1,0 +1,56 @@
+"""Tests for request/outcome types and event execution."""
+
+import pytest
+
+from repro.errors import ControllerError
+from repro import DynamicTree, Request, RequestKind, Outcome, OutcomeStatus
+from repro.core.requests import perform_event
+
+
+def test_kind_flags():
+    assert not RequestKind.PLAIN.is_topological
+    assert RequestKind.ADD_LEAF.is_topological
+    assert RequestKind.REMOVE_LEAF.is_removal
+    assert not RequestKind.ADD_INTERNAL.is_removal
+
+
+def test_add_internal_requires_child():
+    tree = DynamicTree()
+    with pytest.raises(ControllerError):
+        Request(RequestKind.ADD_INTERNAL, tree.root)
+
+
+def test_other_kinds_reject_child():
+    tree = DynamicTree()
+    leaf = tree.add_leaf(tree.root)
+    with pytest.raises(ControllerError):
+        Request(RequestKind.PLAIN, tree.root, child=leaf)
+
+
+def test_request_ids_are_unique():
+    tree = DynamicTree()
+    a = Request(RequestKind.PLAIN, tree.root)
+    b = Request(RequestKind.PLAIN, tree.root)
+    assert a.request_id != b.request_id
+
+
+def test_outcome_flags():
+    tree = DynamicTree()
+    request = Request(RequestKind.PLAIN, tree.root)
+    assert Outcome(OutcomeStatus.GRANTED, request).granted
+    assert Outcome(OutcomeStatus.REJECTED, request).rejected
+    assert not Outcome(OutcomeStatus.PENDING, request).granted
+
+
+def test_perform_event_each_kind():
+    tree = DynamicTree()
+    leaf = perform_event(tree, Request(RequestKind.ADD_LEAF, tree.root))
+    assert leaf.parent is tree.root
+    mid = perform_event(
+        tree, Request(RequestKind.ADD_INTERNAL, tree.root, child=leaf))
+    assert leaf.parent is mid
+    assert perform_event(tree, Request(RequestKind.PLAIN, leaf)) is None
+    perform_event(tree, Request(RequestKind.REMOVE_INTERNAL, mid))
+    assert leaf.parent is tree.root
+    perform_event(tree, Request(RequestKind.REMOVE_LEAF, leaf))
+    assert tree.size == 1

@@ -1,0 +1,78 @@
+"""Tests for the terminating controller (Observation 2.1)."""
+
+import pytest
+
+from repro.errors import ControllerError
+from repro import (
+    DynamicTree,
+    OutcomeStatus,
+    Request,
+    RequestKind,
+    TerminatingController,
+)
+from repro.workloads import build_random_tree, run_scenario
+
+
+def plain(node):
+    return Request(RequestKind.PLAIN, node)
+
+
+def test_never_rejects():
+    tree = DynamicTree()
+    controller = TerminatingController(tree, m=5, w=2, u=50)
+    statuses = [controller.submit(plain(tree.root)).status
+                for _ in range(12)]
+    assert OutcomeStatus.REJECTED not in statuses
+    assert OutcomeStatus.PENDING in statuses
+
+
+def test_grants_between_m_minus_w_and_m_at_termination():
+    for seed in range(5):
+        tree = build_random_tree(10, seed=seed)
+        controller = TerminatingController(tree, m=30, w=8, u=300)
+        run_scenario(tree, controller.submit, steps=200, seed=seed + 30,
+                     stop_when=lambda: controller.terminated)
+        if controller.terminated:
+            assert 30 - 8 <= controller.granted <= 30
+
+
+def test_requests_after_termination_are_queued():
+    tree = DynamicTree()
+    controller = TerminatingController(tree, m=2, w=1, u=20)
+    while not controller.terminated:
+        controller.submit(plain(tree.root))
+    before = len(controller.pending)
+    outcome = controller.submit(plain(tree.root))
+    assert outcome.status is OutcomeStatus.PENDING
+    assert len(controller.pending) == before + 1
+
+
+def test_no_grant_after_termination():
+    tree = DynamicTree()
+    controller = TerminatingController(tree, m=3, w=1, u=20)
+    while not controller.terminated:
+        controller.submit(plain(tree.root))
+    granted_at_termination = controller.granted
+    for _ in range(5):
+        controller.submit(plain(tree.root))
+    assert controller.granted == granted_at_termination
+
+
+def test_termination_charges_broadcast_and_upcast():
+    tree = build_random_tree(10, seed=1)
+    controller = TerminatingController(tree, m=2, w=1, u=100)
+    while not controller.terminated:
+        controller.submit(plain(tree.root))
+    assert controller.counters.reset_moves >= 2 * tree.size
+
+
+def test_rejecting_inner_controller_is_rejected():
+    """The wrapper guards against misconfiguration."""
+    tree = DynamicTree()
+    controller = TerminatingController(tree, m=1, w=1, u=10)
+    # Force the inner controller into reject mode behind the wrapper's
+    # back; the wrapper must notice rather than mislabel the outcome.
+    controller.inner.reject_on_exhaustion = True
+    controller.submit(plain(tree.root))
+    with pytest.raises(ControllerError):
+        controller.submit(plain(tree.root))

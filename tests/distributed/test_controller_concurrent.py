@@ -1,0 +1,138 @@
+"""Concurrent distributed executions: locks, FIFO, safety, liveness.
+
+These tests inject many overlapping requests under adversarial
+(heavy-tailed) message delays — the regime in which the locking
+discipline of Section 4.3 earns its keep.  The assertions are the
+correctness conditions of Section 2.2 plus structural sanity: no
+deadlock (every agent finishes, every lock is released), permits
+conserved, and safety/liveness bounds honored.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import OutcomeStatus, Request, RequestKind
+from repro.distributed import DistributedController
+from repro.sim.delays import HeavyTailDelay, UniformDelay, UnitDelay
+from repro.workloads import NodePicker, build_path, build_random_tree, random_request
+
+
+def storm(tree, controller, requests, seed, spacing=0.4):
+    """Inject ``requests`` overlapping requests, return outcomes."""
+    rng = random.Random(seed)
+    picker = NodePicker(tree)
+    outcomes = []
+    at = 0.0
+    for _ in range(requests):
+        request = random_request(tree, rng, picker=picker)
+        controller.submit(request, delay=at, callback=outcomes.append)
+        at += spacing
+    controller.run()
+    picker.detach()
+    return outcomes
+
+
+@pytest.mark.parametrize("delay_model", [
+    UnitDelay(),
+    UniformDelay(seed=3),
+    HeavyTailDelay(seed=4),
+])
+def test_storm_terminates_and_releases_everything(delay_model):
+    tree = build_random_tree(50, seed=1)
+    controller = DistributedController(tree, m=600, w=150, u=1500,
+                                       delays=delay_model)
+    outcomes = storm(tree, controller, requests=300, seed=2)
+    assert len(outcomes) == 300
+    assert controller.active_agents == 0
+    for node, board in controller.boards.items():
+        assert board.locked_by is None
+        assert not board.queue
+    tree.validate()
+
+
+def test_safety_under_concurrency():
+    tree = build_random_tree(30, seed=5)
+    controller = DistributedController(tree, m=50, w=10, u=800,
+                                       delays=HeavyTailDelay(seed=6))
+    storm(tree, controller, requests=400, seed=7, spacing=0.2)
+    assert controller.granted <= 50
+
+
+def test_liveness_under_concurrency():
+    for seed in range(3):
+        tree = build_random_tree(25, seed=seed)
+        controller = DistributedController(tree, m=60, w=15, u=800,
+                                           delays=HeavyTailDelay(seed=seed))
+        storm(tree, controller, requests=400, seed=seed + 40, spacing=0.2)
+        if controller.rejecting:
+            assert controller.granted >= 60 - 15
+
+
+def test_permit_conservation_under_concurrency():
+    tree = build_random_tree(40, seed=8)
+    controller = DistributedController(tree, m=700, w=200, u=1500,
+                                       delays=UniformDelay(seed=9))
+    storm(tree, controller, requests=350, seed=10)
+    assert controller.granted + controller.unused_permits() == 700
+
+
+def test_deterministic_given_seed():
+    results = []
+    for _ in range(2):
+        tree = build_random_tree(30, seed=11)
+        controller = DistributedController(tree, m=400, w=100, u=900,
+                                           delays=UniformDelay(seed=12))
+        storm(tree, controller, requests=200, seed=13)
+        results.append((controller.granted, controller.rejected,
+                        controller.cancelled,
+                        controller.counters.snapshot()["total"],
+                        tree.size))
+    assert results[0] == results[1]
+
+
+def test_terminating_mode_never_rejects():
+    tree = build_random_tree(20, seed=14)
+    controller = DistributedController(tree, m=15, w=5, u=400,
+                                       terminate_on_exhaustion=True)
+    outcomes = storm(tree, controller, requests=150, seed=15)
+    statuses = {o.status for o in outcomes}
+    assert OutcomeStatus.REJECTED not in statuses
+    assert OutcomeStatus.PENDING in statuses
+    assert controller.terminated
+    assert 15 - 5 <= controller.granted <= 15
+
+
+def test_concurrent_requests_at_same_node_fifo():
+    """Many plain requests at one deep node: each should be served, the
+    first paying the climb and the rest from the static pool."""
+    tree = build_path(60)
+    deep = max(tree.nodes(), key=tree.depth)
+    controller = DistributedController(tree, m=2000, w=1000, u=120)
+    phi = controller.params.phi
+    assert phi >= 3
+    outcomes = []
+    for _ in range(phi):
+        controller.submit(Request(RequestKind.PLAIN, deep),
+                          callback=outcomes.append)
+    controller.run()
+    assert all(o.granted for o in outcomes)
+    # One climb bought phi permits; the rest were served locally.
+    assert controller.counters.agent_hops <= 4 * 2 * 60
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 5000), m=st.integers(5, 200),
+       w=st.integers(1, 40))
+def test_concurrent_property_no_deadlock_and_safety(seed, m, w):
+    tree = build_random_tree(20, seed=seed)
+    controller = DistributedController(
+        tree, m=m, w=w, u=600, delays=HeavyTailDelay(seed=seed + 1))
+    outcomes = storm(tree, controller, requests=120, seed=seed + 2,
+                     spacing=0.3)
+    assert len(outcomes) == 120
+    assert controller.active_agents == 0
+    assert controller.granted <= m
+    if controller.rejecting:
+        assert controller.granted >= m - w

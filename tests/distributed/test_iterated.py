@@ -1,0 +1,66 @@
+"""Tests for the distributed halving-iteration driver (Theorem 4.7)."""
+
+import random
+
+from repro import DynamicTree, OutcomeStatus, Request, RequestKind
+from repro.distributed import DistributedIteratedController
+from repro.workloads import NodePicker, build_random_tree, random_request
+
+
+def batch(tree, seed, count, mix=None):
+    rng = random.Random(seed)
+    picker = NodePicker(tree)
+    requests = [random_request(tree, rng, mix=mix, picker=picker)
+                for _ in range(count)]
+    picker.detach()
+    return requests
+
+
+def test_small_w_serves_almost_everything():
+    tree = DynamicTree()
+    controller = DistributedIteratedController(tree, m=120, w=1, u=200)
+    requests = [Request(RequestKind.PLAIN, tree.root) for _ in range(150)]
+    outcomes = controller.process(requests)
+    granted = sum(1 for o in outcomes if o.granted)
+    assert granted >= 119
+    assert controller.stages_run > 1
+
+
+def test_w_zero_exact_m():
+    tree = DynamicTree()
+    controller = DistributedIteratedController(tree, m=40, w=0, u=100)
+    requests = [Request(RequestKind.PLAIN, tree.root) for _ in range(60)]
+    outcomes = controller.process(requests)
+    granted = sum(1 for o in outcomes if o.granted)
+    rejected = sum(1 for o in outcomes if o.rejected)
+    assert granted == 40
+    assert rejected == 20
+
+
+def test_dynamic_batches_across_stages():
+    tree = build_random_tree(15, seed=1)
+    controller = DistributedIteratedController(tree, m=200, w=3, u=1500)
+    total_granted = 0
+    for round_seed in range(6):
+        # Requests must be generated against the *current* tree.
+        requests = batch(tree, seed=round_seed, count=60)
+        outcomes = controller.process(requests)
+        total_granted += sum(1 for o in outcomes if o.granted)
+        assert all(o.status is not OutcomeStatus.PENDING for o in outcomes)
+    assert total_granted <= 200
+    if controller.rejecting:
+        assert total_granted >= 200 - 3
+    tree.validate()
+
+
+def test_stage_resets_are_charged():
+    tree = DynamicTree()
+    controller = DistributedIteratedController(tree, m=100, w=1, u=100)
+    controller.process(
+        [Request(RequestKind.PLAIN, tree.root) for _ in range(120)]
+    )
+    assert controller.stages_run >= 2
+    # broadcast_messages includes 2(n-1) per stage termination plus
+    # 3(n-1) per rollover; with n == 1 that is 0, so instead verify the
+    # stage count implies terminations happened.
+    assert controller.granted >= 99

@@ -1,0 +1,41 @@
+"""Tests for the whiteboard map used by the distributed controller."""
+
+from repro import DynamicTree
+from repro.core.packages import MobilePackage
+from repro.distributed.whiteboard import Whiteboard, WhiteboardMap
+
+
+def test_fresh_whiteboard_is_empty():
+    board = Whiteboard()
+    assert board.is_empty
+    assert board.locked_by is None
+    assert not board.queue
+
+
+def test_map_is_lazy():
+    tree = DynamicTree()
+    boards = WhiteboardMap()
+    assert boards.peek(tree.root) is None
+    board = boards.get(tree.root)
+    assert boards.peek(tree.root) is board
+
+
+def test_total_parked_permits():
+    tree = DynamicTree()
+    child = tree.add_leaf(tree.root)
+    boards = WhiteboardMap()
+    boards.get(tree.root).store.mobile.append(MobilePackage(level=2, size=4))
+    boards.get(child).store.static_permits = 3
+    assert boards.total_parked_permits() == 7
+
+
+def test_discard_and_clear():
+    tree = DynamicTree()
+    boards = WhiteboardMap()
+    boards.get(tree.root).store.static_permits = 1
+    taken = boards.discard(tree.root)
+    assert taken is not None and taken.store.static_permits == 1
+    assert boards.discard(tree.root) is None
+    boards.get(tree.root)
+    boards.clear()
+    assert boards.peek(tree.root) is None

@@ -1,0 +1,39 @@
+"""Tests for the cost counters and memory audit."""
+
+from repro.metrics import MemoryAudit, MessageCounters, MoveCounters
+
+
+def test_move_counters_total_and_merge():
+    a = MoveCounters(package_moves=10, relocation_moves=2,
+                     reject_moves=3, reset_moves=5)
+    assert a.total == 20
+    b = MoveCounters(package_moves=1)
+    b.merge(a)
+    assert b.package_moves == 11
+    assert b.total == 21
+
+
+def test_move_counters_snapshot():
+    counters = MoveCounters(package_moves=7)
+    snap = counters.snapshot()
+    assert snap["package_moves"] == 7
+    assert snap["total"] == 7
+
+
+def test_message_counters():
+    counters = MessageCounters(agent_hops=5, reject_messages=2,
+                               broadcast_messages=1, relocation_messages=1)
+    assert counters.total == 9
+    other = MessageCounters()
+    other.merge(counters)
+    assert other.snapshot() == counters.snapshot()
+
+
+def test_memory_audit_worst_ratio():
+    audit = MemoryAudit()
+    audit.record(node_id=1, degree=2, bits=100.0)
+    audit.record(node_id=2, degree=0, bits=50.0)
+    log_n, log_u = 10.0, 10.0
+    # bounds: 2*10 + 1000 + 100 = 1120 and 0 + 1000 + 100 = 1100.
+    worst = audit.worst_ratio(log_n, log_u)
+    assert abs(worst - max(100 / 1120, 50 / 1100)) < 1e-12

@@ -1,0 +1,52 @@
+"""Tests for the bound-fitting helpers."""
+
+import math
+
+import pytest
+
+from repro.metrics.fitting import (
+    amortized_series,
+    bound_ratio,
+    log_log_slope,
+    observation_3_4_bound,
+    theorem_3_5_bound,
+)
+
+
+def test_bound_ratio():
+    assert bound_ratio([2, 4], [1, 2]) == [2.0, 2.0]
+    with pytest.raises(ValueError):
+        bound_ratio([1], [1, 2])
+
+
+def test_log_log_slope_recovers_exponent():
+    xs = [10, 100, 1000, 10000]
+    for exponent in (0.5, 1.0, 2.0):
+        ys = [x ** exponent for x in xs]
+        assert abs(log_log_slope(xs, ys) - exponent) < 1e-9
+
+
+def test_log_log_slope_with_polylog_factor_slightly_above_one():
+    xs = [2 ** k for k in range(4, 16)]
+    ys = [x * math.log2(x) ** 2 for x in xs]
+    slope = log_log_slope(xs, ys)
+    assert 1.0 < slope < 1.6
+
+
+def test_log_log_slope_validation():
+    with pytest.raises(ValueError):
+        log_log_slope([1], [1])
+    with pytest.raises(ValueError):
+        log_log_slope([5, 5], [1, 2])
+
+
+def test_amortized_series():
+    assert amortized_series([2, 4, 6]) == [2.0, 3.0, 4.0]
+    assert amortized_series([]) == []
+
+
+def test_theorem_bounds_are_monotone_in_size():
+    small = theorem_3_5_bound(10, [10] * 5, m=100, w=1)
+    large = theorem_3_5_bound(100, [100] * 50, m=100, w=1)
+    assert large > small
+    assert observation_3_4_bound(100, 100, 1) > observation_3_4_bound(10, 100, 1)

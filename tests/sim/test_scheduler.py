@@ -1,0 +1,116 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Scheduler
+
+
+def test_events_run_in_time_order():
+    sched = Scheduler()
+    seen = []
+    sched.schedule(3.0, lambda: seen.append("c"))
+    sched.schedule(1.0, lambda: seen.append("a"))
+    sched.schedule(2.0, lambda: seen.append("b"))
+    sched.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_ties_break_in_insertion_order():
+    sched = Scheduler()
+    seen = []
+    for tag in ("first", "second", "third"):
+        sched.schedule(1.0, lambda t=tag: seen.append(t))
+    sched.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_now_advances_with_events():
+    sched = Scheduler()
+    times = []
+    sched.schedule(2.5, lambda: times.append(sched.now))
+    sched.schedule(5.0, lambda: times.append(sched.now))
+    sched.run()
+    assert times == [2.5, 5.0]
+    assert sched.now == 5.0
+
+
+def test_events_scheduled_from_handlers_run():
+    sched = Scheduler()
+    seen = []
+    def outer():
+        seen.append("outer")
+        sched.schedule(1.0, lambda: seen.append("inner"))
+    sched.schedule(1.0, outer)
+    sched.run()
+    assert seen == ["outer", "inner"]
+    assert sched.now == 2.0
+
+
+def test_negative_delay_rejected():
+    sched = Scheduler()
+    with pytest.raises(SimulationError):
+        sched.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sched = Scheduler()
+    sched.schedule(5.0, lambda: None)
+    sched.run()
+    with pytest.raises(SimulationError):
+        sched.schedule_at(1.0, lambda: None)
+
+
+def test_schedule_at_future():
+    sched = Scheduler()
+    seen = []
+    sched.schedule_at(4.0, lambda: seen.append(sched.now))
+    sched.run()
+    assert seen == [4.0]
+
+
+def test_cancelled_events_are_skipped():
+    sched = Scheduler()
+    seen = []
+    event = sched.schedule(1.0, lambda: seen.append("cancelled"))
+    sched.schedule(2.0, lambda: seen.append("kept"))
+    event.cancel()
+    sched.run()
+    assert seen == ["kept"]
+
+
+def test_run_until_stops_early():
+    sched = Scheduler()
+    seen = []
+    sched.schedule(1.0, lambda: seen.append(1))
+    sched.schedule(10.0, lambda: seen.append(10))
+    sched.run(until=5.0)
+    assert seen == [1]
+    assert sched.pending() == 1
+    sched.run()
+    assert seen == [1, 10]
+
+
+def test_step_returns_false_when_empty():
+    sched = Scheduler()
+    assert sched.step() is False
+    sched.schedule(1.0, lambda: None)
+    assert sched.step() is True
+    assert sched.step() is False
+
+
+def test_event_budget_catches_livelock():
+    sched = Scheduler(max_events=100)
+    def loop():
+        sched.schedule(1.0, loop)
+    sched.schedule(1.0, loop)
+    with pytest.raises(SimulationError):
+        sched.run()
+
+
+def test_executed_counter():
+    sched = Scheduler()
+    for _ in range(5):
+        sched.schedule(1.0, lambda: None)
+    sched.run()
+    assert sched.executed == 5

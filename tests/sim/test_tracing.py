@@ -1,0 +1,34 @@
+"""Tests for the trace collector."""
+
+from repro.sim import Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.emit(1.0, "grant", node=3)
+    assert tracer.events == []
+    assert tracer.count("grant") == 0
+
+
+def test_enabled_tracer_records_events():
+    tracer = Tracer(enabled=True)
+    tracer.emit(1.0, "grant", node=3)
+    tracer.emit(2.0, "reject", node=4)
+    tracer.emit(3.0, "grant", node=5)
+    assert tracer.count("grant") == 2
+    assert [e.details["node"] for e in tracer.with_tag("grant")] == [3, 5]
+
+
+def test_last_returns_most_recent():
+    tracer = Tracer(enabled=True)
+    tracer.emit(1.0, "tick", value=1)
+    tracer.emit(2.0, "tick", value=2)
+    assert tracer.last("tick").details["value"] == 2
+    assert tracer.last("missing") is None
+
+
+def test_clear_empties_log():
+    tracer = Tracer(enabled=True)
+    tracer.emit(1.0, "tick")
+    tracer.clear()
+    assert tracer.events == []

@@ -1,0 +1,38 @@
+"""The public API surface and the README quickstart."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_quickstart_from_module_docstring():
+    from repro import (
+        CentralizedController,
+        DynamicTree,
+        Request,
+        RequestKind,
+    )
+    tree = DynamicTree()
+    controller = CentralizedController(tree, m=100, w=20, u=256)
+    outcome = controller.handle(Request(RequestKind.ADD_LEAF, tree.root))
+    assert outcome.granted and tree.size == 2
+
+
+def test_subpackages_importable():
+    import repro.apps
+    import repro.baselines
+    import repro.core
+    import repro.distributed
+    import repro.metrics
+    import repro.sim
+    import repro.tree
+    import repro.workloads
+    assert repro.apps.SizeEstimationProtocol
+    assert repro.distributed.DistributedController

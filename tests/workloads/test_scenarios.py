@@ -1,0 +1,107 @@
+"""Tests for workload builders and the scenario driver."""
+
+import random
+
+from repro import RequestKind
+from repro.workloads import (
+    NodePicker,
+    build_caterpillar,
+    build_path,
+    build_random_tree,
+    build_star,
+    default_mix,
+    grow_only_mix,
+    random_request,
+    run_scenario,
+)
+from repro.baselines import TrivialController
+
+
+def test_builders_produce_requested_sizes():
+    for builder in (build_path, build_star,
+                    lambda n: build_caterpillar(n),
+                    lambda n: build_random_tree(n, seed=1)):
+        tree = builder(37)
+        assert tree.size == 37
+        tree.validate()
+        assert tree.topology_changes == 0  # construction not counted
+
+
+def test_path_shape():
+    tree = build_path(10)
+    depths = sorted(tree.depth(n) for n in tree.nodes())
+    assert depths == list(range(10))
+
+
+def test_star_shape():
+    tree = build_star(10)
+    assert tree.root.child_degree == 9
+    assert all(n.is_leaf for n in tree.nodes() if not n.is_root)
+
+
+def test_random_tree_deterministic_per_seed():
+    t1 = build_random_tree(30, seed=5)
+    t2 = build_random_tree(30, seed=5)
+    assert ([n.parent.node_id for n in t1.nodes() if n.parent]
+            == [n.parent.node_id for n in t2.nodes() if n.parent])
+
+
+def test_node_picker_tracks_mutations():
+    tree = build_random_tree(10, seed=1)
+    picker = NodePicker(tree)
+    rng = random.Random(2)
+    added = tree.add_leaf(tree.root)
+    assert any(picker.pick(rng) is added for _ in range(200))
+    tree.remove_leaf(added)
+    assert all(picker.pick(rng) is not added for _ in range(200))
+    picker.detach()
+
+
+def test_random_requests_are_always_feasible():
+    tree = build_random_tree(20, seed=3)
+    rng = random.Random(4)
+    for _ in range(300):
+        request = random_request(tree, rng)
+        node = request.node
+        assert node in tree
+        if request.kind is RequestKind.REMOVE_LEAF:
+            assert not node.children and not node.is_root
+        elif request.kind is RequestKind.REMOVE_INTERNAL:
+            assert node.children and not node.is_root
+        elif request.kind is RequestKind.ADD_INTERNAL:
+            assert request.child.parent is node
+
+
+def test_grow_only_mix_never_removes():
+    tree = build_random_tree(10, seed=5)
+    rng = random.Random(6)
+    kinds = {random_request(tree, rng, mix=grow_only_mix()).kind
+             for _ in range(200)}
+    assert kinds <= {RequestKind.ADD_LEAF, RequestKind.PLAIN}
+
+
+def test_run_scenario_records_outcomes():
+    tree = build_random_tree(10, seed=7)
+    controller = TrivialController(tree, m=50)
+    result = run_scenario(tree, controller.handle, steps=80, seed=8,
+                          keep_outcomes=True)
+    assert result.granted == 50
+    assert result.rejected + result.cancelled == 30
+    assert len(result.outcomes) == 80
+
+
+def test_run_scenario_stop_when():
+    tree = build_random_tree(10, seed=9)
+    controller = TrivialController(tree, m=5)
+    result = run_scenario(tree, controller.handle, steps=500, seed=10,
+                          stop_when=lambda: controller.rejected > 0)
+    assert result.granted == 5
+    assert result.rejected == 1  # stopped right after the first reject
+
+
+def test_scenario_detaches_picker():
+    tree = build_random_tree(10, seed=11)
+    before = len(tree._listeners)
+    controller = TrivialController(tree, m=10)
+    run_scenario(tree, controller.handle, steps=20, seed=12)
+    assert len(tree._listeners) == before
