@@ -46,7 +46,7 @@ from repro.core import (
     TerminatingController,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ReproError",

@@ -1,0 +1,35 @@
+"""``repro.bench`` — the experiment-runner CLI of the request engine.
+
+One-liner reproduction of the perf trajectory::
+
+    python -m repro.bench ancestry --sizes 200,400,800,1600,3200 --out BENCH_ancestry.json
+    python -m repro.bench move_complexity
+    python -m repro.bench batch --steps 2000 --batch-size 64
+    python -m repro.bench scenario --topology path --controller iterated --steps 1000
+    python -m repro.bench distributed_batch --sizes 200
+
+Every scenario returns (and prints) a JSON document: the parameters it
+ran with, one row per configuration, and the derived headline numbers,
+so ``BENCH_*.json`` files checked into the repo are reproducible from
+the command line alone.  See :mod:`repro.bench.runner` for the scenario
+implementations and ``docs/architecture.md`` for how the engine under
+measurement works.
+"""
+
+from repro.bench.runner import (
+    SCENARIOS,
+    run_ancestry,
+    run_batch,
+    run_distributed_batch,
+    run_move_complexity,
+    run_scenario_bench,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "run_ancestry",
+    "run_batch",
+    "run_distributed_batch",
+    "run_move_complexity",
+    "run_scenario_bench",
+]

@@ -1,0 +1,114 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Examples::
+
+    python -m repro.bench list
+    python -m repro.bench ancestry --out BENCH_request_engine.json
+    python -m repro.bench move_complexity --sizes 200,400,800
+    python -m repro.bench batch --steps 2000 --batch-size 64
+    python -m repro.bench scenario --topology star --controller terminating
+    python -m repro.bench distributed_batch --sizes 100,200
+"""
+
+import argparse
+import inspect
+import json
+import sys
+
+from repro.bench.runner import SCENARIOS
+
+
+def _int_list(text: str):
+    return [int(part) for part in text.split(",") if part]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Experiment runner for the (M,W)-Controller "
+                    "reproduction (JSON output).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available scenarios")
+
+    common_out = dict(help="write the JSON document to this path as well")
+
+    p = sub.add_parser("ancestry",
+                       help="deep-path engine vs legacy wall clock")
+    p.add_argument("--sizes", type=_int_list, default=None,
+                   help="comma-separated path lengths (default: "
+                        "200,400,800,1600,3200)")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--steps-per-node", type=int, default=2,
+                   dest="steps_per_node")
+    p.add_argument("--out", **common_out)
+
+    p = sub.add_parser("move_complexity",
+                       help="Observation 3.4 sweep (bench_e02 shape)")
+    p.add_argument("--sizes", type=_int_list, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", **common_out)
+
+    p = sub.add_parser("batch",
+                       help="handle_batch equivalence + throughput")
+    p.add_argument("--n", type=int, default=600)
+    p.add_argument("--steps", type=int, default=2000)
+    p.add_argument("--batch-size", type=int, default=64, dest="batch_size")
+    p.add_argument("--topology", default="random",
+                   choices=["random", "path", "star", "caterpillar"])
+    p.add_argument("--mix", default="default",
+                   choices=["default", "grow", "plain"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", **common_out)
+
+    p = sub.add_parser("scenario", help="generic knob-driven run")
+    p.add_argument("--topology", default="random",
+                   choices=["random", "path", "star", "caterpillar"])
+    p.add_argument("--controller", default="iterated",
+                   choices=["centralized", "iterated", "adaptive",
+                            "terminating"])
+    p.add_argument("--mix", default="default",
+                   choices=["default", "grow", "plain"])
+    p.add_argument("--n", type=int, default=500)
+    p.add_argument("--steps", type=int, default=1000)
+    p.add_argument("--batch-size", type=int, default=1, dest="batch_size")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-skip", action="store_false", dest="skip_ancestry",
+                   help="disable the request engine (legacy data paths)")
+    p.add_argument("--out", **common_out)
+
+    p = sub.add_parser("distributed_batch",
+                       help="concurrent batch through the distributed "
+                            "engine")
+    p.add_argument("--sizes", type=_int_list, default=None)
+    p.add_argument("--requests-per-node", type=float, default=0.5,
+                   dest="requests_per_node")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", **common_out)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, fn in SCENARIOS.items():
+            summary = (inspect.getdoc(fn) or "").splitlines()[0]
+            print(f"{name:20s} {summary}")
+        return 0
+    runner = SCENARIOS[args.command]
+    accepted = set(inspect.signature(runner).parameters)
+    kwargs = {k: v for k, v in vars(args).items()
+              if k in accepted and v is not None}
+    result = runner(**kwargs)
+    document = json.dumps(result, indent=2)
+    print(document)
+    if getattr(args, "out", None):
+        with open(args.out, "w") as handle:
+            handle.write(document + "\n")
+        print(f"# wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

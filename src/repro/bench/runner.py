@@ -1,0 +1,368 @@
+"""Benchmark scenario implementations for ``python -m repro.bench``.
+
+Each ``run_*`` function is pure measurement: it builds its workload,
+runs it, and returns a JSON-serializable dict.  Wall-clock numbers are
+the **minimum over ``repeats`` runs** (the standard way to suppress
+scheduler noise); correctness-sensitive quantities (move counters,
+outcome tallies) are additionally cross-checked between the engine and
+legacy configurations, so a benchmark run doubles as an equivalence
+check.
+"""
+
+import random
+import time
+from typing import Dict, List, Optional
+
+from repro.core.adaptive import AdaptiveController
+from repro.core.centralized import CentralizedController
+from repro.core.iterated import IteratedController
+from repro.core.requests import Request, RequestKind
+from repro.core.terminating import TerminatingController
+from repro.distributed.controller import DistributedController
+from repro.metrics.fitting import log_log_slope, observation_3_4_bound
+from repro.workloads.scenarios import (
+    NodePicker,
+    TreeMirror,
+    build_caterpillar,
+    build_path,
+    build_random_tree,
+    build_star,
+    default_mix,
+    grow_only_mix,
+    random_request,
+    request_spec,
+    run_scenario,
+)
+
+DEFAULT_SIZES = [200, 400, 800, 1600, 3200]  # the bench_e02 sweep
+
+_TOPOLOGIES = {
+    "path": build_path,
+    "random": build_random_tree,
+    "star": build_star,
+    "caterpillar": build_caterpillar,
+}
+
+_MIXES = {
+    "default": default_mix,
+    "grow": grow_only_mix,
+    "plain": lambda: {RequestKind.PLAIN: 1.0},
+}
+
+
+def _build(topology: str, n: int, seed: int, skip_ancestry: bool):
+    builder = _TOPOLOGIES[topology]
+    if builder is build_random_tree:
+        tree = builder(n, seed=seed)
+    else:
+        tree = builder(n)
+    tree.skip_ancestry = skip_ancestry
+    return tree
+
+
+def _controller(kind: str, tree, m: int, w: int, u: int):
+    if kind == "centralized":
+        controller = CentralizedController(tree, m=m, w=w, u=u)
+        return controller, controller.handle, controller.handle_batch
+    if kind == "iterated":
+        controller = IteratedController(tree, m=m, w=w, u=u)
+        return controller, controller.handle, controller.handle_batch
+    if kind == "adaptive":
+        controller = AdaptiveController(tree, m=m, w=w)
+        return controller, controller.handle, controller.handle_batch
+    if kind == "terminating":
+        controller = TerminatingController(tree, m=m, w=w, u=u)
+        return controller, controller.submit, controller.handle_batch
+    raise ValueError(f"unknown controller kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# ancestry — the acceptance benchmark of the request engine.
+# ----------------------------------------------------------------------
+def run_ancestry(sizes: Optional[List[int]] = None, repeats: int = 3,
+                 seed: int = 0, steps_per_node: int = 2) -> Dict:
+    """Deep-path request serving: engine vs legacy wall clock.
+
+    A path of ``n`` nodes receives ``n * steps_per_node`` PLAIN requests
+    at uniformly random nodes (a pre-generated stream — PLAIN requests
+    leave the topology untouched, so the identical stream is replayed
+    in both modes and only the controller is timed):
+
+    * **legacy** — ``skip_ancestry=False``: the seed's data paths
+      (naive parent-pointer walks, dict store probes, full filler
+      climbs), driven by sequential ``handle``;
+    * **engine** — ``skip_ancestry=True``: skip-pointer jump tables,
+      slot-pinned stores, the indexed filler scan, driven by
+      ``handle_batch``.
+
+    Move counters and grant tallies are asserted identical between the
+    two modes; the headline is the wall-clock ratio on the deepest
+    path.
+    """
+    sizes = sizes or DEFAULT_SIZES
+    rows = []
+    for n in sizes:
+        steps = n * steps_per_node
+        timings = {}
+        checks = {}
+        for label, skip in (("legacy", False), ("engine", True)):
+            best = None
+            for _ in range(max(repeats, 1)):
+                tree = _build("path", n, seed, skip)
+                nodes = list(tree.nodes())
+                rng = random.Random(seed + n)
+                requests = [
+                    Request(RequestKind.PLAIN,
+                            nodes[rng.randrange(len(nodes))])
+                    for _ in range(steps)
+                ]
+                controller = IteratedController(
+                    tree, m=4 * n, w=n // 4, u=2 * n)
+                start = time.perf_counter()
+                if skip:
+                    outcomes = controller.handle_batch(requests)
+                else:
+                    outcomes = [controller.handle(r) for r in requests]
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+                checks[label] = (
+                    controller.counters.total,
+                    sum(1 for o in outcomes if o.granted),
+                )
+            timings[label] = best
+        if checks["legacy"] != checks["engine"]:
+            raise AssertionError(
+                f"engine diverged from legacy at n={n}: "
+                f"{checks['engine']} != {checks['legacy']}"
+            )
+        rows.append({
+            "n": n,
+            "steps": steps,
+            "legacy_ms": round(timings["legacy"] * 1000, 3),
+            "engine_ms": round(timings["engine"] * 1000, 3),
+            "speedup": round(timings["legacy"] / timings["engine"], 3),
+            "moves": checks["engine"][0],
+            "granted": checks["engine"][1],
+        })
+    return {
+        "scenario": "ancestry",
+        "params": {"sizes": sizes, "repeats": repeats, "seed": seed,
+                   "steps_per_node": steps_per_node},
+        "rows": rows,
+        "deep_path_speedup": rows[-1]["speedup"],
+        "max_speedup": max(r["speedup"] for r in rows),
+    }
+
+
+# ----------------------------------------------------------------------
+# move_complexity — the bench_e02 sweep as a CLI one-liner.
+# ----------------------------------------------------------------------
+def run_move_complexity(sizes: Optional[List[int]] = None,
+                        seed: int = 0) -> Dict:
+    """Observation 3.4 on deep paths: moves vs ``O(U log^2 U log(M/W))``.
+
+    Mirrors ``benchmarks/bench_e02_move_complexity.py``: sweep the path
+    length under the default churn mix and report measured/bound ratios
+    plus the log-log slope (near-linear growth expected).
+    """
+    sizes = sizes or DEFAULT_SIZES
+    rows = []
+    measured = []
+    for n in sizes:
+        tree = build_path(n)
+        u, m, w = 2 * n, 4 * n, n // 4
+        controller = IteratedController(tree, m=m, w=w, u=u)
+        start = time.perf_counter()
+        result = run_scenario(tree, controller.handle, steps=n, seed=n)
+        elapsed = time.perf_counter() - start
+        bound = observation_3_4_bound(u, m, w)
+        moves = controller.counters.total
+        measured.append(moves)
+        rows.append({
+            "n": n, "u": u, "m": m, "w": w,
+            "moves": moves,
+            "bound": int(bound),
+            "ratio": round(moves / bound, 4),
+            "granted": result.granted,
+            "rejected": result.rejected,
+            "wall_ms": round(elapsed * 1000, 3),
+        })
+    return {
+        "scenario": "move_complexity",
+        "params": {"sizes": sizes, "seed": seed},
+        "rows": rows,
+        "log_log_slope": round(log_log_slope(sizes, measured), 4),
+        "max_ratio": max(r["ratio"] for r in rows),
+    }
+
+
+# ----------------------------------------------------------------------
+# batch — handle_batch equivalence + throughput on a twin tree.
+# ----------------------------------------------------------------------
+def run_batch(n: int = 600, steps: int = 2000, batch_size: int = 64,
+              topology: str = "random", mix: str = "default",
+              seed: int = 0) -> Dict:
+    """Sequential vs batched handling of the *same* request stream.
+
+    Tree A is driven sequentially while the stream is recorded as
+    tree-independent specs; tree B (a twin built identically) replays
+    the stream through ``handle_batch`` in ``batch_size`` chunks via a
+    lazily-resolved :class:`TreeMirror`.  Outcomes, grant tallies and
+    move counters must match exactly — that equality is this PR's
+    batch-semantics contract — and both wall clocks are reported.
+    """
+    mix_map = _MIXES[mix]()
+    tree_a = _build(topology, n, seed, True)
+    tree_b = _build(topology, n, seed, True)
+    u, m, w = 4 * n, 4 * n, max(n // 4, 1)
+    ctrl_a = IteratedController(tree_a, m=m, w=w, u=u)
+    ctrl_b = IteratedController(tree_b, m=m, w=w, u=u)
+
+    rng = random.Random(seed)
+    picker = NodePicker(tree_a)
+    mirror = TreeMirror(tree_b)
+    outcomes_a = []
+    specs = []
+    start = time.perf_counter()
+    sequential_time = 0.0
+    for _ in range(steps):
+        request = random_request(tree_a, rng, mix=mix_map, picker=picker)
+        specs.append(request_spec(request))
+        t0 = time.perf_counter()
+        outcomes_a.append(ctrl_a.handle(request))
+        sequential_time += time.perf_counter() - t0
+    generation_time = time.perf_counter() - start - sequential_time
+    picker.detach()
+
+    outcomes_b = []
+    start = time.perf_counter()
+    for base in range(0, len(specs), batch_size):
+        chunk = specs[base:base + batch_size]
+        outcomes_b.extend(ctrl_b.handle_batch(mirror.requests(chunk)))
+    batched_time = time.perf_counter() - start
+    mirror.detach()
+
+    status_a = [o.status.value for o in outcomes_a]
+    status_b = [o.status.value for o in outcomes_b]
+    if status_a != status_b:
+        first = next(i for i, (a, b) in enumerate(zip(status_a, status_b))
+                     if a != b)
+        raise AssertionError(
+            f"batched outcome diverged at step {first}: "
+            f"{status_a[first]} != {status_b[first]}"
+        )
+    if ctrl_a.counters.snapshot() != ctrl_b.counters.snapshot():
+        raise AssertionError(
+            f"batched counters diverged: {ctrl_b.counters.snapshot()} "
+            f"!= {ctrl_a.counters.snapshot()}"
+        )
+    return {
+        "scenario": "batch",
+        "params": {"n": n, "steps": steps, "batch_size": batch_size,
+                   "topology": topology, "mix": mix, "seed": seed},
+        "sequential_ms": round(sequential_time * 1000, 3),
+        "batched_ms": round(batched_time * 1000, 3),
+        "generation_ms": round(generation_time * 1000, 3),
+        "granted": ctrl_a.granted,
+        "rejected": ctrl_a.rejected,
+        "moves": ctrl_a.counters.total,
+        "outcomes_identical": True,
+        "counters_identical": True,
+        "requests_per_sec_batched": round(
+            steps / batched_time if batched_time > 0 else float("inf"), 1),
+    }
+
+
+# ----------------------------------------------------------------------
+# scenario — the generic knob-driven run.
+# ----------------------------------------------------------------------
+def run_scenario_bench(topology: str = "random", controller: str = "iterated",
+                       mix: str = "default", n: int = 500, steps: int = 1000,
+                       batch_size: int = 1, seed: int = 0,
+                       skip_ancestry: bool = True,
+                       m_factor: int = 4, w_divisor: int = 4) -> Dict:
+    """Run one controller/topology/mix combination at a given scale."""
+    tree = _build(topology, n, seed, skip_ancestry)
+    u = 4 * n
+    m = m_factor * n
+    w = max(n // w_divisor, 1)
+    ctrl, submit, submit_batch = _controller(controller, tree, m, w, u)
+    start = time.perf_counter()
+    result = run_scenario(
+        tree, submit, steps=steps, seed=seed, mix=_MIXES[mix](),
+        batch_size=batch_size,
+        submit_batch=submit_batch if batch_size > 1 else None,
+    )
+    elapsed = time.perf_counter() - start
+    counters = ctrl.counters.snapshot()
+    return {
+        "scenario": "scenario",
+        "params": {"topology": topology, "controller": controller,
+                   "mix": mix, "n": n, "steps": steps,
+                   "batch_size": batch_size, "seed": seed,
+                   "skip_ancestry": skip_ancestry, "m": m, "w": w, "u": u},
+        "granted": result.granted,
+        "rejected": result.rejected,
+        "cancelled": result.cancelled,
+        "pending": result.pending,
+        "counters": counters,
+        "tree_size": tree.size,
+        "wall_ms": round(elapsed * 1000, 3),
+        "requests_per_sec": round(
+            steps / elapsed if elapsed > 0 else float("inf"), 1),
+    }
+
+
+# ----------------------------------------------------------------------
+# distributed_batch — the request queue of the distributed engine.
+# ----------------------------------------------------------------------
+def run_distributed_batch(sizes: Optional[List[int]] = None,
+                          requests_per_node: float = 0.5,
+                          seed: int = 0) -> Dict:
+    """Pipeline a concurrent batch through the distributed controller.
+
+    All requests are injected up front (``submit_batch``); agents
+    interleave under the locking discipline and the scheduler runs to
+    quiescence.  Reported: grant tallies, message counters, and the
+    simulated-time compression vs serving the batch one request at a
+    time (sequential lower bound: the sum of per-request round trips).
+    """
+    sizes = sizes or [200, 400]
+    rows = []
+    for n in sizes:
+        tree = build_random_tree(n, seed=seed)
+        rng = random.Random(seed + n)
+        nodes = list(tree.nodes())
+        count = max(int(n * requests_per_node), 1)
+        requests = [
+            Request(RequestKind.PLAIN, nodes[rng.randrange(len(nodes))])
+            for _ in range(count)
+        ]
+        controller = DistributedController(tree, m=4 * n, w=n, u=2 * n)
+        start = time.perf_counter()
+        outcomes = controller.submit_batch(requests)
+        elapsed = time.perf_counter() - start
+        rows.append({
+            "n": n,
+            "requests": count,
+            "granted": sum(1 for o in outcomes if o.granted),
+            "rejected": controller.rejected,
+            "messages": controller.counters.total,
+            "simulated_time": round(controller.scheduler.now, 3),
+            "wall_ms": round(elapsed * 1000, 3),
+        })
+    return {
+        "scenario": "distributed_batch",
+        "params": {"sizes": sizes, "requests_per_node": requests_per_node,
+                   "seed": seed},
+        "rows": rows,
+    }
+
+
+SCENARIOS = {
+    "ancestry": run_ancestry,
+    "move_complexity": run_move_complexity,
+    "batch": run_batch,
+    "scenario": run_scenario_bench,
+    "distributed_batch": run_distributed_batch,
+}

@@ -28,15 +28,15 @@ Move complexity is charged per hop of package movement, per the
 centralized cost model of Section 2.2.
 """
 
-from typing import Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.errors import ControllerError
 from repro.metrics.counters import MoveCounters
 from repro.tree.dynamic_tree import DynamicTree, TreeListener
 from repro.tree.node import TreeNode
-from repro.tree.paths import ancestor_at
+from repro.tree import paths
 from repro.core.domains import DomainTracker
-from repro.core.packages import MobilePackage, StoreMap
+from repro.core.packages import MobilePackage, NodeStore, StoreMap
 from repro.core.params import ControllerParams
 from repro.core.requests import Outcome, OutcomeStatus, Request, RequestKind
 
@@ -91,7 +91,13 @@ class CentralizedController(TreeListener):
         self.tree = tree
         self.params = ControllerParams(m=m, w=w, u=u)
         self.counters = counters if counters is not None else MoveCounters()
-        self.stores = StoreMap()
+        # Request-engine fast path: claim the tree's per-node store
+        # slots if nobody holds them (single claimant per tree; extra
+        # concurrent controllers transparently use dict lookups).
+        self._fast = bool(tree.skip_ancestry) and tree.store_slot_owner is None
+        if self._fast:
+            tree.store_slot_owner = self
+        self.stores = StoreMap(slot_owner=self if self._fast else None)
         self.storage = m
         self.granted = 0
         self.rejected = 0
@@ -105,6 +111,22 @@ class CentralizedController(TreeListener):
         self.domains: Optional[DomainTracker] = (
             DomainTracker(tree, self.params) if track_domains else None
         )
+        # Index of nodes currently parking >= 1 mobile package.  Mobile
+        # packages are sparse (a fetch parks at most one per level), so
+        # scanning hosts beats climbing the whole root path on deep
+        # trees; ``_find_filler`` picks whichever bound is smaller.
+        self._mobile_hosts: Dict[TreeNode, NodeStore] = {}
+        # Adaptive ancestry policy: skip-pointer tables pay off only
+        # while splices are rare (a splice invalidates the caches of a
+        # whole subtree).  Every 64 requests we look at how far the
+        # tree's splice generation moved and enable/disable the
+        # table-based paths accordingly; correctness is unaffected
+        # either way (both paths are exact), only constants change.
+        # Starts conservative (walks) until the first window proves the
+        # churn is low.
+        self._tables_on = False
+        self._req_count = 0
+        self._win_gen = tree.anc_generation
         self._attached = True
         tree.add_listener(self)
 
@@ -115,6 +137,12 @@ class CentralizedController(TreeListener):
         """Run ``GrantOrReject`` for one request, synchronously."""
         if not self._attached:
             raise ControllerError("controller has been detached")
+        if self._fast:
+            self._req_count += 1
+            if not self._req_count & 63:
+                gen = self.tree.anc_generation
+                self._tables_on = gen - self._win_gen <= 2
+                self._win_gen = gen
         node = request.node
         if node not in self.tree or not self._still_meaningful(request):
             return Outcome(OutcomeStatus.CANCELLED, request)
@@ -147,6 +175,18 @@ class CentralizedController(TreeListener):
         return Outcome(OutcomeStatus.GRANTED, request,
                        new_node=new_node, serial=serial)
 
+    def handle_batch(self, requests: Iterable[Request]) -> List[Outcome]:
+        """Run ``GrantOrReject`` for a batch of requests.
+
+        Requests are served in order with *exactly* the per-request
+        outcomes and move-counter accounting of calling :meth:`handle`
+        on each (the equivalence is property-tested); the batch form
+        amortizes the skip-pointer ancestry repairs and the mobile-host
+        index across the whole batch, which is where the throughput
+        comes from on deep trees.
+        """
+        return [self.handle(request) for request in requests]
+
     def unused_permits(self) -> int:
         """Permits not yet granted: root storage plus parked packages.
 
@@ -161,6 +201,10 @@ class CentralizedController(TreeListener):
             self.tree.remove_listener(self)
             if self.domains is not None:
                 self.domains.detach()
+            if self._fast:
+                self.stores.release_slots()
+                self.tree.store_slot_owner = None
+                self._fast = False
             self._attached = False
 
     # ------------------------------------------------------------------
@@ -175,7 +219,7 @@ class CentralizedController(TreeListener):
         """
         package, dist = self._find_filler(node)
         if package is None:
-            dist_to_root = self.tree.depth(node)
+            dist_to_root = self._depth(node)
             level = self.params.creation_level(dist_to_root)
             need = self.params.mobile_size(level)
             if self.storage < need:
@@ -199,23 +243,123 @@ class CentralizedController(TreeListener):
         Returns ``(package, distance)``, removing the package from its
         host's store — or ``(None, None)`` if no filler exists up to and
         including the root.
+
+        Three equivalent strategies (identical result, all free in the
+        centralized cost model — only package moves are charged):
+
+        * the empty-index short cut — no parked package anywhere means
+          no filler, without touching the tree;
+        * with warm skip-pointer ancestry, an **indexed scan** of
+          ``_mobile_hosts``: O(hosts) candidate distances from
+          generation-cached host depths plus O(log depth) skip-jump
+          verification of the winners — independent of the tree depth;
+        * otherwise the climb — O(depth), but over per-node store
+          slots (two slot loads per hop) when this controller holds
+          the fast path, dict probes when it does not.
         """
+        if not self._mobile_hosts:
+            return None, None
+        if self._fast and self._tables_on:
+            return self._find_filler_indexed(node, -1)
+        return self._find_filler_climb(node)
+
+    def _find_filler_climb(self, node: TreeNode):
+        """The ancestor climb: first in-window package wins.
+
+        With the fast path claimed, each hop is two slot loads; without
+        it, a dict probe per hop.
+        """
+        in_window = self.params.in_filler_window
+        fast = self._fast
+        owner = self
+        stores = self.stores
         dist = 0
         current: Optional[TreeNode] = node
         while current is not None:
-            store = self.stores.peek(current)
+            if fast:
+                store = (current._store
+                         if current._store_owner is owner else None)
+            else:
+                store = stores.peek(current)
             if store is not None and store.mobile:
                 chosen = None
                 for package in store.mobile:
-                    if self.params.in_filler_window(package.level, dist):
+                    if in_window(package.level, dist):
                         if chosen is None or package.level < chosen.level:
                             chosen = package
                 if chosen is not None:
                     store.mobile.remove(chosen)
+                    if not store.mobile:
+                        self._mobile_hosts.pop(current, None)
                     return chosen, dist
             current = current.parent
             dist += 1
         return None, None
+
+    def _find_filler_indexed(self, node: TreeNode, min_dist: int):
+        """Closest filler strictly beyond ``min_dist`` hops, via index.
+
+        Scans the parked-package hosts: candidate distances come from
+        generation-cached host depths (one O(log depth) refresh per
+        splice generation), and only window-passing candidates pay the
+        O(log depth) skip-jump ancestry verification.  Equivalent to
+        continuing the climb past ``min_dist``.
+        """
+        tree = self.tree
+        gen = tree.anc_generation
+        node_depth = tree.depth(node)
+        psi = self.params.psi
+        psi2 = 2 * psi
+        excluded = None
+        while True:
+            # Optimistic pass: pick the closest window-matching host by
+            # depth difference alone; ancestry of the single winner is
+            # verified after the loop (it fails only for off-path hosts
+            # at a coincidental depth, which are then excluded and the
+            # scan retried).
+            best = None
+            best_dist = None
+            best_host = None
+            for host, store in self._mobile_hosts.items():
+                if store.host_depth_gen != gen:
+                    store.host_depth = tree.depth(host)
+                    store.host_depth_gen = gen
+                dist = node_depth - store.host_depth
+                if dist <= min_dist or \
+                        (best_dist is not None and dist >= best_dist) or \
+                        (excluded is not None and host in excluded):
+                    continue
+                chosen = None
+                for package in store.mobile:
+                    # Inlined ControllerParams.in_filler_window (the
+                    # climb path calls it directly): level 0 fills for
+                    # dist <= 2*psi, level j >= 1 for
+                    # 2^j*psi < dist <= 2^(j+1)*psi.  Keep in lockstep
+                    # with params.py; the engine-off equivalence tests
+                    # compare the two paths outcome-for-outcome.
+                    level = package.level
+                    if level:
+                        low = psi << level
+                        if not low < dist <= 2 * low:
+                            continue
+                    elif dist > psi2:
+                        continue
+                    if chosen is None or level < chosen.level:
+                        chosen = package
+                if chosen is not None:
+                    best, best_dist, best_host = chosen, dist, host
+            if best is None:
+                return None, None
+            if tree.ancestor_at(node, best_dist) is best_host:
+                break
+            if excluded is None:
+                excluded = set()
+            excluded.add(best_host)
+        store = self._mobile_hosts[best_host]
+        store.mobile.remove(best)
+        if not store.mobile:
+            del self._mobile_hosts[best_host]
+        return best, best_dist
 
     def _distribute(self, package: MobilePackage, dist: int,
                     node: TreeNode) -> None:
@@ -226,7 +370,7 @@ class CentralizedController(TreeListener):
         while package.level > 0:
             new_level = package.level - 1
             target_dist = self.params.uk_distance(new_level)
-            target = ancestor_at(node, target_dist)
+            target = self._ancestor_at(node, target_dist)
             self.counters.package_moves += dist - target_dist
             self._observe_flow(node, dist - 1, target_dist, package.size)
             if self.domains is not None:
@@ -235,7 +379,9 @@ class CentralizedController(TreeListener):
             half = package.size // 2
             parked = MobilePackage(level=new_level, size=half,
                                    interval=left_interval)
-            self.stores.get(target).mobile.append(parked)
+            target_store = self.stores.get(target)
+            target_store.mobile.append(parked)
+            self._mobile_hosts[target] = target_store
             if self.domains is not None:
                 self.domains.assign_domain(parked, target, toward=node)
             package.level = new_level
@@ -261,13 +407,28 @@ class CentralizedController(TreeListener):
         """
         if self.permit_flow_observer is None or from_dist < to_dist:
             return
-        current = ancestor_at(node, to_dist)
+        current = self._ancestor_at(node, to_dist)
         for _ in range(from_dist - to_dist + 1):
             self.permit_flow_observer(current, permits)
             parent = current.parent
             if parent is None:
                 break
             current = parent
+
+    def _depth(self, node: TreeNode) -> int:
+        """Depth of ``node``, honouring the adaptive ancestry policy."""
+        if self._tables_on:
+            return self.tree.depth(node)
+        return paths.depth(node)
+
+    def _ancestor_at(self, node: TreeNode, hops: int) -> TreeNode:
+        """Exact ancestor query, honouring the adaptive ancestry policy.
+
+        Callers guarantee ``hops <= depth(node)``.
+        """
+        if self._tables_on:
+            return self.tree.ancestor_at(node, hops)
+        return paths.ancestor_at(node, hops)
 
     def _take_interval(self, size: int):
         """Carve the next ``size`` serial numbers out of the root storage."""
@@ -346,6 +507,7 @@ class CentralizedController(TreeListener):
 
     def _relocate_store(self, node: TreeNode, parent: TreeNode) -> None:
         store = self.stores.discard(node)
+        self._mobile_hosts.pop(node, None)
         if store is None or store.is_empty:
             return
         # One move carries the whole set of packages one hop (Section 2.2
@@ -354,4 +516,7 @@ class CentralizedController(TreeListener):
         if self.domains is not None:
             for package in store.mobile:
                 self.domains.set_host(package, parent)
-        self.stores.get(parent).merge_from(store)
+        parent_store = self.stores.get(parent)
+        parent_store.merge_from(store)
+        if parent_store.mobile:
+            self._mobile_hosts[parent] = parent_store

@@ -26,7 +26,7 @@ stage exhausts without granting anything (which can happen when the
 remaining budget is smaller than the package a deep request needs).
 """
 
-from typing import Optional
+from typing import Iterable, List, Optional
 
 from repro.errors import ControllerError
 from repro.metrics.counters import MoveCounters
@@ -119,6 +119,13 @@ class IteratedController:
                 # Final stage with reject_on_exhaustion=False: bubble up.
                 return outcome
             self._advance_stage()
+
+    def handle_batch(self, requests: Iterable[Request]) -> List[Outcome]:
+        """Serve a batch in order; stage rollovers happen mid-batch
+        exactly where sequential :meth:`handle` calls would trigger
+        them, so outcomes and counters are identical to the sequential
+        run (property-tested)."""
+        return [self.handle(request) for request in requests]
 
     # ------------------------------------------------------------------
     # Stage management.

@@ -64,6 +64,11 @@ class NodeStore:
     static_permits: int = 0
     has_reject: bool = False
     static_intervals: List[Tuple[int, int]] = field(default_factory=list)
+    # Cached depth of the hosting node, keyed by the tree's splice
+    # generation (``DynamicTree.anc_generation``) — the request engine's
+    # indexed filler scan refreshes it lazily when the generation moves.
+    host_depth: int = -1
+    host_depth_gen: int = -1
 
     @property
     def is_empty(self) -> bool:
@@ -101,30 +106,64 @@ class StoreMap:
 
     Nodes with no controller state cost nothing, matching the memory
     claim; iteration only visits nodes that ever held state.
+
+    ``slot_owner`` enables the request engine's fast path: every store
+    this map creates is additionally pinned into the node's
+    ``_store_owner`` / ``_store`` slots, so per-hop lookups in hot
+    climbs become two slot loads instead of a dict probe (which pays a
+    Python-level ``TreeNode.__hash__`` call).  Slots are identity-
+    checked against the owner; at most one controller per tree claims
+    slots at a time (see ``CentralizedController``), so a pinned slot
+    is always authoritative for its owner.
     """
 
-    def __init__(self):
+    def __init__(self, slot_owner=None):
         self._stores: Dict[object, NodeStore] = {}
+        self._slot_owner = slot_owner
 
     def get(self, node) -> NodeStore:
+        owner = self._slot_owner
+        if owner is not None and node._store_owner is owner:
+            return node._store
         store = self._stores.get(node)
         if store is None:
             store = NodeStore()
             self._stores[node] = store
+        if owner is not None:
+            node._store_owner = owner
+            node._store = store
         return store
 
     def peek(self, node) -> Optional[NodeStore]:
         """The store if it exists, without creating one."""
+        owner = self._slot_owner
+        if owner is not None and node._store_owner is owner:
+            return node._store
         return self._stores.get(node)
 
     def discard(self, node) -> Optional[NodeStore]:
         """Remove and return a node's store (used on deletion)."""
+        if self._slot_owner is not None and \
+                node._store_owner is self._slot_owner:
+            node._store_owner = None
+            node._store = None
         return self._stores.pop(node, None)
 
     def items(self):
         return self._stores.items()
 
+    def release_slots(self) -> None:
+        """Unpin every slot this map owns (called on controller detach)."""
+        if self._slot_owner is None:
+            return
+        for node in self._stores:
+            if node._store_owner is self._slot_owner:
+                node._store_owner = None
+                node._store = None
+        self._slot_owner = None
+
     def clear(self) -> None:
+        self.release_slots()
         self._stores.clear()
 
     def total_parked_permits(self) -> int:

@@ -14,7 +14,7 @@ requests still pending at termination are resubmitted by the application
 to the next iteration's controller.
 """
 
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from repro.errors import ControllerError
 from repro.metrics.counters import MoveCounters
@@ -67,6 +67,13 @@ class TerminatingController:
             self._terminate()
             self.pending.append(request)
         return outcome
+
+    def handle_batch(self, requests: Iterable[Request]) -> List[Outcome]:
+        """Serve a batch in order.  Requests past the termination point
+        come back ``PENDING`` and are queued on :attr:`pending`, exactly
+        as sequential :meth:`submit` calls would leave them — the
+        application resubmits them to its next iteration's controller."""
+        return [self.submit(request) for request in requests]
 
     def _terminate(self) -> None:
         """Broadcast the termination signal and upcast acknowledgements.

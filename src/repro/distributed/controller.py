@@ -116,6 +116,38 @@ class DistributedController(TreeListener):
             raise ProtocolError(f"request {request.request_id} never resolved")
         return result[0]
 
+    def submit_batch(self, requests: List[Request],
+                     stagger: float = 0.0) -> List[Outcome]:
+        """Pipeline a batch of concurrent requests through the engine.
+
+        All requests are injected up front (arrival times ``0``,
+        ``stagger``, ``2 * stagger``, ...), their agents interleave on
+        the tree under the Section 4.3.1 locking discipline, and the
+        scheduler runs to quiescence.  Outcomes are returned in
+        *submission order* (agents resolve in whatever order the
+        asynchrony produces; the mapping back is by request identity).
+
+        This is the distributed twin of the centralized controllers'
+        ``handle_batch``: instead of amortizing ancestry repairs it
+        amortizes network latency — agents on disjoint root-path
+        segments climb concurrently, so a batch completes in far fewer
+        simulated time units than sequential ``submit_and_run`` calls.
+        """
+        requests = list(requests)
+        resolved: Dict[int, Outcome] = {}
+
+        def settle(outcome: Outcome) -> None:
+            resolved[outcome.request.request_id] = outcome
+
+        for position, request in enumerate(requests):
+            self.submit(request, delay=position * stagger, callback=settle)
+        self.run()
+        missing = [r for r in requests if r.request_id not in resolved]
+        if missing:
+            raise ProtocolError(
+                f"{len(missing)} batch requests never resolved")
+        return [resolved[r.request_id] for r in requests]
+
     def unused_permits(self) -> int:
         return self.storage + self.boards.total_parked_permits()
 

@@ -39,6 +39,10 @@ class TreeNode:
         "alive",
         "port_to_parent",
         "_ports",
+        "_anc_jumps",
+        "_anc_epoch",
+        "_store_owner",
+        "_store",
     )
 
     def __init__(self, node_id: int, parent: Optional["TreeNode"] = None):
@@ -50,6 +54,24 @@ class TreeNode:
         # each endpoint; each node knows the port leading to its parent.
         self.port_to_parent: Optional[int] = None
         self._ports: Dict[int, "TreeNode"] = {}
+        # Skip-pointer ancestry cache, owned by DynamicTree (see
+        # ``DynamicTree.ancestor_at``): the jump table (``_anc_jumps[i]``
+        # is the ancestor ``2^i`` hops up; depth is derived by climbing
+        # the maximal jumps) plus the tree epoch it was built under —
+        # the cache is fresh iff the epochs match (-1 = never built /
+        # explicitly invalidated).  Simulation-local bookkeeping: the
+        # distributed protocols never read it, so the memory bounds of
+        # Section 4.4 are unaffected.
+        self._anc_jumps: List["TreeNode"] = []
+        self._anc_epoch = -1
+        # Store fast-path slot (see ``repro.core.packages.StoreMap``):
+        # one controller at a time may pin its per-node store here so
+        # hot loops replace dict probes (which pay a Python-level
+        # ``__hash__`` call per hop) with two slot loads.  Identity-
+        # checked against the owner, so stale slots from detached
+        # controllers are inert.
+        self._store_owner: Optional[object] = None
+        self._store: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Port management (Section 2.1.2: adversarially assigned, distinct).

@@ -3,6 +3,7 @@
 from repro.workloads.scenarios import (
     NodePicker,
     ScenarioResult,
+    TreeMirror,
     build_caterpillar,
     build_path,
     build_random_tree,
@@ -10,12 +11,14 @@ from repro.workloads.scenarios import (
     default_mix,
     grow_only_mix,
     random_request,
+    request_spec,
     run_scenario,
 )
 
 __all__ = [
     "NodePicker",
     "ScenarioResult",
+    "TreeMirror",
     "build_caterpillar",
     "build_path",
     "build_random_tree",
@@ -23,5 +26,6 @@ __all__ = [
     "default_mix",
     "grow_only_mix",
     "random_request",
+    "request_spec",
     "run_scenario",
 ]

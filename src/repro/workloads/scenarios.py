@@ -198,6 +198,60 @@ def random_request(tree: DynamicTree, rng: random.Random,
 
 
 # ----------------------------------------------------------------------
+# Stream recording / replay (batch-equivalence harness).
+# ----------------------------------------------------------------------
+def request_spec(request: Request):
+    """A tree-independent description of ``request``: ``(kind, node_id,
+    child_id)``.  Node ids are deterministic per construction order, so
+    a spec recorded against one tree can be replayed against a twin
+    tree built and driven identically."""
+    return (request.kind, request.node.node_id,
+            request.child.node_id if request.child is not None else None)
+
+
+class TreeMirror(TreeListener):
+    """Resolve recorded request specs against a twin tree.
+
+    Keeps a ``node_id -> node`` map (updated via the listener hooks as
+    grants create new nodes).  :meth:`requests` yields mirrored
+    :class:`Request` objects *lazily*, so a batched consumer such as
+    ``handle_batch`` — which walks its input one element at a time —
+    resolves each spec only after the previous request was applied;
+    ids created mid-batch are therefore present by the time they are
+    looked up.
+    """
+
+    def __init__(self, tree: DynamicTree):
+        self._tree = tree
+        self._map: Dict[int, TreeNode] = {
+            node.node_id: node for node in tree.nodes()
+        }
+        tree.add_listener(self)
+
+    def on_add_leaf(self, node: TreeNode) -> None:
+        self._map[node.node_id] = node
+
+    def on_add_internal(self, node: TreeNode, parent: TreeNode,
+                        child: TreeNode) -> None:
+        self._map[node.node_id] = node
+
+    def node(self, node_id: int) -> TreeNode:
+        return self._map[node_id]
+
+    def request(self, spec) -> Request:
+        kind, node_id, child_id = spec
+        child = self._map[child_id] if child_id is not None else None
+        return Request(kind, self._map[node_id], child=child)
+
+    def requests(self, specs):
+        """Lazily mirror an iterable of specs (see class docstring)."""
+        return (self.request(spec) for spec in specs)
+
+    def detach(self) -> None:
+        self._tree.remove_listener(self)
+
+
+# ----------------------------------------------------------------------
 # Scenario driver.
 # ----------------------------------------------------------------------
 @dataclass
@@ -230,25 +284,59 @@ def run_scenario(tree: DynamicTree,
                  mix: Optional[Dict[RequestKind, float]] = None,
                  keep_outcomes: bool = False,
                  on_step: Optional[Callable[[int, Outcome], None]] = None,
-                 stop_when: Optional[Callable[[], bool]] = None
+                 stop_when: Optional[Callable[[], bool]] = None,
+                 batch_size: int = 1,
+                 submit_batch: Optional[
+                     Callable[[List[Request]], List[Outcome]]] = None
                  ) -> ScenarioResult:
     """Generate ``steps`` random requests and feed them to ``submit``.
 
     ``on_step`` (if given) runs after every request — property tests hook
     invariant checks there.  ``stop_when`` ends the scenario early (e.g.
     once the controller starts rejecting).
+
+    Batched mode: with ``batch_size > 1``, requests are generated
+    ``batch_size`` at a time against the tree state at batch start and
+    fed to ``submit_batch`` (a controller's ``handle_batch`` /
+    ``submit_batch``; defaults to a loop over ``submit``).  This is the
+    usual batching contract: a request whose target vanishes under an
+    earlier in-batch grant resolves CANCELLED, exactly as the
+    controller's own meaning check prescribes.  With ``batch_size=1``
+    behaviour is bit-for-bit the historical sequential driver.
     """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     rng = random.Random(seed)
     picker = NodePicker(tree)
     result = ScenarioResult()
+    if submit_batch is None:
+        def submit_batch(batch):
+            return [submit(request) for request in batch]
     try:
-        for step in range(steps):
-            request = random_request(tree, rng, mix=mix, picker=picker)
-            outcome = submit(request)
-            result.record(outcome, keep_outcomes)
-            if on_step is not None:
-                on_step(step, outcome)
-            if stop_when is not None and stop_when():
+        step = 0
+        while step < steps:
+            if batch_size == 1:
+                batch = [random_request(tree, rng, mix=mix, picker=picker)]
+            else:
+                batch = [random_request(tree, rng, mix=mix, picker=picker)
+                         for _ in range(min(batch_size, steps - step))]
+            outcomes = submit_batch(batch)
+            stop = False
+            for outcome in outcomes:
+                # Every outcome of a submitted batch is recorded, even
+                # past a stop_when trigger — the controller already
+                # served those requests, so dropping them would leave
+                # the tallies disagreeing with the move counters.  The
+                # scenario then ends at the batch boundary (with
+                # batch_size=1 this is exactly the historical
+                # stop-after-the-request behaviour).
+                result.record(outcome, keep_outcomes)
+                if on_step is not None:
+                    on_step(step, outcome)
+                step += 1
+                if stop_when is not None and stop_when():
+                    stop = True
+            if stop:
                 break
     finally:
         picker.detach()

@@ -1,0 +1,1 @@
+"""Test package (unique basenames per subpackage need package scoping)."""

@@ -1,0 +1,74 @@
+"""Smoke tests for the ``python -m repro.bench`` experiment runner."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench import (
+    SCENARIOS,
+    run_ancestry,
+    run_batch,
+    run_distributed_batch,
+    run_scenario_bench,
+)
+
+
+def test_registry_names():
+    assert set(SCENARIOS) == {"ancestry", "move_complexity", "batch",
+                              "scenario", "distributed_batch"}
+
+
+def test_ancestry_small_sweep_is_exact_and_json():
+    result = run_ancestry(sizes=[80, 160], repeats=1)
+    json.dumps(result)  # serializable
+    assert [row["n"] for row in result["rows"]] == [80, 160]
+    for row in result["rows"]:
+        assert row["granted"] == row["steps"]
+        assert row["engine_ms"] > 0 and row["legacy_ms"] > 0
+    assert result["deep_path_speedup"] == result["rows"][-1]["speedup"]
+
+
+def test_batch_scenario_checks_equivalence():
+    result = run_batch(n=120, steps=240, batch_size=16)
+    assert result["outcomes_identical"] and result["counters_identical"]
+    json.dumps(result)
+
+
+@pytest.mark.parametrize("controller", ["centralized", "iterated",
+                                        "adaptive", "terminating"])
+def test_generic_scenario_all_controllers(controller):
+    result = run_scenario_bench(controller=controller, n=80, steps=160,
+                                batch_size=8)
+    assert result["granted"] + result["rejected"] + result["cancelled"] \
+        + result["pending"] == 160
+    json.dumps(result)
+
+
+def test_distributed_batch_scenario():
+    result = run_distributed_batch(sizes=[60])
+    row = result["rows"][0]
+    assert row["granted"] == row["requests"]
+    json.dumps(result)
+
+
+def test_cli_list_and_run(tmp_path):
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    env_cmd = [sys.executable, "-m", "repro.bench"]
+    listing = subprocess.run(env_cmd + ["list"], capture_output=True,
+                             text=True, check=True, env=env)
+    assert "ancestry" in listing.stdout
+    out = tmp_path / "bench.json"
+    run = subprocess.run(
+        env_cmd + ["scenario", "--n", "60", "--steps", "120",
+                   "--batch-size", "10", "--out", str(out)],
+        capture_output=True, text=True, check=True, env=env,
+    )
+    document = json.loads(out.read_text())
+    assert document["scenario"] == "scenario"
+    assert json.loads(run.stdout) == document

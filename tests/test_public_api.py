@@ -28,6 +28,7 @@ def test_quickstart_from_module_docstring():
 def test_subpackages_importable():
     import repro.apps
     import repro.baselines
+    import repro.bench
     import repro.core
     import repro.distributed
     import repro.metrics
@@ -36,3 +37,18 @@ def test_subpackages_importable():
     import repro.workloads
     assert repro.apps.SizeEstimationProtocol
     assert repro.distributed.DistributedController
+    assert repro.bench.SCENARIOS
+
+
+def test_batch_api_present_on_all_controllers():
+    from repro import (
+        AdaptiveController,
+        CentralizedController,
+        IteratedController,
+        TerminatingController,
+    )
+    from repro.distributed import DistributedController
+    for cls in (CentralizedController, IteratedController,
+                AdaptiveController, TerminatingController):
+        assert callable(getattr(cls, "handle_batch"))
+    assert callable(getattr(DistributedController, "submit_batch"))

@@ -2,6 +2,8 @@
 
 import random
 
+import pytest
+
 from repro import RequestKind
 from repro.workloads import (
     NodePicker,
@@ -105,3 +107,68 @@ def test_scenario_detaches_picker():
     controller = TrivialController(tree, m=10)
     run_scenario(tree, controller.handle, steps=20, seed=12)
     assert len(tree._listeners) == before
+
+
+# ----------------------------------------------------------------------
+# Batched driver (the request engine's run_scenario integration).
+# ----------------------------------------------------------------------
+def test_run_scenario_batched_drives_handle_batch():
+    from repro.core.iterated import IteratedController
+    from repro.workloads import build_random_tree, run_scenario
+
+    tree = build_random_tree(120, seed=21)
+    controller = IteratedController(tree, m=600, w=60, u=600)
+    batches = []
+
+    def spy(batch):
+        batch = list(batch)
+        batches.append(len(batch))
+        return controller.handle_batch(batch)
+
+    result = run_scenario(tree, controller.handle, steps=100, seed=22,
+                          batch_size=16, submit_batch=spy)
+    assert sum(batches) == 100
+    assert batches[:-1] == [16] * (len(batches) - 1)
+    assert result.granted + result.rejected + result.cancelled \
+        + result.pending == 100
+
+
+def test_run_scenario_batch_size_one_matches_sequential():
+    """batch_size=1 must be bit-for-bit the historical sequential
+    driver, checked against a hand-rolled generate-submit loop."""
+    from repro.core.iterated import IteratedController
+    from repro.workloads import (
+        NodePicker,
+        build_random_tree,
+        run_scenario,
+    )
+
+    tree_manual = build_random_tree(100, seed=23)
+    ctrl_manual = IteratedController(tree_manual, m=500, w=50, u=500)
+    rng = random.Random(24)
+    picker = NodePicker(tree_manual)
+    manual = [0, 0]
+    for _ in range(150):
+        request = random_request(tree_manual, rng, picker=picker)
+        outcome = ctrl_manual.handle(request)
+        manual[0] += outcome.granted
+        manual[1] += outcome.rejected
+    picker.detach()
+
+    tree_driver = build_random_tree(100, seed=23)
+    ctrl_driver = IteratedController(tree_driver, m=500, w=50, u=500)
+    result = run_scenario(tree_driver, ctrl_driver.handle, steps=150,
+                          seed=24, batch_size=1)
+    assert (result.granted, result.rejected) == tuple(manual)
+    assert ctrl_driver.counters.total == ctrl_manual.counters.total
+    assert tree_driver.size == tree_manual.size
+
+
+def test_run_scenario_rejects_bad_batch_size():
+    from repro.core.iterated import IteratedController
+    from repro.workloads import build_random_tree, run_scenario
+
+    tree = build_random_tree(20, seed=25)
+    controller = IteratedController(tree, m=100, w=10, u=100)
+    with pytest.raises(ValueError):
+        run_scenario(tree, controller.handle, steps=10, batch_size=0)
