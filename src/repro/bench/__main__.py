@@ -7,6 +7,8 @@ Examples::
     python -m repro.bench move_complexity --sizes 200,400,800
     python -m repro.bench batch --steps 2000 --batch-size 64
     python -m repro.bench scenario --topology star --controller terminating
+    python -m repro.bench scenario --name all --policy fifo,random,adversary \\
+        --seeds 0,1,2,3,4 --faults "stall=0.05,storms=3" --out grid.json
     python -m repro.bench distributed_batch --sizes 100,200
 """
 
@@ -62,7 +64,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", **common_out)
 
-    p = sub.add_parser("scenario", help="generic knob-driven run")
+    p = sub.add_parser(
+        "scenario",
+        help="knob-driven run, or (with --name) the adversarial "
+             "catalogue grid with invariant auditing")
+    p.add_argument("--name", default=None,
+                   help="catalogue scenario name(s), comma-separated, or "
+                        "'all' — switches to grid mode (scenario x policy "
+                        "x seed, invariant-checked)")
+    p.add_argument("--policy", default="fifo,random,adversary",
+                   help="grid mode: schedule policies, comma-separated "
+                        "(fifo, random, lifo, adversary)")
+    p.add_argument("--faults", default=None,
+                   help="grid mode: fault plan, e.g. "
+                        "'stall=0.05,pauses=2,storms=3'")
+    p.add_argument("--seeds", default="0,1,2,3,4",
+                   help="grid mode: seeds, comma-separated")
+    p.add_argument("--engines", default="iterated,distributed",
+                   help="grid mode: engines, comma-separated (centralized, "
+                        "iterated, adaptive, terminating, distributed)")
+    p.add_argument("--delays", default="uniform",
+                   help="grid mode: delay model (unit, uniform, heavytail, "
+                        "jitter, burst)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="grid mode: scale the catalogue specs (CI smoke "
+                        "uses e.g. 0.2)")
     p.add_argument("--topology", default="random",
                    choices=["random", "path", "star", "caterpillar"])
     p.add_argument("--controller", default="iterated",
@@ -96,17 +122,31 @@ def main(argv=None) -> int:
             summary = (inspect.getdoc(fn) or "").splitlines()[0]
             print(f"{name:20s} {summary}")
         return 0
-    runner = SCENARIOS[args.command]
+    command = args.command
+    if command == "scenario" and getattr(args, "name", None):
+        command = "scenario_grid"
+    runner = SCENARIOS[command]
     accepted = set(inspect.signature(runner).parameters)
     kwargs = {k: v for k, v in vars(args).items()
               if k in accepted and v is not None}
-    result = runner(**kwargs)
+    failure = None
+    try:
+        result = runner(**kwargs)
+    except AssertionError as error:
+        # The grid runner attaches the full report to the failure so the
+        # violation evidence survives (and CI can upload it).
+        result = getattr(error, "document", None)
+        if result is None:
+            raise
+        failure = error
     document = json.dumps(result, indent=2)
     print(document)
     if getattr(args, "out", None):
         with open(args.out, "w") as handle:
             handle.write(document + "\n")
         print(f"# wrote {args.out}", file=sys.stderr)
+    if failure is not None:
+        raise failure
     return 0
 
 

@@ -9,8 +9,10 @@ legacy configurations, so a benchmark run doubles as an equivalence
 check.
 """
 
+import dataclasses
 import random
 import time
+import zlib
 from typing import Dict, List, Optional
 
 from repro.core.adaptive import AdaptiveController
@@ -19,7 +21,17 @@ from repro.core.iterated import IteratedController
 from repro.core.requests import Request, RequestKind
 from repro.core.terminating import TerminatingController
 from repro.distributed.controller import DistributedController
+from repro.distributed.faults import FaultInjector, parse_fault_spec
 from repro.metrics.fitting import log_log_slope, observation_3_4_bound
+from repro.metrics.invariants import (
+    CounterWatch,
+    InvariantReport,
+    audit_controller,
+)
+from repro.sim.delays import make_delay_model
+from repro.sim.policies import SCHEDULE_POLICIES, make_policy
+from repro.sim.scheduler import Scheduler
+from repro.workloads.catalogue import CATALOGUE, get_scenario
 from repro.workloads.scenarios import (
     NodePicker,
     TreeMirror,
@@ -359,10 +371,276 @@ def run_distributed_batch(sizes: Optional[List[int]] = None,
     }
 
 
+# ----------------------------------------------------------------------
+# scenario_grid — the adversarial catalogue x policy x seed sweep.
+# ----------------------------------------------------------------------
+_CORE_ENGINES = ("centralized", "iterated", "adaptive", "terminating")
+
+
+def _cell_seed(*parts) -> int:
+    """Stable per-cell seed (crc32, immune to PYTHONHASHSEED)."""
+    return zlib.crc32(":".join(str(p) for p in parts).encode()) & 0x7FFFFFFF
+
+
+def _core_controller(kind: str, tree, spec):
+    if kind == "centralized":
+        return CentralizedController(tree, m=spec.m, w=spec.w, u=spec.u)
+    if kind == "iterated":
+        return IteratedController(tree, m=spec.m, w=spec.w, u=spec.u)
+    if kind == "adaptive":
+        return AdaptiveController(tree, m=spec.m, w=spec.w)
+    if kind == "terminating":
+        return TerminatingController(tree, m=spec.m, w=spec.w, u=spec.u)
+    raise ValueError(f"unknown core engine {kind!r}")
+
+
+def _tally(outcomes) -> Dict[str, int]:
+    tally = {"granted": 0, "rejected": 0, "cancelled": 0, "pending": 0}
+    for outcome in outcomes:
+        tally[outcome.status.value] += 1
+    return tally
+
+
+def _materialize(spec, seed: int):
+    """Build the reference tree and record the stream as replayable specs."""
+    tree = spec.build_tree(seed=seed)
+    stream = spec.stream(tree, seed=seed)
+    return [request_spec(r) for r in stream]
+
+
+def _replay_requests(spec, seed: int, stream_specs):
+    """A fresh twin tree plus the stream resolved against it."""
+    tree = spec.build_tree(seed=seed)
+    mirror = TreeMirror(tree)
+    requests = [mirror.request(s) for s in stream_specs]
+    mirror.detach()
+    return tree, requests
+
+
+def run_scenario_grid(name: str = "all",
+                      policy: str = "fifo,random,adversary",
+                      seeds: str = "0,1,2,3,4",
+                      faults: Optional[str] = None,
+                      engines: str = "iterated,distributed",
+                      delays: str = "uniform",
+                      stagger: float = 0.25,
+                      scale: float = 1.0) -> Dict:
+    """The adversarial grid: scenario x engine x schedule policy x seed.
+
+    Every cell replays the *identical* pre-generated stream (recorded as
+    tree-independent specs, resolved against a twin tree per cell).
+    Centralized-family engines ignore the schedule policy (they are
+    synchronous) and run once per scenario x seed; the distributed
+    engine runs once per policy, optionally under a fault plan
+    (``faults`` spec string, e.g. ``"stall=0.05,pauses=2,storms=3"``;
+    an unset horizon auto-resolves per cell to the run's span).  The
+    differential reference is the *first core engine listed* in
+    ``engines`` (iterated by default); ``summary.differential_checks``
+    records how many cross-checks actually ran — 0 when no core engine
+    is in the list.
+
+    Each cell is audited by the invariant checker (safety, waste,
+    conservation, package shape, lock ordering) plus a streaming
+    counter-monotonicity watch; cancellation-free scenarios additionally
+    cross-check the distributed grant totals against the centralized
+    reference (equal when nothing was rejected, both within the waste
+    window otherwise).  The run **raises** on any violation — a bench
+    invocation doubles as a correctness gate — and the JSON document
+    records the full per-cell evidence.
+    """
+    names = list(CATALOGUE) if name == "all" else [
+        part.strip() for part in name.split(",") if part.strip()]
+    for scenario_name in names:
+        get_scenario(scenario_name)  # fail fast on typos, before any cell
+    policies = [part.strip() for part in policy.split(",") if part.strip()]
+    for pol in policies:
+        if pol not in SCHEDULE_POLICIES:
+            raise ValueError(
+                f"unknown policy {pol!r}; known: {', '.join(SCHEDULE_POLICIES)}")
+    seed_list = [int(part) for part in str(seeds).split(",") if part != ""]
+    engine_list = [part.strip() for part in engines.split(",") if part.strip()]
+    known_engines = _CORE_ENGINES + ("distributed",)
+    for engine in engine_list:
+        if engine not in known_engines:
+            raise ValueError(
+                f"unknown engine {engine!r}; known: {', '.join(known_engines)}")
+    fault_plan = parse_fault_spec(faults)
+
+    cells: List[Dict] = []
+    grid_report = InvariantReport()
+    start_all = time.perf_counter()
+    for scenario_name in names:
+        spec = get_scenario(scenario_name)
+        if scale != 1.0:
+            spec = spec.scaled(scale)
+        for seed in seed_list:
+            stream_specs = _materialize(spec, seed)
+            reference: Optional[Dict] = None
+            stream_cancel_free = all(
+                kind in (RequestKind.PLAIN, RequestKind.ADD_LEAF)
+                for kind, _node, _child in stream_specs)
+            for engine in engine_list:
+                if engine != "distributed":
+                    cell = _run_core_cell(spec, seed, engine, stream_specs,
+                                          grid_report)
+                    if reference is None:
+                        reference = cell
+                    cells.append(cell)
+                    continue
+                for pol in policies:
+                    cell = _run_distributed_cell(
+                        spec, seed, pol, stream_specs, fault_plan, delays,
+                        stagger, grid_report)
+                    _cross_check(cell, spec, reference,
+                                 stream_cancel_free, fault_plan, grid_report)
+                    cells.append(cell)
+    wall_s = time.perf_counter() - start_all
+
+    document = {
+        "scenario": "scenario_grid",
+        "params": {
+            "names": names, "policies": policies, "seeds": seed_list,
+            "engines": engine_list, "faults": fault_plan.snapshot(),
+            "delays": delays, "stagger": stagger, "scale": scale,
+        },
+        "cells": cells,
+        "invariants": grid_report.to_json(),
+        "summary": {
+            "cells": len(cells),
+            "checks_run": sum(grid_report.checks.values()),
+            # Broken out so its *absence* is visible: without a core
+            # engine in --engines (or with only cancellation-prone
+            # streams) no differential check runs, and "passed" alone
+            # would overstate what was certified.
+            "differential_checks": grid_report.checks.get("differential", 0),
+            "violations": len(grid_report.violations),
+            "passed": grid_report.passed,
+            "wall_s": round(wall_s, 3),
+        },
+    }
+    if not grid_report.passed:
+        first = grid_report.violations[0]
+        error = AssertionError(
+            f"invariant violations in scenario grid "
+            f"({len(grid_report.violations)} total); first: "
+            f"[{first.invariant}] {first.message}"
+        )
+        # The per-cell evidence matters most on failure: attach the full
+        # document so the CLI can still honour --out before re-raising.
+        error.document = document
+        raise error
+    return document
+
+
+def _run_core_cell(spec, seed: int, engine: str, stream_specs,
+                   grid_report: InvariantReport) -> Dict:
+    tree, requests = _replay_requests(spec, seed, stream_specs)
+    controller = _core_controller(engine, tree, spec)
+    watch = CounterWatch(controller.counters, report=grid_report)
+    submit = getattr(controller, "handle", None) or controller.submit
+    start = time.perf_counter()
+    outcomes = []
+    for request in requests:
+        outcomes.append(submit(request))
+        watch.observe()
+    wall = time.perf_counter() - start
+    audit_controller(controller, grid_report)
+    cell = {
+        "scenario": spec.name, "seed": seed, "engine": engine,
+        "policy": None, "cost": controller.counters.total,
+        "wall_ms": round(wall * 1000, 3),
+    }
+    cell.update(_tally(outcomes))
+    return cell
+
+
+def _run_distributed_cell(spec, seed: int, policy: str, stream_specs,
+                          fault_plan, delays: str, stagger: float,
+                          grid_report: InvariantReport) -> Dict:
+    cell_seed = _cell_seed(spec.name, seed, policy, "distributed")
+    tree, requests = _replay_requests(spec, seed, stream_specs)
+    scheduler = Scheduler(policy=make_policy(policy, seed=cell_seed))
+    injector = None
+    if not fault_plan.is_noop:
+        # Auto horizon: the submission window plus a flight-time margin,
+        # so pauses/storms land while agents are actually mid-climb
+        # rather than bunching into the first instants of a long run.
+        span = len(requests) * stagger + 4 * spec.n
+        injector = FaultInjector(dataclasses.replace(
+            fault_plan.resolved(span),
+            seed=int(fault_plan.seed) ^ cell_seed))
+    controller = DistributedController(
+        tree, m=spec.m, w=spec.w, u=spec.u, scheduler=scheduler,
+        delays=make_delay_model(delays, seed=cell_seed),
+        faults=injector)
+    watch = CounterWatch(controller.counters, report=grid_report)
+    resolved: Dict[int, object] = {}
+
+    def settle(outcome) -> None:
+        resolved[outcome.request.request_id] = outcome
+        watch.observe()
+
+    start = time.perf_counter()
+    for position, request in enumerate(requests):
+        controller.submit(request, delay=position * stagger,
+                          callback=settle)
+    controller.run()
+    wall = time.perf_counter() - start
+    grid_report.expect(
+        len(resolved) == len(requests), "liveness",
+        f"{spec.name}/{policy}/seed={seed}: "
+        f"{len(requests) - len(resolved)} requests never resolved",
+        scenario=spec.name, policy=policy, seed=seed)
+    audit_controller(controller, grid_report)
+    cell = {
+        "scenario": spec.name, "seed": seed, "engine": "distributed",
+        "policy": policy, "cost": controller.counters.total,
+        "simulated_time": round(controller.scheduler.now, 3),
+        "wall_ms": round(wall * 1000, 3),
+    }
+    if injector is not None:
+        cell["fault_stats"] = dict(injector.stats)
+    cell.update(_tally(resolved.values()))
+    return cell
+
+
+def _cross_check(cell: Dict, spec, reference: Optional[Dict],
+                 cancel_free: bool, fault_plan,
+                 grid_report: InvariantReport) -> None:
+    """Differential check against the centralized reference.
+
+    Only the guarantees the paper actually makes are asserted: for
+    cancellation-free streams (PLAIN/ADD_LEAF only, no event can lose
+    its meaning) a pair of runs in which *neither* engine rejected must
+    grant the identical count, and any rejecting run must sit inside
+    the waste window ``[M - W, M]``.  Fault plans mutate the tree and
+    the timing outside the request stream, so the equal-grants check is
+    skipped there (the waste window still applies).
+    """
+    if reference is None or not cancel_free:
+        return
+    label = f"{spec.name}/{cell['policy']}/seed={cell['seed']}"
+    if (cell["rejected"] == 0 and reference["rejected"] == 0
+            and fault_plan.is_noop):
+        grid_report.expect(
+            cell["granted"] == reference["granted"], "differential",
+            f"{label}: reject-free distributed run granted "
+            f"{cell['granted']}, centralized reference "
+            f"{reference['granted']}",
+            scenario=spec.name, policy=cell["policy"], seed=cell["seed"])
+    elif cell["rejected"] > 0:
+        grid_report.expect(
+            cell["granted"] >= spec.m - spec.w, "differential",
+            f"{label}: rejecting run granted {cell['granted']}, below "
+            f"waste window floor {spec.m - spec.w}",
+            scenario=spec.name, policy=cell["policy"], seed=cell["seed"])
+
+
 SCENARIOS = {
     "ancestry": run_ancestry,
     "move_complexity": run_move_complexity,
     "batch": run_batch,
     "scenario": run_scenario_bench,
+    "scenario_grid": run_scenario_grid,
     "distributed_batch": run_distributed_batch,
 }

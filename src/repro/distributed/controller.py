@@ -60,6 +60,13 @@ class DistributedController(TreeListener):
     apply_topology:
         When True the controller performs granted topological changes on
         the tree itself (playing the requesting entity).
+    faults:
+        Optional :class:`repro.distributed.faults.FaultInjector`.  When
+        given, every agent hop's delay passes through the injector
+        (agent stalls, delivery pauses) and the injector's churn storms
+        are scheduled on this controller's scheduler.  All injected
+        faults are legal under the asynchronous model, so every
+        controller guarantee must hold unchanged.
     """
 
     def __init__(self, tree: DynamicTree, m: int, w: int, u: int,
@@ -68,13 +75,17 @@ class DistributedController(TreeListener):
                  counters: Optional[MessageCounters] = None,
                  tracer: Optional[Tracer] = None,
                  terminate_on_exhaustion: bool = False,
-                 apply_topology: bool = True):
+                 apply_topology: bool = True,
+                 faults=None):
         self.tree = tree
         self.params = ControllerParams(m=m, w=w, u=u)
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.delays = delays if delays is not None else UniformDelay(seed=0)
         self.counters = counters if counters is not None else MessageCounters()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.faults = faults
+        if faults is not None:
+            faults.attach(self)
         self.terminate_on_exhaustion = terminate_on_exhaustion
         self._apply_topology = apply_topology
 
@@ -463,8 +474,19 @@ class DistributedController(TreeListener):
     # ------------------------------------------------------------------
     def _hop(self, agent: Agent, arrive: Callable[[Agent], None]) -> None:
         self.counters.agent_hops += 1
-        self.scheduler.schedule(self.delays.sample(),
-                                lambda: arrive(agent))
+        # The delay key identifies the hop's departure node, so keyed
+        # delay models (per-edge jitter) can make specific links slow.
+        path = agent.path
+        if agent.state is AgentState.CLIMBING:
+            key = path[-1].node_id if path else agent.origin.node_id
+        elif path:
+            key = path[min(agent.pos, len(path) - 1)].node_id
+        else:
+            key = agent.origin.node_id
+        delay = self.delays.sample(key)
+        if self.faults is not None:
+            delay = self.faults.perturb_hop(self.scheduler.now, delay)
+        self.scheduler.schedule(delay, lambda: arrive(agent))
 
     # ------------------------------------------------------------------
     # Outcome bookkeeping.

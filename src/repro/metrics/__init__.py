@@ -2,8 +2,20 @@
 
 from repro.metrics.counters import MoveCounters, MessageCounters, MemoryAudit
 from repro.metrics.fitting import bound_ratio, log_log_slope, amortized_series
+from repro.metrics.invariants import (
+    CounterWatch,
+    InvariantReport,
+    Violation,
+    audit_controller,
+    audit_tallies,
+)
 
 __all__ = [
+    "CounterWatch",
+    "InvariantReport",
+    "Violation",
+    "audit_controller",
+    "audit_tallies",
     "MoveCounters",
     "MessageCounters",
     "MemoryAudit",

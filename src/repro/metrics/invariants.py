@@ -1,0 +1,354 @@
+"""Run-auditing invariant checker for every controller flavour.
+
+The paper's guarantees are worst-case over adversarial request streams
+and schedules, so every run — friendly or adversarial, centralized or
+distributed — must satisfy:
+
+* **safety** (Definition, Section 2.2): at most ``M`` permits granted;
+* **waste** (liveness): once anything has been rejected, at least
+  ``M - W`` permits must have been granted — i.e. at most ``W`` permits
+  are wasted;
+* **conservation**: permits are neither created nor destroyed by
+  package splits, graceful hand-overs, stage/epoch rollovers — granted
+  plus root storage plus parked packages always totals ``M``;
+* **package shape** (Section 3.1): every parked mobile package of level
+  ``i`` holds exactly ``2^i * phi`` permits;
+* **lock ordering** (Section 4.3.1, distributed only): a locked node's
+  holder carries that node on its locked path, queued agents are in the
+  WAITING state, and a quiescent engine holds no locks and no waiters;
+* **counter monotonicity**: move/message counters never decrease
+  (checked in stream via :class:`CounterWatch`).
+
+The checker is deliberately import-light: controllers are recognized
+structurally (``boards`` implies the distributed engine, ``stages_run``
+the halving wrapper, ...), so :mod:`repro.metrics` never imports
+:mod:`repro.core` and the dependency graph stays acyclic.  The report
+is JSON-serializable for the bench CLI's grid runs.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Violation:
+    """One failed invariant check."""
+
+    invariant: str
+    message: str
+    context: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        return {"invariant": self.invariant, "message": self.message,
+                "context": dict(self.context)}
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of auditing one run (or one slice of a grid)."""
+
+    checks: Dict[str, int] = field(default_factory=dict)
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def count(self, invariant: str) -> None:
+        self.checks[invariant] = self.checks.get(invariant, 0) + 1
+
+    def fail(self, invariant: str, message: str, **context) -> None:
+        self.violations.append(Violation(invariant, message, context))
+
+    def expect(self, condition: bool, invariant: str, message: str,
+               **context) -> None:
+        self.count(invariant)
+        if not condition:
+            self.fail(invariant, message, **context)
+
+    def merge(self, other: "InvariantReport") -> "InvariantReport":
+        for name, count in other.checks.items():
+            self.checks[name] = self.checks.get(name, 0) + count
+        self.violations.extend(other.violations)
+        return self
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "passed": self.passed,
+            "checks": dict(self.checks),
+            "violations": [v.to_json() for v in self.violations],
+        }
+
+
+# ----------------------------------------------------------------------
+# Controller audits (structural dispatch).
+# ----------------------------------------------------------------------
+def audit_controller(controller, report: Optional[InvariantReport] = None
+                     ) -> InvariantReport:
+    """Audit any controller flavour; dispatches structurally.
+
+    Recognized shapes: the distributed engine (``boards``), the halving
+    wrapper (``stages_run``), the unknown-U wrapper (``epochs_run``),
+    the terminating wrapper (``terminated`` + ``inner``), and the plain
+    centralized controller (``stores``).
+    """
+    report = report if report is not None else InvariantReport()
+    if hasattr(controller, "boards"):
+        return _audit_distributed(controller, report)
+    if hasattr(controller, "epochs_run") and hasattr(controller, "_inner"):
+        return _audit_adaptive(controller, report)
+    if hasattr(controller, "stages_run") and hasattr(controller, "_inner"):
+        return _audit_iterated(controller, report)
+    if hasattr(controller, "terminated") and hasattr(controller, "inner"):
+        return _audit_terminating(controller, report)
+    if hasattr(controller, "_stage"):      # distributed halving wrapper
+        _check_safety_and_waste(report, controller.granted,
+                                controller.rejected, controller.m,
+                                controller.w, "distributed-iterated")
+        if controller._stage is not None:
+            _audit_distributed(controller._stage, report)
+        return report
+    if hasattr(controller, "_main"):       # distributed unknown-U wrapper
+        _check_safety_and_waste(report, controller.granted,
+                                controller.rejected, controller.m,
+                                controller.w, "distributed-adaptive")
+        if controller._main is not None:
+            _audit_distributed(controller._main, report)
+        return report
+    if hasattr(controller, "stores"):
+        return _audit_centralized(controller, report)
+    report.fail("dispatch",
+                f"unrecognized controller type {type(controller).__name__}")
+    return report
+
+
+def _check_safety_and_waste(report: InvariantReport, granted: int,
+                            rejected: int, m: int, w: int, label: str
+                            ) -> None:
+    report.expect(granted <= m, "safety",
+                  f"{label}: granted {granted} exceeds M={m}",
+                  granted=granted, m=m)
+    if rejected > 0:
+        report.expect(granted >= m - w, "waste",
+                      f"{label}: rejected with only {granted} grants; "
+                      f"waste bound requires >= {m - w}",
+                      granted=granted, rejected=rejected, m=m, w=w)
+    else:
+        report.count("waste")
+
+
+def _check_store_packages(report: InvariantReport, stores, params,
+                          label: str) -> None:
+    """Parked mobile packages have the Section 3.1 shape."""
+    for node, store in stores.items():
+        for package in store.mobile:
+            expected = params.mobile_size(package.level)
+            report.expect(
+                package.size == expected, "packages",
+                f"{label}: level-{package.level} package holds "
+                f"{package.size} permits, expected {expected}",
+                node=getattr(node, "node_id", None), level=package.level)
+        report.expect(store.static_permits >= 0, "packages",
+                      f"{label}: negative static pool",
+                      node=getattr(node, "node_id", None),
+                      static=store.static_permits)
+
+
+def _audit_centralized(controller, report: InvariantReport,
+                       label: str = "centralized") -> InvariantReport:
+    m = controller.params.m
+    w = controller.params.w
+    _check_safety_and_waste(report, controller.granted, controller.rejected,
+                            m, w, label)
+    parked = controller.stores.total_parked_permits()
+    total = controller.granted + controller.storage + parked
+    report.expect(total == m, "conservation",
+                  f"{label}: granted {controller.granted} + storage "
+                  f"{controller.storage} + parked {parked} = {total} != M={m}",
+                  granted=controller.granted, storage=controller.storage,
+                  parked=parked, m=m)
+    _check_store_packages(report, controller.stores, controller.params, label)
+    return report
+
+
+def _audit_iterated(controller, report: InvariantReport,
+                    label: str = "iterated") -> InvariantReport:
+    _check_safety_and_waste(report, controller.granted, controller.rejected,
+                            controller.m, controller.w, label)
+    inner = controller._inner
+    if inner is not None:
+        # Wrapper-level conservation: the total budget equals grants made
+        # in finished stages plus the live stage's full budget ...
+        report.expect(
+            controller.m == controller._granted_before_stage + inner.params.m,
+            "conservation",
+            f"{label}: stage budget {inner.params.m} + prior grants "
+            f"{controller._granted_before_stage} != M={controller.m}",
+            m=controller.m, stage_m=inner.params.m,
+            prior=controller._granted_before_stage)
+        # ... and the live stage conserves its own budget exactly.
+        _audit_centralized(inner, report, label=f"{label}/stage")
+    elif controller._trivial_active:
+        total = (controller._granted_before_stage
+                 + controller._trivial_storage)
+        report.expect(total == controller.m, "conservation",
+                      f"{label}: trivial-stage storage "
+                      f"{controller._trivial_storage} + grants != M",
+                      total=total, m=controller.m)
+    return report
+
+
+def _audit_adaptive(controller, report: InvariantReport) -> InvariantReport:
+    _check_safety_and_waste(report, controller.granted, controller.rejected,
+                            controller.m, controller.w, "adaptive")
+    inner = controller._inner
+    if inner is not None:
+        report.expect(
+            controller.m == controller._granted_before_epoch + inner.m,
+            "conservation",
+            f"adaptive: epoch budget {inner.m} + prior grants "
+            f"{controller._granted_before_epoch} != M={controller.m}",
+            m=controller.m, epoch_m=inner.m,
+            prior=controller._granted_before_epoch)
+        _audit_iterated(inner, report, label="adaptive/epoch")
+    return report
+
+
+def _audit_terminating(controller, report: InvariantReport
+                       ) -> InvariantReport:
+    inner = controller.inner
+    m = inner.params.m
+    w = inner.params.w
+    report.expect(controller.granted <= m, "safety",
+                  f"terminating: granted {controller.granted} > M={m}",
+                  granted=controller.granted, m=m)
+    if controller.terminated:
+        # Observation 2.1: at termination between M - W and M permits
+        # were granted (the terminating analogue of the waste bound).
+        report.expect(controller.granted >= m - w, "waste",
+                      f"terminating: terminated with {controller.granted} "
+                      f"grants, bound requires >= {m - w}",
+                      granted=controller.granted, m=m, w=w)
+    else:
+        report.count("waste")
+    parked = inner.stores.total_parked_permits()
+    total = controller.granted + inner.storage + parked
+    report.expect(total == m, "conservation",
+                  f"terminating: granted + storage + parked = {total} "
+                  f"!= M={m}",
+                  granted=controller.granted, storage=inner.storage,
+                  parked=parked, m=m)
+    _check_store_packages(report, inner.stores, inner.params, "terminating")
+    return report
+
+
+def _audit_distributed(controller, report: InvariantReport
+                       ) -> InvariantReport:
+    m = controller.params.m
+    w = controller.params.w
+    label = "distributed"
+    _check_safety_and_waste(report, controller.granted, controller.rejected,
+                            m, w, label)
+    quiescent = controller.active_agents == 0
+    if quiescent:
+        # Conservation is a quiescent-state property: while agents are
+        # mid-distribution their Bag carries permits that are neither
+        # root storage nor parked.
+        parked = controller.boards.total_parked_permits()
+        total = controller.granted + controller.storage + parked
+        report.expect(total == m, "conservation",
+                      f"{label}: granted {controller.granted} + storage "
+                      f"{controller.storage} + parked {parked} = {total} "
+                      f"!= M={m}",
+                      granted=controller.granted,
+                      storage=controller.storage, parked=parked, m=m)
+    _check_lock_ordering(controller, report, quiescent)
+    # Package shape + orphan audit over every whiteboard.
+    for node, board in controller.boards.items():
+        alive = node in controller.tree
+        report.expect(
+            alive or board.is_empty, "locks",
+            f"{label}: dead node {node.node_id} still holds state "
+            "(orphaned store/lock/queue)",
+            node=node.node_id)
+        for package in board.store.mobile:
+            expected = controller.params.mobile_size(package.level)
+            report.expect(
+                package.size == expected, "packages",
+                f"{label}: level-{package.level} package holds "
+                f"{package.size} permits, expected {expected}",
+                node=node.node_id, level=package.level)
+    return report
+
+
+def _check_lock_ordering(controller, report: InvariantReport,
+                         quiescent: bool) -> None:
+    """Section 4.3.1 locking discipline over the whiteboards."""
+    for node, board in controller.boards.items():
+        holder = board.locked_by
+        if holder is not None:
+            report.expect(
+                node in holder.path, "locks",
+                f"locked node {node.node_id} not on holder's path "
+                f"(agent {holder.agent_id})",
+                node=node.node_id, agent=holder.agent_id)
+            report.expect(
+                holder.state.value != "done", "locks",
+                f"finished agent {holder.agent_id} still holds the lock "
+                f"of node {node.node_id}",
+                node=node.node_id, agent=holder.agent_id)
+        report.expect(
+            holder is not None or not board.queue, "locks",
+            f"unlocked node {node.node_id} has {len(board.queue)} waiters",
+            node=node.node_id)
+        for waiter in board.queue:
+            report.expect(
+                waiter.state.value == "waiting", "locks",
+                f"queued agent {waiter.agent_id} at node {node.node_id} "
+                f"is {waiter.state.value}, not waiting",
+                node=node.node_id, agent=waiter.agent_id)
+        if quiescent:
+            report.expect(
+                holder is None and not board.queue, "locks",
+                f"quiescent engine: node {node.node_id} still locked "
+                "or queued",
+                node=node.node_id)
+
+
+# ----------------------------------------------------------------------
+# Outcome-tally audit (works on ScenarioResult or raw numbers).
+# ----------------------------------------------------------------------
+def audit_tallies(granted: int, rejected: int, m: int, w: int,
+                  report: Optional[InvariantReport] = None
+                  ) -> InvariantReport:
+    """Safety + waste from outcome tallies alone (engine-agnostic)."""
+    report = report if report is not None else InvariantReport()
+    _check_safety_and_waste(report, granted, rejected, m, w, "tallies")
+    return report
+
+
+# ----------------------------------------------------------------------
+# Streaming counter monotonicity.
+# ----------------------------------------------------------------------
+class CounterWatch:
+    """Asserts a counter set only ever grows.
+
+    Call :meth:`observe` after every request (scenario drivers hook it
+    into ``on_step``); each observation compares the counter snapshot
+    against the previous one component-wise.
+    """
+
+    def __init__(self, counters, report: Optional[InvariantReport] = None):
+        self._counters = counters
+        self.report = report if report is not None else InvariantReport()
+        self._last = counters.snapshot()
+
+    def observe(self, *_args) -> None:
+        current = self._counters.snapshot()
+        for name, value in current.items():
+            previous = self._last.get(name, 0)
+            self.report.expect(
+                value >= previous, "monotonicity",
+                f"counter {name} decreased from {previous} to {value}",
+                counter=name, before=previous, after=value)
+        self._last = current

@@ -10,10 +10,23 @@ seed.
 
 from repro.sim.scheduler import Event, Scheduler
 from repro.sim.delays import (
+    DELAY_MODELS,
+    BurstStallDelay,
     DelayModel,
-    UnitDelay,
-    UniformDelay,
     HeavyTailDelay,
+    PerEdgeJitterDelay,
+    UniformDelay,
+    UnitDelay,
+    make_delay_model,
+)
+from repro.sim.policies import (
+    SCHEDULE_POLICIES,
+    AdversaryPolicy,
+    FifoPolicy,
+    LifoPolicy,
+    RandomPolicy,
+    SchedulePolicy,
+    make_policy,
 )
 from repro.sim.tracing import TraceEvent, Tracer
 
@@ -24,6 +37,17 @@ __all__ = [
     "UnitDelay",
     "UniformDelay",
     "HeavyTailDelay",
+    "PerEdgeJitterDelay",
+    "BurstStallDelay",
+    "DELAY_MODELS",
+    "make_delay_model",
+    "SchedulePolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "LifoPolicy",
+    "AdversaryPolicy",
+    "SCHEDULE_POLICIES",
+    "make_policy",
     "TraceEvent",
     "Tracer",
 ]

@@ -6,9 +6,18 @@ so exercising several delay distributions (including a heavy-tailed one
 that creates long reorderings) gives the property tests real adversarial
 power.  All models draw from a private ``random.Random`` so that a seed
 fully determines the execution.
+
+``sample`` takes an optional ``key`` (the distributed engine passes the
+id of the node a hop departs from): the base distributions ignore it,
+while :class:`PerEdgeJitterDelay` uses it to make *specific links*
+persistently slow — the "one bad cable" regime — and
+:class:`BurstStallDelay` models network-wide stall windows where every
+in-flight message slows down at once.  Both wrap any base model, so the
+adversarial regimes compose with the base distributions.
 """
 
 import random
+import zlib
 
 from repro.errors import SimulationError
 
@@ -16,7 +25,7 @@ from repro.errors import SimulationError
 class DelayModel:
     """Base class: maps each message send to a positive finite delay."""
 
-    def sample(self) -> float:
+    def sample(self, key=None) -> float:
         raise NotImplementedError
 
     def split(self, salt: int) -> "DelayModel":
@@ -31,7 +40,7 @@ class UnitDelay(DelayModel):
     round-based schedule.
     """
 
-    def sample(self) -> float:
+    def sample(self, key=None) -> float:
         return 1.0
 
     def split(self, salt: int) -> "UnitDelay":
@@ -49,7 +58,7 @@ class UniformDelay(DelayModel):
         self._high = high
         self._seed = seed
 
-    def sample(self) -> float:
+    def sample(self, key=None) -> float:
         return self._rng.uniform(self._low, self._high)
 
     def split(self, salt: int) -> "UniformDelay":
@@ -72,9 +81,118 @@ class HeavyTailDelay(DelayModel):
         self._cap = cap
         self._seed = seed
 
-    def sample(self) -> float:
+    def sample(self, key=None) -> float:
         value = self._rng.paretovariate(self._shape)
         return min(value, self._cap)
 
     def split(self, salt: int) -> "HeavyTailDelay":
         return HeavyTailDelay(self._seed ^ (salt * 0x9E3779B9), self._shape, self._cap)
+
+
+class PerEdgeJitterDelay(DelayModel):
+    """Per-link multipliers over a base model: a few links are slow.
+
+    Each key (the distributed engine passes the departure node's id, so
+    keys identify upward edges) is deterministically assigned a
+    multiplier: with probability ``slow_fraction`` the link is slow
+    (``slow_factor`` x base delay), otherwise a mild jitter in
+    ``[1, 1 + jitter)``.  Assignments are memoized, so a slow link stays
+    slow for the whole execution — persistent asymmetry that FIFO-ish
+    schedules never produce on their own.
+    """
+
+    def __init__(self, base: DelayModel = None, seed: int = 0,
+                 slow_fraction: float = 0.1, slow_factor: float = 10.0,
+                 jitter: float = 0.5):
+        if not 0 <= slow_fraction <= 1:
+            raise SimulationError(
+                f"slow_fraction must be in [0, 1], got {slow_fraction}")
+        if slow_factor < 1 or jitter < 0:
+            raise SimulationError("slow_factor must be >= 1 and jitter >= 0")
+        self._base = base if base is not None else UniformDelay(seed=seed)
+        self._seed = seed
+        self._slow_fraction = slow_fraction
+        self._slow_factor = slow_factor
+        self._jitter = jitter
+        self._multipliers = {}
+
+    def _multiplier(self, key) -> float:
+        factor = self._multipliers.get(key)
+        if factor is None:
+            # crc32, not hash(): str keys must map to the same link
+            # multiplier in every process (PYTHONHASHSEED salts hash()).
+            key_mix = zlib.crc32(repr(key).encode())
+            rng = random.Random((self._seed * 0x9E3779B9) ^ key_mix)
+            if rng.random() < self._slow_fraction:
+                factor = self._slow_factor
+            else:
+                factor = 1.0 + rng.random() * self._jitter
+            self._multipliers[key] = factor
+        return factor
+
+    def sample(self, key=None) -> float:
+        value = self._base.sample(key)
+        if key is None:
+            return value
+        return value * self._multiplier(key)
+
+    def split(self, salt: int) -> "PerEdgeJitterDelay":
+        return PerEdgeJitterDelay(
+            self._base.split(salt), self._seed ^ (salt * 0x9E3779B9),
+            self._slow_fraction, self._slow_factor, self._jitter)
+
+
+class BurstStallDelay(DelayModel):
+    """Periodic network-wide stall bursts over a base model.
+
+    Samples cycle through windows of ``period`` draws; the last
+    ``burst`` draws of each window are multiplied by ``factor``.  During
+    a burst *every* message in the system slows down together — the
+    correlated-stall regime (a GC pause, a congested uplink) that
+    independent per-message draws cannot express.
+    """
+
+    def __init__(self, base: DelayModel = None, seed: int = 0,
+                 period: int = 100, burst: int = 15, factor: float = 20.0):
+        if period <= 0 or not 0 <= burst <= period or factor < 1:
+            raise SimulationError(
+                f"invalid burst parameters (period={period}, burst={burst}, "
+                f"factor={factor})")
+        self._base = base if base is not None else UniformDelay(seed=seed)
+        self._seed = seed
+        self._period = period
+        self._burst = burst
+        self._factor = factor
+        self._count = 0
+
+    def sample(self, key=None) -> float:
+        value = self._base.sample(key)
+        position = self._count % self._period
+        self._count += 1
+        if position >= self._period - self._burst:
+            value *= self._factor
+        return value
+
+    def split(self, salt: int) -> "BurstStallDelay":
+        return BurstStallDelay(
+            self._base.split(salt), self._seed ^ (salt * 0x9E3779B9),
+            self._period, self._burst, self._factor)
+
+
+DELAY_MODELS = ("unit", "uniform", "heavytail", "jitter", "burst")
+
+
+def make_delay_model(name: str, seed: int = 0) -> DelayModel:
+    """Instantiate a delay model by registry name."""
+    if name == "unit":
+        return UnitDelay()
+    if name == "uniform":
+        return UniformDelay(seed=seed)
+    if name == "heavytail":
+        return HeavyTailDelay(seed=seed)
+    if name == "jitter":
+        return PerEdgeJitterDelay(UniformDelay(seed=seed), seed=seed)
+    if name == "burst":
+        return BurstStallDelay(UniformDelay(seed=seed), seed=seed)
+    raise SimulationError(
+        f"unknown delay model {name!r}; known: {', '.join(DELAY_MODELS)}")

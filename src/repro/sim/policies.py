@@ -1,0 +1,190 @@
+"""Schedule policies: which pending event runs next.
+
+The asynchronous model of Section 2.1 quantifies correctness over *all*
+finite message-delay assignments.  In the discrete-event simulator an
+event enters the queue only after the event that caused it has run, so
+**any** pop order over pending events is a legal asynchronous execution
+— the sampled delay times are one particular adversary, not a
+constraint.  A :class:`SchedulePolicy` exploits exactly this freedom:
+swapping the policy replays the same workload under a different legal
+interleaving, which is how one workload becomes thousands of distinct
+executions (one per policy x seed).
+
+Policies:
+
+* ``fifo`` — pop by ``(time, seq)``: the historical deterministic
+  schedule, bit-for-bit identical to the pre-policy scheduler;
+* ``random`` — pop a uniformly random pending event (seeded), the
+  schedule-exploration workhorse;
+* ``lifo`` — pop the most recently scheduled event: depth-biased, one
+  agent's causal chain is driven as deep as possible before siblings
+  advance;
+* ``adversary`` — pop the maximum ``(time, seq)``: the delay adversary,
+  maximally inverting the FIFO order (whatever the delay model wanted
+  to happen last happens first, subject only to causality).
+
+Under non-FIFO policies simulated time is kept monotone by clamping
+(``now`` never runs backwards); the event ``time`` stamps become
+advisory, exactly as the arbitrary-delay model prescribes.
+"""
+
+import heapq
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SimulationError
+
+
+class SchedulePolicy:
+    """Strategy owning the pending-event collection of a scheduler.
+
+    Subclasses implement ``push``/``pop``/``peek``/``__len__``.
+    ``pop``/``peek`` may return cancelled events; the scheduler skips
+    them (cancellation bookkeeping lives in the scheduler).
+    """
+
+    name = "base"
+
+    def push(self, event) -> None:
+        raise NotImplementedError
+
+    def pop(self):
+        raise NotImplementedError
+
+    def peek(self):
+        """The event :meth:`pop` would return next, without removing it."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class FifoPolicy(SchedulePolicy):
+    """Minimum ``(time, seq)`` first — the deterministic baseline."""
+
+    name = "fifo"
+
+    def __init__(self):
+        self._heap: List[object] = []
+
+    def push(self, event) -> None:
+        heapq.heappush(self._heap, event)
+
+    def pop(self):
+        return heapq.heappop(self._heap)
+
+    def peek(self):
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class AdversaryPolicy(SchedulePolicy):
+    """Maximum ``(time, seq)`` first — the deterministic delay adversary.
+
+    Every pair of causally independent events is executed in the
+    *opposite* of their FIFO order, the maximal legal reordering.
+    """
+
+    name = "adversary"
+
+    def __init__(self):
+        self._heap: List[object] = []
+
+    def push(self, event) -> None:
+        heapq.heappush(self._heap, (-event.time, -event.seq, event))
+
+    def pop(self):
+        return heapq.heappop(self._heap)[2]
+
+    def peek(self):
+        return self._heap[0][2] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class LifoPolicy(SchedulePolicy):
+    """Most recently scheduled first — depth-biased exploration."""
+
+    name = "lifo"
+
+    def __init__(self):
+        self._stack: List[object] = []
+
+    def push(self, event) -> None:
+        self._stack.append(event)
+
+    def pop(self):
+        return self._stack.pop()
+
+    def peek(self):
+        return self._stack[-1] if self._stack else None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class RandomPolicy(SchedulePolicy):
+    """Uniformly random pending event (seeded, swap-remove pops).
+
+    ``peek`` pre-draws the next victim so that ``peek``/``pop`` agree;
+    the draw is consumed by the following ``pop``.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+        self._events: List[object] = []
+        self._next: Optional[int] = None
+
+    def push(self, event) -> None:
+        self._events.append(event)
+        self._next = None
+
+    def _draw(self) -> int:
+        if self._next is None:
+            self._next = self._rng.randrange(len(self._events))
+        return self._next
+
+    def pop(self):
+        index = self._draw()
+        self._next = None
+        events = self._events
+        event = events[index]
+        last = events.pop()
+        if index < len(events):
+            events[index] = last
+        return event
+
+    def peek(self):
+        if not self._events:
+            return None
+        return self._events[self._draw()]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+_POLICY_FACTORIES: Dict[str, Callable[[int], SchedulePolicy]] = {
+    "fifo": lambda seed: FifoPolicy(),
+    "random": lambda seed: RandomPolicy(seed),
+    "lifo": lambda seed: LifoPolicy(),
+    "adversary": lambda seed: AdversaryPolicy(),
+}
+
+SCHEDULE_POLICIES = tuple(_POLICY_FACTORIES)
+
+
+def make_policy(name: str, seed: int = 0) -> SchedulePolicy:
+    """Instantiate a policy by registry name (seed used where relevant)."""
+    try:
+        factory = _POLICY_FACTORIES[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown schedule policy {name!r}; "
+            f"known: {', '.join(SCHEDULE_POLICIES)}"
+        ) from None
+    return factory(seed)

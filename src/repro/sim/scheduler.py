@@ -1,26 +1,30 @@
 """Event-driven simulator core.
 
-The scheduler maintains a priority queue of events keyed by
-``(time, sequence_number)``.  The sequence number breaks ties
-deterministically in insertion order, which makes every simulation run
-reproducible for a fixed seed and workload.
+The scheduler maintains a collection of pending events; a pluggable
+:class:`~repro.sim.policies.SchedulePolicy` decides which pending event
+runs next.  The default FIFO policy pops by ``(time, sequence_number)``
+— deterministic chronological order with insertion-order tie-breaks,
+bit-for-bit the historical behaviour — while the exploration policies
+(random / lifo / adversary) replay the same workload under other legal
+asynchronous interleavings (see ``repro.sim.policies`` for why every
+pop order is legal).
 
 The simulator is deliberately minimal: the distributed layer builds
 message passing, agents and locks on top of :meth:`Scheduler.schedule`.
 """
 
-import heapq
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from repro.errors import SimulationError
+from repro.sim.policies import FifoPolicy, SchedulePolicy
 
 
 @dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, seq)`` so that the event heap pops them in
+    Events compare by ``(time, seq)`` so that FIFO pops them in
     deterministic chronological order.  ``fn`` is excluded from the
     comparison.
     """
@@ -29,10 +33,26 @@ class Event:
     seq: int
     fn: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # Set once the scheduler has executed the event; a late cancel() is
+    # then a no-op.
+    _consumed: bool = field(default=False, compare=False, repr=False)
+    # Scheduler bookkeeping hook (keeps the live-event counter exact);
+    # invoked at most once thanks to the idempotence guard in cancel().
+    _canceller: Optional[Callable[[], None]] = field(
+        default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so the scheduler skips it when popped."""
+        """Mark the event so the scheduler skips it when popped.
+
+        Idempotent: cancelling an already-cancelled (or already-run)
+        event is a no-op, so double-cancel never corrupts the
+        scheduler's live-event accounting.
+        """
+        if self.cancelled or self._consumed:
+            return
         self.cancelled = True
+        if self._canceller is not None:
+            self._canceller()
 
 
 class Scheduler:
@@ -44,19 +64,28 @@ class Scheduler:
         Safety budget: :meth:`run` raises :class:`SimulationError` if more
         than this many events are executed, which catches accidental
         livelocks in protocol code during tests.
+    policy:
+        The schedule policy choosing the next pending event.  Defaults to
+        FIFO (the historical deterministic order).
     """
 
-    def __init__(self, max_events: int = 50_000_000):
-        self._heap: List[Event] = []
+    def __init__(self, max_events: int = 50_000_000,
+                 policy: Optional[SchedulePolicy] = None):
+        self._policy = policy if policy is not None else FifoPolicy()
         self._seq = 0
         self._now = 0.0
         self._max_events = max_events
+        self._live = 0
         self.executed = 0
 
     @property
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    @property
+    def policy(self) -> SchedulePolicy:
+        return self._policy
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` to run ``delay`` time units from now.
@@ -66,8 +95,10 @@ class Scheduler:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         event = Event(time=self._now + delay, seq=self._seq, fn=fn)
+        event._canceller = self._on_cancel
         self._seq += 1
-        heapq.heappush(self._heap, event)
+        self._live += 1
+        self._policy.push(event)
         return event
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
@@ -79,15 +110,21 @@ class Scheduler:
         return self.schedule(time - self._now, fn)
 
     def step(self) -> bool:
-        """Execute the next pending event.
+        """Execute the next pending event (per the schedule policy).
 
         Returns ``False`` when the event queue is empty, ``True`` otherwise.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        policy = self._policy
+        while len(policy):
+            event = policy.pop()
             if event.cancelled:
                 continue
-            self._now = event.time
+            event._consumed = True
+            self._live -= 1
+            # Non-FIFO policies pop out of time order; ``now`` stays
+            # monotone (the stamps are advisory under those policies).
+            if event.time > self._now:
+                self._now = event.time
             self.executed += 1
             if self.executed > self._max_events:
                 raise SimulationError(
@@ -99,12 +136,21 @@ class Scheduler:
         return False
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the queue drains (or simulated time passes ``until``)."""
-        while self._heap:
-            if until is not None and self._heap[0].time > until:
-                return
+        """Run until the queue drains (or the next event is past ``until``)."""
+        policy = self._policy
+        while len(policy):
+            if until is not None:
+                head = policy.peek()
+                while head is not None and head.cancelled:
+                    policy.pop()
+                    head = policy.peek()
+                if head is None or head.time > until:
+                    return
             self.step()
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live
+
+    def _on_cancel(self) -> None:
+        self._live -= 1

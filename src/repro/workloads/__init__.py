@@ -1,5 +1,11 @@
 """Workload generation: initial trees, request mixes, churn scenarios."""
 
+from repro.workloads.catalogue import (
+    CATALOGUE,
+    ScenarioSpec,
+    get_scenario,
+    scenario_names,
+)
 from repro.workloads.scenarios import (
     NodePicker,
     ScenarioResult,
@@ -16,6 +22,10 @@ from repro.workloads.scenarios import (
 )
 
 __all__ = [
+    "CATALOGUE",
+    "ScenarioSpec",
+    "get_scenario",
+    "scenario_names",
     "NodePicker",
     "ScenarioResult",
     "TreeMirror",

@@ -1,0 +1,168 @@
+"""Unit tests for the invariant checker.
+
+Two directions: clean runs of every controller flavour must audit
+green, and doctored states must trip exactly the invariant they
+violate (a checker that cannot fail checks nothing).
+"""
+
+from repro.core.adaptive import AdaptiveController
+from repro.core.centralized import CentralizedController
+from repro.core.iterated import IteratedController
+from repro.core.packages import MobilePackage
+from repro.core.requests import Request, RequestKind
+from repro.core.terminating import TerminatingController
+from repro.distributed import DistributedController
+from repro.metrics import MoveCounters
+from repro.metrics.invariants import (
+    CounterWatch,
+    InvariantReport,
+    audit_controller,
+    audit_tallies,
+)
+from repro.workloads import build_random_tree, run_scenario
+
+
+def _violated(report, invariant):
+    return [v for v in report.violations if v.invariant == invariant]
+
+
+# ----------------------------------------------------------------------
+# Clean runs audit green (all five flavours).
+# ----------------------------------------------------------------------
+def test_clean_runs_audit_green():
+    makers = [
+        lambda t: CentralizedController(t, m=300, w=60, u=600),
+        lambda t: IteratedController(t, m=300, w=8, u=600),
+        lambda t: AdaptiveController(t, m=300, w=8),
+        lambda t: TerminatingController(t, m=150, w=40, u=600),
+    ]
+    for make in makers:
+        tree = build_random_tree(50, seed=2)
+        controller = make(tree)
+        submit = getattr(controller, "handle", None) or controller.submit
+        run_scenario(tree, submit, steps=400, seed=5)
+        report = audit_controller(controller)
+        assert report.passed, (type(controller).__name__,
+                               report.violations[:3])
+        assert sum(report.checks.values()) > 0
+
+
+def test_clean_distributed_run_audits_green():
+    tree = build_random_tree(40, seed=3)
+    controller = DistributedController(tree, m=400, w=100, u=800)
+    nodes = list(tree.nodes())
+    requests = [Request(RequestKind.PLAIN, nodes[i % len(nodes)])
+                for i in range(60)]
+    controller.submit_batch(requests, stagger=0.3)
+    report = audit_controller(controller)
+    assert report.passed, report.violations[:3]
+    assert report.checks.get("locks", 0) > 0
+    assert report.checks.get("conservation", 0) >= 1
+
+
+# ----------------------------------------------------------------------
+# Doctored states trip the right invariant.
+# ----------------------------------------------------------------------
+def test_safety_violation_detected():
+    tree = build_random_tree(10, seed=0)
+    controller = CentralizedController(tree, m=50, w=10, u=100)
+    controller.granted = 51          # beyond M
+    controller.storage = 0
+    report = audit_controller(controller)
+    assert _violated(report, "safety")
+
+
+def test_waste_violation_detected():
+    report = audit_tallies(granted=10, rejected=5, m=100, w=20)
+    assert _violated(report, "waste")
+    clean = audit_tallies(granted=85, rejected=5, m=100, w=20)
+    assert clean.passed
+
+
+def test_conservation_violation_detected():
+    tree = build_random_tree(10, seed=0)
+    controller = CentralizedController(tree, m=50, w=10, u=100)
+    controller.handle(Request(RequestKind.PLAIN, tree.root))
+    controller.storage -= 3          # permits vanish
+    report = audit_controller(controller)
+    assert _violated(report, "conservation")
+
+
+def test_package_shape_violation_detected():
+    tree = build_random_tree(10, seed=0)
+    controller = CentralizedController(tree, m=64, w=10, u=100)
+    store = controller.stores.get(tree.root)
+    store.mobile.append(MobilePackage(level=2, size=3))  # should be 4*phi
+    controller.storage -= 3          # keep conservation clean
+    report = audit_controller(controller)
+    assert _violated(report, "packages")
+    assert not _violated(report, "conservation")
+
+
+def test_lock_violation_detected():
+    tree = build_random_tree(10, seed=0)
+    controller = DistributedController(tree, m=50, w=10, u=100)
+    outcome = controller.submit_and_run(Request(RequestKind.PLAIN, tree.root))
+    assert outcome.granted
+
+    class FakeAgent:
+        agent_id = 999
+        path = []
+
+        class state:
+            value = "climbing"
+
+    controller.boards.get(tree.root).locked_by = FakeAgent()
+    report = audit_controller(controller)
+    assert _violated(report, "locks")
+
+
+def test_orphaned_state_on_dead_node_detected():
+    tree = build_random_tree(10, seed=0)
+    controller = DistributedController(tree, m=50, w=10, u=100)
+    leaf = next(n for n in tree.nodes() if not n.children)
+    board = controller.boards.get(leaf)
+    board.store.static_permits = 1
+    controller.storage -= 1
+    controller.detach()              # stop the graceful hand-over
+    tree.remove_leaf(leaf)
+    report = audit_controller(controller)
+    assert _violated(report, "locks")
+
+
+def test_counter_watch_flags_decrease():
+    counters = MoveCounters()
+    watch = CounterWatch(counters)
+    counters.package_moves += 5
+    watch.observe()
+    counters.package_moves -= 2
+    watch.observe()
+    assert _violated(watch.report, "monotonicity")
+
+
+def test_counter_watch_green_on_growth():
+    counters = MoveCounters()
+    watch = CounterWatch(counters)
+    for _ in range(5):
+        counters.package_moves += 3
+        counters.reject_moves += 1
+        watch.observe()
+    assert watch.report.passed
+
+
+def test_report_merge_and_json():
+    first = InvariantReport()
+    first.expect(True, "safety", "fine")
+    second = InvariantReport()
+    second.expect(False, "waste", "broken", granted=1)
+    first.merge(second)
+    assert not first.passed
+    document = first.to_json()
+    assert document["passed"] is False
+    assert document["checks"] == {"safety": 1, "waste": 1}
+    assert document["violations"][0]["invariant"] == "waste"
+
+
+def test_unknown_controller_reported():
+    report = audit_controller(object())
+    assert _violated(report, "dispatch")

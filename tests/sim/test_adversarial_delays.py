@@ -1,0 +1,70 @@
+"""The adversarial delay models: per-edge jitter and burst stalls."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    DELAY_MODELS,
+    BurstStallDelay,
+    PerEdgeJitterDelay,
+    UnitDelay,
+    make_delay_model,
+)
+
+
+def test_per_edge_jitter_is_persistent_per_key():
+    model = PerEdgeJitterDelay(UnitDelay(), seed=0, slow_fraction=0.5,
+                               slow_factor=10.0, jitter=0.0)
+    delays = {key: model.sample(key) for key in range(50)}
+    # Re-sampling the same key gives the same multiplier (UnitDelay base).
+    for key, delay in delays.items():
+        assert model.sample(key) == delay
+    values = set(delays.values())
+    assert values <= {1.0, 10.0}
+    assert len(values) == 2  # both fast and slow links exist
+
+
+def test_per_edge_jitter_without_key_passes_through():
+    model = PerEdgeJitterDelay(UnitDelay(), seed=0, slow_fraction=1.0,
+                               slow_factor=10.0)
+    assert model.sample() == 1.0
+    assert model.sample(3) == 10.0
+
+
+def test_burst_stall_windows():
+    model = BurstStallDelay(UnitDelay(), seed=0, period=10, burst=3,
+                            factor=5.0)
+    values = [model.sample() for _ in range(20)]
+    assert values[:7] == [1.0] * 7
+    assert values[7:10] == [5.0] * 3
+    assert values[10:17] == [1.0] * 7
+    assert values[17:20] == [5.0] * 3
+
+
+def test_split_derives_independent_models():
+    base = PerEdgeJitterDelay(UnitDelay(), seed=1, slow_fraction=0.3)
+    other = base.split(4)
+    assert isinstance(other, PerEdgeJitterDelay)
+    burst = BurstStallDelay(UnitDelay(), seed=1).split(4)
+    assert isinstance(burst, BurstStallDelay)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(SimulationError):
+        PerEdgeJitterDelay(UnitDelay(), slow_fraction=1.5)
+    with pytest.raises(SimulationError):
+        PerEdgeJitterDelay(UnitDelay(), slow_factor=0.5)
+    with pytest.raises(SimulationError):
+        BurstStallDelay(UnitDelay(), period=0)
+    with pytest.raises(SimulationError):
+        BurstStallDelay(UnitDelay(), burst=20, period=10)
+
+
+def test_registry_builds_every_model():
+    for name in DELAY_MODELS:
+        model = make_delay_model(name, seed=2)
+        for key in (None, 1, 2):
+            delay = model.sample(key)
+            assert delay > 0
+    with pytest.raises(SimulationError):
+        make_delay_model("pigeon")

@@ -1,0 +1,127 @@
+"""Schedule-policy semantics and the scheduler's policy plumbing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    SCHEDULE_POLICIES,
+    AdversaryPolicy,
+    FifoPolicy,
+    LifoPolicy,
+    RandomPolicy,
+    Scheduler,
+    make_policy,
+)
+
+
+def _run_tagged(policy, delays):
+    """Schedule one tagged event per delay; return execution order."""
+    sched = Scheduler(policy=policy)
+    seen = []
+    for tag, delay in enumerate(delays):
+        sched.schedule(delay, lambda t=tag: seen.append(t))
+    sched.run()
+    return seen
+
+
+def test_fifo_matches_default_scheduler():
+    delays = [3.0, 1.0, 2.0, 1.0, 0.5]
+    assert _run_tagged(FifoPolicy(), delays) == _run_tagged(None, delays)
+
+
+def test_adversary_reverses_fifo_order():
+    delays = [3.0, 1.0, 2.0]
+    fifo = _run_tagged(FifoPolicy(), delays)
+    adversary = _run_tagged(AdversaryPolicy(), delays)
+    assert adversary == list(reversed(fifo))
+
+
+def test_lifo_runs_newest_first():
+    assert _run_tagged(LifoPolicy(), [1.0, 1.0, 1.0]) == [2, 1, 0]
+
+
+def test_lifo_depth_bias_follows_causal_chain():
+    """LIFO drives one causal chain to completion before starting the
+    next: a chain's freshly scheduled continuation is always newest."""
+    sched = Scheduler(policy=LifoPolicy())
+    seen = []
+
+    def chain(name, hops):
+        seen.append((name, hops))
+        if hops > 1:
+            sched.schedule(1.0, lambda: chain(name, hops - 1))
+
+    sched.schedule(1.0, lambda: chain("a", 3))
+    sched.schedule(1.0, lambda: chain("b", 3))
+    sched.run()
+    # "b" was scheduled last, so its whole chain runs before "a" starts.
+    assert seen == [("b", 3), ("b", 2), ("b", 1), ("a", 3), ("a", 2),
+                    ("a", 1)]
+
+
+def test_random_policy_is_seed_deterministic():
+    delays = [1.0] * 12
+    first = _run_tagged(RandomPolicy(seed=7), delays)
+    second = _run_tagged(RandomPolicy(seed=7), delays)
+    other = _run_tagged(RandomPolicy(seed=8), delays)
+    assert first == second
+    assert sorted(first) == list(range(12))
+    assert first != other  # 1 in 12! chance of colliding
+
+
+def test_random_policy_peek_pop_agree():
+    policy = RandomPolicy(seed=3)
+    sched = Scheduler(policy=policy)
+    for _ in range(8):
+        sched.schedule(1.0, lambda: None)
+    for _ in range(8):
+        head = policy.peek()
+        assert policy.pop() is head
+    assert policy.peek() is None
+
+
+def test_now_stays_monotone_under_reordering():
+    sched = Scheduler(policy=AdversaryPolicy())
+    times = []
+    for delay in (5.0, 1.0, 3.0):
+        sched.schedule(delay, lambda: times.append(sched.now))
+    sched.run()
+    assert times == sorted(times)
+    assert sched.now == 5.0
+
+
+def test_every_policy_drains_and_preserves_the_event_set():
+    delays = [2.0, 1.0, 3.0, 1.0, 2.5, 0.5]
+    for name in SCHEDULE_POLICIES:
+        order = _run_tagged(make_policy(name, seed=11), delays)
+        assert sorted(order) == list(range(len(delays))), name
+
+
+def test_cancelled_events_skipped_under_every_policy():
+    for name in SCHEDULE_POLICIES:
+        sched = Scheduler(policy=make_policy(name, seed=5))
+        seen = []
+        events = [sched.schedule(1.0, lambda t=tag: seen.append(t))
+                  for tag in range(6)]
+        events[1].cancel()
+        events[4].cancel()
+        sched.run()
+        assert sorted(seen) == [0, 2, 3, 5], name
+
+
+def test_make_policy_rejects_unknown_name():
+    with pytest.raises(SimulationError):
+        make_policy("chaos-monkey")
+
+
+def test_run_until_with_nonfifo_policy():
+    sched = Scheduler(policy=AdversaryPolicy())
+    seen = []
+    sched.schedule(1.0, lambda: seen.append(1))
+    sched.schedule(10.0, lambda: seen.append(10))
+    # The adversary pops the latest event first, so the time-10 head
+    # blocks the run; nothing at all runs before until=5.
+    sched.run(until=5.0)
+    assert seen == []
+    sched.run()
+    assert sorted(seen) == [1, 10]

@@ -114,3 +114,56 @@ def test_executed_counter():
         sched.schedule(1.0, lambda: None)
     sched.run()
     assert sched.executed == 5
+
+
+# ----------------------------------------------------------------------
+# Live-event accounting: O(1) pending() and idempotent cancel().
+# ----------------------------------------------------------------------
+def test_pending_counts_live_events():
+    sched = Scheduler()
+    events = [sched.schedule(1.0, lambda: None) for _ in range(5)]
+    assert sched.pending() == 5
+    events[0].cancel()
+    events[3].cancel()
+    assert sched.pending() == 3
+    sched.run()
+    assert sched.pending() == 0
+    assert sched.executed == 3
+
+
+def test_double_cancel_is_idempotent():
+    sched = Scheduler()
+    event = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    event.cancel()
+    assert sched.pending() == 1  # not driven negative by repeat cancels
+    sched.run()
+    assert sched.pending() == 0
+    assert sched.executed == 1
+
+
+def test_cancel_after_execution_is_a_noop():
+    sched = Scheduler()
+    event = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    sched.step()  # runs ``event``
+    event.cancel()
+    event.cancel()
+    assert sched.pending() == 1
+    sched.run()
+    assert sched.executed == 2
+
+
+def test_pending_is_constant_time():
+    """pending() must not scan the queue: cancelling from within a large
+    backlog keeps the count exact without touching the heap."""
+    sched = Scheduler()
+    events = [sched.schedule(float(i % 7), lambda: None)
+              for i in range(1000)]
+    for event in events[::2]:
+        event.cancel()
+    for event in events[::4]:  # half of these are second cancels
+        event.cancel()
+    assert sched.pending() == 500

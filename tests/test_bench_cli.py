@@ -18,7 +18,8 @@ from repro.bench import (
 
 def test_registry_names():
     assert set(SCENARIOS) == {"ancestry", "move_complexity", "batch",
-                              "scenario", "distributed_batch"}
+                              "scenario", "scenario_grid",
+                              "distributed_batch"}
 
 
 def test_ancestry_small_sweep_is_exact_and_json():
