@@ -7,20 +7,18 @@ guarantee numerically.
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    DynamicTree,
-    IteratedController,
-    Request,
-    RequestKind,
-)
+from repro import Request, RequestKind, make_controller
+from repro.metrics import audit_controller
 from repro.workloads import build_random_tree, run_scenario
 
 
 def main():
     # A 20-node network; the budget allows M = 50 more events, of which
-    # at most W = 10 may be "wasted" if we ever reject.
+    # at most W = 10 may be "wasted" if we ever reject.  Any of the
+    # eight registered flavours would serve here — see
+    # repro.controller_flavors().
     tree = build_random_tree(20, seed=42)
-    controller = IteratedController(tree, m=50, w=10, u=500)
+    controller = make_controller("iterated", tree, m=50, w=10, u=500)
 
     print(f"initial size: {tree.size} nodes")
 
@@ -44,7 +42,9 @@ def main():
     print(f"  move complexity: {controller.counters.total} "
           f"({controller.counters.snapshot()})")
     tree.validate()
-    print("tree validated OK")
+    report = audit_controller(controller)  # protocol-based introspection
+    print(f"tree validated OK; invariant audit passed={report.passed} "
+          f"({sum(report.checks.values())} checks)")
 
 
 if __name__ == "__main__":

@@ -17,12 +17,17 @@ The library provides:
 
 Quickstart::
 
-    from repro import DynamicTree, CentralizedController, Request, RequestKind
+    from repro import DynamicTree, Request, RequestKind, make_controller
 
     tree = DynamicTree()
-    controller = CentralizedController(tree, m=100, w=20, u=256)
+    controller = make_controller("centralized", tree, m=100, w=20, u=256)
     outcome = controller.handle(Request(RequestKind.ADD_LEAF, tree.root))
     assert outcome.granted and tree.size == 2
+
+Every flavour built by :func:`make_controller` implements
+:class:`repro.protocol.ControllerProtocol` — ``handle``,
+``handle_batch``, ``unused_permits``, ``detach`` (idempotent), and
+``introspect()`` for the protocol-based invariant auditor.
 """
 
 from repro.errors import (
@@ -33,20 +38,28 @@ from repro.errors import (
     SimulationError,
     TopologyError,
 )
+from repro.protocol import BudgetSplit, ControllerProtocol, ControllerView
 from repro.tree import DynamicTree, TreeNode
 from repro.core import (
     AdaptiveController,
     CentralizedController,
     ControllerParams,
     IteratedController,
+    KernelTrace,
     Outcome,
     OutcomeStatus,
+    PermitLedger,
     Request,
     RequestKind,
     TerminatingController,
 )
+from repro.registry import (
+    CONTROLLER_FLAVORS,
+    controller_flavors,
+    make_controller,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ReproError",
@@ -66,5 +79,13 @@ __all__ = [
     "IteratedController",
     "AdaptiveController",
     "TerminatingController",
+    "ControllerProtocol",
+    "ControllerView",
+    "BudgetSplit",
+    "KernelTrace",
+    "PermitLedger",
+    "CONTROLLER_FLAVORS",
+    "controller_flavors",
+    "make_controller",
     "__version__",
 ]

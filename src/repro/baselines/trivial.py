@@ -8,9 +8,10 @@ reject, and walks back (depth messages).  It is a perfectly correct
 (M, 0)-Controller — its only sin is cost, which bench E10 quantifies.
 """
 
-from typing import Optional
+from typing import Iterable, List, Optional
 
 from repro.metrics.counters import MoveCounters
+from repro.protocol import ControllerView
 from repro.tree.dynamic_tree import DynamicTree
 from repro.core.requests import (
     Outcome,
@@ -32,6 +33,27 @@ class TrivialController:
         self.granted = 0
         self.rejected = 0
         self.counters = counters if counters is not None else MoveCounters()
+
+    def handle_batch(self, requests: Iterable[Request]) -> List[Outcome]:
+        return [self.handle(request) for request in requests]
+
+    def unused_permits(self) -> int:
+        return self.storage
+
+    def detach(self) -> None:
+        """No tree listeners to unregister; kept for protocol parity."""
+
+    def introspect(self) -> ControllerView:
+        """The :class:`repro.protocol.ControllerProtocol` audit view.
+
+        No packages ever park, so conservation is storage-only:
+        ``granted + storage == M``.
+        """
+        return ControllerView(
+            flavor="trivial", m=self.m, w=0,
+            granted=self.granted, rejected=self.rejected,
+            storage=self.storage, tree=self.tree,
+        )
 
     def handle(self, request: Request) -> Outcome:
         node = request.node

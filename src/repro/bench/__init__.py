@@ -7,6 +7,7 @@ One-liner reproduction of the perf trajectory::
     python -m repro.bench batch --steps 2000 --batch-size 64
     python -m repro.bench scenario --topology path --controller iterated --steps 1000
     python -m repro.bench distributed_batch --sizes 200
+    python -m repro.bench kernel --out BENCH_kernel.json
 
 Every scenario returns (and prints) a JSON document: the parameters it
 ran with, one row per configuration, and the derived headline numbers,
@@ -21,6 +22,7 @@ from repro.bench.runner import (
     run_ancestry,
     run_batch,
     run_distributed_batch,
+    run_kernel,
     run_move_complexity,
     run_scenario_bench,
 )
@@ -30,6 +32,7 @@ __all__ = [
     "run_ancestry",
     "run_batch",
     "run_distributed_batch",
+    "run_kernel",
     "run_move_complexity",
     "run_scenario_bench",
 ]

@@ -18,6 +18,7 @@ import json
 import sys
 
 from repro.bench.runner import SCENARIOS
+from repro.registry import CONTROLLER_FLAVORS
 
 
 def _int_list(text: str):
@@ -81,8 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", default="0,1,2,3,4",
                    help="grid mode: seeds, comma-separated")
     p.add_argument("--engines", default="iterated,distributed",
-                   help="grid mode: engines, comma-separated (centralized, "
-                        "iterated, adaptive, terminating, distributed)")
+                   help="grid mode: engines, comma-separated from the "
+                        f"controller registry ({', '.join(CONTROLLER_FLAVORS)})"
+                        ", or 'all' for every registered flavor; names are "
+                        "validated before any cell runs")
     p.add_argument("--delays", default="uniform",
                    help="grid mode: delay model (unit, uniform, heavytail, "
                         "jitter, burst)")
@@ -92,8 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--topology", default="random",
                    choices=["random", "path", "star", "caterpillar"])
     p.add_argument("--controller", default="iterated",
-                   choices=["centralized", "iterated", "adaptive",
-                            "terminating"])
+                   choices=list(CONTROLLER_FLAVORS))
     p.add_argument("--mix", default="default",
                    choices=["default", "grow", "plain"])
     p.add_argument("--n", type=int, default=500)
@@ -111,6 +113,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--requests-per-node", type=float, default=0.5,
                    dest="requests_per_node")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", **common_out)
+
+    p = sub.add_parser("kernel",
+                       help="distributed filler lookup: kernel level "
+                            "index vs legacy board scan "
+                            "(equivalence-checked)")
+    p.add_argument("--scenario", default="deep_burst",
+                   help="catalogue scenario to replay (default: "
+                        "deep_burst)")
+    p.add_argument("--seeds", default="0,1")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--stagger", type=float, default=0.25)
     p.add_argument("--out", **common_out)
     return parser
 

@@ -15,11 +15,11 @@ import time
 import zlib
 from typing import Dict, List, Optional
 
-from repro.core.adaptive import AdaptiveController
-from repro.core.centralized import CentralizedController
+from repro.core import kernel as controller_kernel
 from repro.core.iterated import IteratedController
+from repro.core.packages import MobilePackage, NodeStore
+from repro.core.params import ControllerParams
 from repro.core.requests import Request, RequestKind
-from repro.core.terminating import TerminatingController
 from repro.distributed.controller import DistributedController
 from repro.distributed.faults import FaultInjector, parse_fault_spec
 from repro.metrics.fitting import log_log_slope, observation_3_4_bound
@@ -27,7 +27,9 @@ from repro.metrics.invariants import (
     CounterWatch,
     InvariantReport,
     audit_controller,
+    tally_outcomes,
 )
+from repro.registry import CONTROLLER_FLAVORS, make_controller
 from repro.sim.delays import make_delay_model
 from repro.sim.policies import SCHEDULE_POLICIES, make_policy
 from repro.sim.scheduler import Scheduler
@@ -73,19 +75,10 @@ def _build(topology: str, n: int, seed: int, skip_ancestry: bool):
 
 
 def _controller(kind: str, tree, m: int, w: int, u: int):
-    if kind == "centralized":
-        controller = CentralizedController(tree, m=m, w=w, u=u)
-        return controller, controller.handle, controller.handle_batch
-    if kind == "iterated":
-        controller = IteratedController(tree, m=m, w=w, u=u)
-        return controller, controller.handle, controller.handle_batch
-    if kind == "adaptive":
-        controller = AdaptiveController(tree, m=m, w=w)
-        return controller, controller.handle, controller.handle_batch
-    if kind == "terminating":
-        controller = TerminatingController(tree, m=m, w=w, u=u)
-        return controller, controller.submit, controller.handle_batch
-    raise ValueError(f"unknown controller kind {kind!r}")
+    """Registry-backed construction: every flavour speaks the protocol,
+    so ``handle``/``handle_batch`` are uniform."""
+    controller = make_controller(kind, tree, m=m, w=w, u=u)
+    return controller, controller.handle, controller.handle_batch
 
 
 # ----------------------------------------------------------------------
@@ -374,31 +367,14 @@ def run_distributed_batch(sizes: Optional[List[int]] = None,
 # ----------------------------------------------------------------------
 # scenario_grid — the adversarial catalogue x policy x seed sweep.
 # ----------------------------------------------------------------------
-_CORE_ENGINES = ("centralized", "iterated", "adaptive", "terminating")
+# One shared tally shape everywhere (bench cells, differential checks):
+# the exported repro.metrics.tally_outcomes.
+_tally = tally_outcomes
 
 
 def _cell_seed(*parts) -> int:
     """Stable per-cell seed (crc32, immune to PYTHONHASHSEED)."""
     return zlib.crc32(":".join(str(p) for p in parts).encode()) & 0x7FFFFFFF
-
-
-def _core_controller(kind: str, tree, spec):
-    if kind == "centralized":
-        return CentralizedController(tree, m=spec.m, w=spec.w, u=spec.u)
-    if kind == "iterated":
-        return IteratedController(tree, m=spec.m, w=spec.w, u=spec.u)
-    if kind == "adaptive":
-        return AdaptiveController(tree, m=spec.m, w=spec.w)
-    if kind == "terminating":
-        return TerminatingController(tree, m=spec.m, w=spec.w, u=spec.u)
-    raise ValueError(f"unknown core engine {kind!r}")
-
-
-def _tally(outcomes) -> Dict[str, int]:
-    tally = {"granted": 0, "rejected": 0, "cancelled": 0, "pending": 0}
-    for outcome in outcomes:
-        tally[outcome.status.value] += 1
-    return tally
 
 
 def _materialize(spec, seed: int):
@@ -458,12 +434,19 @@ def run_scenario_grid(name: str = "all",
             raise ValueError(
                 f"unknown policy {pol!r}; known: {', '.join(SCHEDULE_POLICIES)}")
     seed_list = [int(part) for part in str(seeds).split(",") if part != ""]
-    engine_list = [part.strip() for part in engines.split(",") if part.strip()]
-    known_engines = _CORE_ENGINES + ("distributed",)
+    # Engines resolve against the public controller registry; ``all``
+    # sweeps every registered flavour.  Validation is eager — before any
+    # cell runs — so a typo fails in milliseconds, not mid-grid.
+    if engines.strip() == "all":
+        engine_list = list(CONTROLLER_FLAVORS)
+    else:
+        engine_list = [part.strip().replace("-", "_")
+                       for part in engines.split(",") if part.strip()]
     for engine in engine_list:
-        if engine not in known_engines:
+        if engine not in CONTROLLER_FLAVORS:
             raise ValueError(
-                f"unknown engine {engine!r}; known: {', '.join(known_engines)}")
+                f"unknown engine {engine!r}; registered controller "
+                f"flavors: {', '.join(CONTROLLER_FLAVORS)} (or 'all')")
     fault_plan = parse_fault_spec(faults)
 
     cells: List[Dict] = []
@@ -535,9 +518,9 @@ def run_scenario_grid(name: str = "all",
 def _run_core_cell(spec, seed: int, engine: str, stream_specs,
                    grid_report: InvariantReport) -> Dict:
     tree, requests = _replay_requests(spec, seed, stream_specs)
-    controller = _core_controller(engine, tree, spec)
+    controller = make_controller(engine, tree, m=spec.m, w=spec.w, u=spec.u)
     watch = CounterWatch(controller.counters, report=grid_report)
-    submit = getattr(controller, "handle", None) or controller.submit
+    submit = controller.handle
     start = time.perf_counter()
     outcomes = []
     for request in requests:
@@ -636,6 +619,111 @@ def _cross_check(cell: Dict, spec, reference: Optional[Dict],
             scenario=spec.name, policy=cell["policy"], seed=cell["seed"])
 
 
+# ----------------------------------------------------------------------
+# kernel — distributed filler lookup, before/after the level index.
+# ----------------------------------------------------------------------
+def run_kernel(scenario: str = "deep_burst", seeds: str = "0,1",
+               repeats: int = 3, stagger: float = 0.25) -> Dict:
+    """Indexed vs linear filler lookup on the distributed hot path.
+
+    Two measurements, both on the named catalogue scenario (deep_burst
+    by default — deep paths, so agents climb far and whiteboards near
+    the root accumulate parked packages):
+
+    * **end-to-end**: the identical pre-generated stream is pushed
+      through ``submit_batch`` twice per seed, once with the kernel's
+      level-windowed lookup (``indexed``) and once with the legacy
+      linear board scan (``scan``); outcome tallies and message
+      counters are asserted identical — the lookup is a pure constant-
+      factor change — and the wall clocks (min over ``repeats``) are
+      compared;
+    * **lookup microbench**: a store parked with one package per level
+      answers a sweep of window queries through both code paths, which
+      isolates the per-lookup cost from scheduler overhead.
+    """
+    spec = get_scenario(scenario)
+    seed_list = [int(part) for part in str(seeds).split(",") if part != ""]
+    cells: List[Dict] = []
+    for seed in seed_list:
+        stream_specs = _materialize(spec, seed)
+        timings: Dict[str, float] = {}
+        checks: Dict[str, object] = {}
+        for label, indexed in (("scan", False), ("indexed", True)):
+            best: Optional[float] = None
+            for _ in range(max(repeats, 1)):
+                tree, requests = _replay_requests(spec, seed, stream_specs)
+                controller = DistributedController(
+                    tree, m=spec.m, w=spec.w, u=spec.u,
+                    indexed_stores=indexed)
+                start = time.perf_counter()
+                outcomes = controller.submit_batch(requests,
+                                                   stagger=stagger)
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+                checks[label] = (tuple(sorted(_tally(outcomes).items())),
+                                 controller.counters.total)
+                controller.detach()
+            timings[label] = best or 0.0
+        if checks["scan"] != checks["indexed"]:
+            raise AssertionError(
+                f"indexed lookup diverged from the scan at seed={seed}: "
+                f"{checks['indexed']} != {checks['scan']}")
+        tally, messages = checks["indexed"]
+        cells.append({
+            "scenario": spec.name, "seed": seed,
+            "scan_ms": round(timings["scan"] * 1000, 3),
+            "indexed_ms": round(timings["indexed"] * 1000, 3),
+            "speedup": round(timings["scan"] / timings["indexed"], 3)
+            if timings["indexed"] > 0 else float("inf"),
+            "messages": messages, "tally": dict(tally),
+        })
+
+    # Lookup microbench: every level parked, every window queried.
+    params = ControllerParams(m=spec.m, w=spec.w, u=spec.u)
+    store = NodeStore()
+    for level in range(params.max_level + 1):
+        controller_kernel.park(
+            store, MobilePackage(level=level,
+                                 size=params.mobile_size(level)))
+    dists = []
+    for level in range(params.max_level + 1):
+        low = (1 << level) * params.psi
+        dists.extend([low // 2 + 1, low + 1, 2 * low])
+    rounds = max(50_000 // len(dists), 1)
+    lookup = {}
+    for label, fn in (("scan", controller_kernel.scan_filler),
+                      ("indexed", controller_kernel.peek_filler)):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for dist in dists:
+                fn(store, dist, params)
+        lookup[label] = time.perf_counter() - start
+    queries = rounds * len(dists)
+    for dist in dists:  # the two paths must agree query-for-query
+        if (controller_kernel.scan_filler(store, dist, params)
+                is not controller_kernel.peek_filler(store, dist, params)):
+            raise AssertionError(f"lookup paths disagree at dist={dist}")
+
+    return {
+        "scenario": "kernel",
+        "params": {"scenario": scenario, "seeds": seed_list,
+                   "repeats": repeats, "stagger": stagger,
+                   "m": spec.m, "w": spec.w, "u": spec.u, "n": spec.n},
+        "cells": cells,
+        "run_speedup_min": min(c["speedup"] for c in cells),
+        "run_speedup_max": max(c["speedup"] for c in cells),
+        "lookup": {
+            "queries": queries,
+            "parked_levels": params.max_level + 1,
+            "scan_ms": round(lookup["scan"] * 1000, 3),
+            "indexed_ms": round(lookup["indexed"] * 1000, 3),
+            "speedup": round(lookup["scan"] / lookup["indexed"], 3)
+            if lookup["indexed"] > 0 else float("inf"),
+        },
+        "equivalent": True,
+    }
+
+
 SCENARIOS = {
     "ancestry": run_ancestry,
     "move_complexity": run_move_complexity,
@@ -643,4 +731,5 @@ SCENARIOS = {
     "scenario": run_scenario_bench,
     "scenario_grid": run_scenario_grid,
     "distributed_batch": run_distributed_batch,
+    "kernel": run_kernel,
 }

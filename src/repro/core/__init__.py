@@ -6,6 +6,10 @@ distributed implementation (Section 4) is reduced to.
 
 Public entry points:
 
+* :mod:`repro.core.kernel` — the shared GrantOrReject/Proc kernel
+  (:class:`PermitLedger`, indexed filler lookup, distribution plans,
+  the reject wave, :class:`KernelTrace`), executed synchronously here
+  and hop-by-hop by :mod:`repro.distributed`;
 * :class:`CentralizedController` — known-U controller (Section 3.1);
 * :class:`IteratedController` — halving iterations, Observation 3.4,
   including the W = 0 recipe;
@@ -17,6 +21,12 @@ Public entry points:
 from repro.core.params import ControllerParams
 from repro.core.requests import Request, RequestKind, Outcome, OutcomeStatus
 from repro.core.packages import MobilePackage, NodeStore
+from repro.core.kernel import (
+    DistributionPlan,
+    KernelTrace,
+    PermitLedger,
+    SplitStep,
+)
 from repro.core.domains import DomainTracker
 from repro.core.centralized import CentralizedController
 from repro.core.iterated import IteratedController
@@ -31,6 +41,10 @@ __all__ = [
     "OutcomeStatus",
     "MobilePackage",
     "NodeStore",
+    "DistributionPlan",
+    "KernelTrace",
+    "PermitLedger",
+    "SplitStep",
     "DomainTracker",
     "CentralizedController",
     "IteratedController",

@@ -27,6 +27,7 @@ from typing import Iterable, List, Optional
 
 from repro.errors import ControllerError
 from repro.metrics.counters import MoveCounters
+from repro.protocol import BudgetSplit, ControllerView
 from repro.tree.dynamic_tree import DynamicTree
 from repro.core.iterated import IteratedController
 from repro.core.requests import Outcome, OutcomeStatus, Request
@@ -117,6 +118,22 @@ class AdaptiveController:
         # Clearing plus the N_{i+1}/Y_i counting broadcast+upcast.
         self.counters.reset_moves += 2 * self.tree.size
         self._start_epoch(leftover)
+
+    def unused_permits(self) -> int:
+        return self.m - self.granted
+
+    def introspect(self) -> ControllerView:
+        """The :class:`repro.protocol.ControllerProtocol` audit view."""
+        budget: Optional[BudgetSplit] = None
+        children = ()
+        if self._inner is not None:
+            budget = BudgetSplit(self._granted_before_epoch, self._inner.m)
+            children = (("epoch", self._inner),)
+        return ControllerView(
+            flavor="adaptive", m=self.m, w=self.w,
+            granted=self.granted, rejected=self.rejected,
+            tree=self.tree, budget=budget, children=children,
+        )
 
     def detach(self) -> None:
         if self._inner is not None:

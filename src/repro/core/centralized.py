@@ -17,6 +17,16 @@ start at the root; requests trigger ``GrantOrReject``:
    recurses with the other half; the final level-0 package becomes the
    requester's static pool.
 
+The permit/package *mechanics* — the ledger, the level-indexed filler
+lookup, the ``Proc`` split schedule, the reject wave — live in the
+shared :mod:`repro.core.kernel`; this class is the synchronous
+executor: it resolves each kernel plan step against the ancestry
+structure immediately and charges one package move per hop travelled.
+The distributed engine executes the *same* plans hop-by-hop, which is
+what makes centralized/distributed equivalence hold by construction
+(and lets ``tests/test_kernel_equivalence.py`` compare kernel traces
+transition-for-transition).
+
 The prose of the paper states ``Proc`` as "move P (level k) to u_k", but
 ``u_k`` is only defined for ``k <= j(u) - 1`` and the domain construction
 (Section 3.2, Case 2) requires the *post* state "one level-k package at
@@ -32,10 +42,13 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.errors import ControllerError
 from repro.metrics.counters import MoveCounters
+from repro.protocol import ControllerView
 from repro.tree.dynamic_tree import DynamicTree, TreeListener
 from repro.tree.node import TreeNode
 from repro.tree import paths
+from repro.core import kernel
 from repro.core.domains import DomainTracker
+from repro.core.kernel import KernelTrace, PermitLedger
 from repro.core.packages import MobilePackage, NodeStore, StoreMap
 from repro.core.params import ControllerParams
 from repro.core.requests import Outcome, OutcomeStatus, Request, RequestKind
@@ -81,7 +94,8 @@ class CentralizedController(TreeListener):
                  track_intervals: bool = False,
                  interval_base: int = 0,
                  apply_topology: bool = True,
-                 permit_flow_observer=None):
+                 permit_flow_observer=None,
+                 kernel_trace: Optional[KernelTrace] = None):
         # ``permit_flow_observer(node, permits)`` is invoked whenever a
         # package carrying ``permits`` permits passes *down* through
         # ``node`` — the monitoring hook the subtree estimator of
@@ -98,15 +112,16 @@ class CentralizedController(TreeListener):
         if self._fast:
             tree.store_slot_owner = self
         self.stores = StoreMap(slot_owner=self if self._fast else None)
-        self.storage = m
-        self.granted = 0
-        self.rejected = 0
+        self._trace = kernel_trace
+        self._ledger = PermitLedger(
+            params=self.params, storage=m,
+            track_intervals=track_intervals, interval_base=interval_base,
+            trace=kernel_trace,
+        )
         self.rejecting = False
         self.exhausted = False
         self.reject_on_exhaustion = reject_on_exhaustion
         self.track_intervals = track_intervals
-        self._interval_next = interval_base + 1
-        self._interval_end = interval_base + m
         self._apply_topology = apply_topology
         self.domains: Optional[DomainTracker] = (
             DomainTracker(tree, self.params) if track_domains else None
@@ -131,6 +146,35 @@ class CentralizedController(TreeListener):
         tree.add_listener(self)
 
     # ------------------------------------------------------------------
+    # Ledger delegation (the public tallies live on the kernel ledger;
+    # setters are kept so diagnostic code and doctored-state tests can
+    # manipulate them as before).
+    # ------------------------------------------------------------------
+    @property
+    def storage(self) -> int:
+        return self._ledger.storage
+
+    @storage.setter
+    def storage(self, value: int) -> None:
+        self._ledger.storage = value
+
+    @property
+    def granted(self) -> int:
+        return self._ledger.granted
+
+    @granted.setter
+    def granted(self, value: int) -> None:
+        self._ledger.granted = value
+
+    @property
+    def rejected(self) -> int:
+        return self._ledger.rejected
+
+    @rejected.setter
+    def rejected(self, value: int) -> None:
+        self._ledger.rejected = value
+
+    # ------------------------------------------------------------------
     # Public API.
     # ------------------------------------------------------------------
     def handle(self, request: Request) -> Outcome:
@@ -150,7 +194,7 @@ class CentralizedController(TreeListener):
         store = self.stores.get(node)
         # Item 1: a reject package answers immediately.
         if store.has_reject or self.rejecting:
-            self.rejected += 1
+            self._ledger.count_reject()
             return Outcome(OutcomeStatus.REJECTED, request)
 
         # Item 3: replenish the static pool if needed.
@@ -158,7 +202,7 @@ class CentralizedController(TreeListener):
             replenished = self._fetch_permits(node)
             if not replenished:
                 if self.reject_on_exhaustion:
-                    self.rejected += 1
+                    self._ledger.count_reject()
                     return Outcome(OutcomeStatus.REJECTED, request)
                 return Outcome(OutcomeStatus.PENDING, request)
             store = self.stores.get(node)
@@ -166,11 +210,7 @@ class CentralizedController(TreeListener):
         # Item 2: grant one static permit and perform the event.
         store.static_permits -= 1
         serial = store.take_static_serial() if self.track_intervals else None
-        self.granted += 1
-        if self.granted > self.params.m:
-            raise ControllerError(
-                f"safety violated: granted {self.granted} > M={self.params.m}"
-            )
+        self._ledger.grant(node)
         new_node = self._execute_event(request)
         return Outcome(OutcomeStatus.GRANTED, request,
                        new_node=new_node, serial=serial)
@@ -193,7 +233,16 @@ class CentralizedController(TreeListener):
         This is the quantity ``L`` the halving iterations of
         Observation 3.4 re-budget with.
         """
-        return self.storage + self.stores.total_parked_permits()
+        return self._ledger.unused(self.stores.total_parked_permits())
+
+    def introspect(self) -> ControllerView:
+        """The :class:`repro.protocol.ControllerProtocol` audit view."""
+        return ControllerView(
+            flavor="centralized", m=self.params.m, w=self.params.w,
+            granted=self.granted, rejected=self.rejected,
+            params=self.params, storage=self.storage, stores=self.stores,
+            tree=self.tree,
+        )
 
     def detach(self) -> None:
         """Unregister from the tree; the controller becomes inert."""
@@ -221,19 +270,16 @@ class CentralizedController(TreeListener):
         if package is None:
             dist_to_root = self._depth(node)
             level = self.params.creation_level(dist_to_root)
-            need = self.params.mobile_size(level)
-            if self.storage < need:
+            if not self._ledger.covers(self.params.mobile_size(level)):
                 if self.reject_on_exhaustion:
                     self._broadcast_reject_wave()
                 self.exhausted = True
                 return False
-            package = MobilePackage(level=level, size=need,
-                                    interval=self._take_interval(need))
-            self.storage -= need
+            package = self._ledger.create_package(level, dist_to_root)
             dist = dist_to_root
             if self.permit_flow_observer is not None:
                 # Freshly created permits "enter" the root as well.
-                self.permit_flow_observer(self.tree.root, need)
+                self.permit_flow_observer(self.tree.root, package.size)
         self._distribute(package, dist, node)
         return True
 
@@ -267,9 +313,12 @@ class CentralizedController(TreeListener):
         """The ancestor climb: first in-window package wins.
 
         With the fast path claimed, each hop is two slot loads; without
-        it, a dict probe per hop.
+        it, a dict probe per hop.  The per-store window check is the
+        kernel's level-windowed lookup (one dict probe), equivalent to
+        scanning every parked package.
         """
-        in_window = self.params.in_filler_window
+        params = self.params
+        trace = self._trace
         fast = self._fast
         owner = self
         stores = self.stores
@@ -282,13 +331,9 @@ class CentralizedController(TreeListener):
             else:
                 store = stores.peek(current)
             if store is not None and store.mobile:
-                chosen = None
-                for package in store.mobile:
-                    if in_window(package.level, dist):
-                        if chosen is None or package.level < chosen.level:
-                            chosen = package
+                chosen = kernel.take_filler(store, dist, params,
+                                            node=current, trace=trace)
                 if chosen is not None:
-                    store.mobile.remove(chosen)
                     if not store.mobile:
                         self._mobile_hosts.pop(current, None)
                     return chosen, dist
@@ -308,8 +353,7 @@ class CentralizedController(TreeListener):
         tree = self.tree
         gen = tree.anc_generation
         node_depth = tree.depth(node)
-        psi = self.params.psi
-        psi2 = 2 * psi
+        params = self.params
         excluded = None
         while True:
             # Optimistic pass: pick the closest window-matching host by
@@ -329,23 +373,7 @@ class CentralizedController(TreeListener):
                         (best_dist is not None and dist >= best_dist) or \
                         (excluded is not None and host in excluded):
                     continue
-                chosen = None
-                for package in store.mobile:
-                    # Inlined ControllerParams.in_filler_window (the
-                    # climb path calls it directly): level 0 fills for
-                    # dist <= 2*psi, level j >= 1 for
-                    # 2^j*psi < dist <= 2^(j+1)*psi.  Keep in lockstep
-                    # with params.py; the engine-off equivalence tests
-                    # compare the two paths outcome-for-outcome.
-                    level = package.level
-                    if level:
-                        low = psi << level
-                        if not low < dist <= 2 * low:
-                            continue
-                    elif dist > psi2:
-                        continue
-                    if chosen is None or level < chosen.level:
-                        chosen = package
+                chosen = kernel.peek_filler(store, dist, params)
                 if chosen is not None:
                     best, best_dist, best_host = chosen, dist, host
             if best is None:
@@ -356,7 +384,8 @@ class CentralizedController(TreeListener):
                 excluded = set()
             excluded.add(best_host)
         store = self._mobile_hosts[best_host]
-        store.mobile.remove(best)
+        kernel.take_package(store, best, node=best_host, dist=best_dist,
+                            trace=self._trace)
         if not store.mobile:
             del self._mobile_hosts[best_host]
         return best, best_dist
@@ -365,38 +394,40 @@ class CentralizedController(TreeListener):
                     node: TreeNode) -> None:
         """Procedure ``Proc``: split the package down the path to ``node``.
 
-        ``dist`` is the package's current distance above ``node``.
+        ``dist`` is the package's current distance above ``node``.  The
+        split schedule comes from the kernel's distribution plan; this
+        executor applies each step synchronously, resolving the step's
+        distance to a node via the ancestry structure and charging one
+        package move per hop travelled.
         """
-        while package.level > 0:
-            new_level = package.level - 1
-            target_dist = self.params.uk_distance(new_level)
-            target = self._ancestor_at(node, target_dist)
-            self.counters.package_moves += dist - target_dist
-            self._observe_flow(node, dist - 1, target_dist, package.size)
+        plan = kernel.plan_distribution(self.params, package.level,
+                                        package.size, dist)
+        for step in plan.steps:
+            target = self._ancestor_at(node, step.dist)
+            self.counters.package_moves += dist - step.dist
+            self._observe_flow(node, dist - 1, step.dist, package.size)
             if self.domains is not None:
                 self.domains.cancel(package)
             left_interval, right_interval = package.split_interval()
-            half = package.size // 2
-            parked = MobilePackage(level=new_level, size=half,
+            parked = MobilePackage(level=step.level, size=step.size,
                                    interval=left_interval)
             target_store = self.stores.get(target)
-            target_store.mobile.append(parked)
+            kernel.park(target_store, parked, node=target,
+                        trace=self._trace)
             self._mobile_hosts[target] = target_store
             if self.domains is not None:
                 self.domains.assign_domain(parked, target, toward=node)
-            package.level = new_level
-            package.size = half
+            package.level = step.level
+            package.size = step.size
             package.interval = right_interval
-            dist = target_dist
+            dist = step.dist
         # Level 0: the package reaches the requester and becomes static.
         self.counters.package_moves += dist
         self._observe_flow(node, dist - 1, 0, package.size)
         if self.domains is not None:
             self.domains.cancel(package)
-        store = self.stores.get(node)
-        store.static_permits += package.size
-        if package.interval is not None:
-            store.static_intervals.append(package.interval)
+        kernel.absorb(self.stores.get(node), package, node=node,
+                      trace=self._trace)
 
     def _observe_flow(self, node: TreeNode, from_dist: int, to_dist: int,
                       permits: int) -> None:
@@ -430,29 +461,18 @@ class CentralizedController(TreeListener):
             return self.tree.ancestor_at(node, hops)
         return paths.ancestor_at(node, hops)
 
-    def _take_interval(self, size: int):
-        """Carve the next ``size`` serial numbers out of the root storage."""
-        if not self.track_intervals:
-            return None
-        lo = self._interval_next
-        hi = lo + size - 1
-        if hi > self._interval_end:
-            raise ControllerError("interval storage exhausted")
-        self._interval_next = hi + 1
-        return (lo, hi)
-
     def _broadcast_reject_wave(self) -> None:
         """Place a reject package at every node (item 3b).
 
-        Centrally the broadcast is instantaneous; the cost is one move
-        per node, exactly as splitting/moving reject packages would pay.
+        Centrally the broadcast is instantaneous; the cost — one move
+        per node, exactly as splitting/moving reject packages would pay
+        — comes from the kernel's reject-wave accounting.
         """
         if self.rejecting:
             return
         self.rejecting = True
-        self.counters.reject_moves += self.tree.size
-        for node in self.tree.nodes():
-            self.stores.get(node).has_reject = True
+        self.counters.reject_moves += kernel.broadcast_reject(
+            self.tree, self.stores.get, trace=self._trace)
 
     # ------------------------------------------------------------------
     # Event execution (the controller plays the granted entity).

@@ -30,6 +30,7 @@ from typing import Iterable, List, Optional
 
 from repro.errors import ControllerError
 from repro.metrics.counters import MoveCounters
+from repro.protocol import BudgetSplit, ControllerView
 from repro.tree.dynamic_tree import DynamicTree
 from repro.core.centralized import CentralizedController
 from repro.core.requests import (
@@ -94,6 +95,28 @@ class IteratedController:
 
     def unused_permits(self) -> int:
         return self.m - self.granted
+
+    def introspect(self) -> ControllerView:
+        """The :class:`repro.protocol.ControllerProtocol` audit view.
+
+        The budget split states the wrapper's conservation law: grants
+        banked by finished stages plus the live stage's full budget
+        (or the trivial stage's remaining storage) equal ``M``.
+        """
+        budget: Optional[BudgetSplit] = None
+        children = ()
+        if self._inner is not None:
+            budget = BudgetSplit(self._granted_before_stage,
+                                 self._inner.params.m)
+            children = (("stage", self._inner),)
+        elif self._trivial_active:
+            budget = BudgetSplit(self._granted_before_stage,
+                                 self._trivial_storage)
+        return ControllerView(
+            flavor="iterated", m=self.m, w=self.w,
+            granted=self.granted, rejected=self.rejected,
+            tree=self.tree, budget=budget, children=children,
+        )
 
     # ------------------------------------------------------------------
     # Request handling.

@@ -18,6 +18,7 @@ from typing import Iterable, List, Optional
 
 from repro.errors import ControllerError
 from repro.metrics.counters import MoveCounters
+from repro.protocol import ControllerView
 from repro.tree.dynamic_tree import DynamicTree
 from repro.core.centralized import CentralizedController
 from repro.core.requests import Outcome, OutcomeStatus, Request
@@ -68,12 +69,34 @@ class TerminatingController:
             self.pending.append(request)
         return outcome
 
+    def handle(self, request: Request) -> Outcome:
+        """Protocol alias for :meth:`submit`."""
+        return self.submit(request)
+
     def handle_batch(self, requests: Iterable[Request]) -> List[Outcome]:
         """Serve a batch in order.  Requests past the termination point
         come back ``PENDING`` and are queued on :attr:`pending`, exactly
         as sequential :meth:`submit` calls would leave them — the
         application resubmits them to its next iteration's controller."""
         return [self.submit(request) for request in requests]
+
+    def unused_permits(self) -> int:
+        return self.inner.unused_permits()
+
+    def introspect(self) -> ControllerView:
+        """The :class:`repro.protocol.ControllerProtocol` audit view.
+
+        ``waste_gate="termination"``: Observation 2.1's liveness bound
+        (``granted >= M - W``) applies at termination time rather than
+        on rejection (this wrapper never rejects).
+        """
+        inner = self.inner
+        return ControllerView(
+            flavor="terminating", m=inner.params.m, w=inner.params.w,
+            granted=self.granted, rejected=0, params=inner.params,
+            storage=inner.storage, stores=inner.stores, tree=self.tree,
+            terminated=self.terminated, waste_gate="termination",
+        )
 
     def _terminate(self) -> None:
         """Broadcast the termination signal and upcast acknowledgements.

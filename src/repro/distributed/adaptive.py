@@ -23,6 +23,7 @@ from typing import Callable, Iterable, List, Optional
 
 from repro.errors import ControllerError
 from repro.metrics.counters import MessageCounters
+from repro.protocol import ControllerView
 from repro.sim.delays import DelayModel, UniformDelay
 from repro.sim.scheduler import Scheduler
 from repro.tree.dynamic_tree import DynamicTree
@@ -76,6 +77,38 @@ class DistributedAdaptiveController:
             if callback is not None:
                 callback(outcome)
         return resolved
+
+    def handle(self, request: Request) -> Outcome:
+        """Protocol form: one request served to completion."""
+        return self.process([request])[0]
+
+    def handle_batch(self, requests: Iterable[Request]) -> List[Outcome]:
+        """Protocol alias for :meth:`process`."""
+        return self.process(requests)
+
+    def unused_permits(self) -> int:
+        return self.m - self.granted
+
+    def introspect(self) -> ControllerView:
+        """The :class:`repro.protocol.ControllerProtocol` audit view.
+
+        Both per-epoch engines are exposed: the main controller serving
+        the actual requests and the parallel change-counting controller
+        of Appendix A (each conserves its own budget and obeys the
+        locking discipline, so both are audited).
+        """
+        children = tuple(
+            (label, controller)
+            for label, controller in (("main", self._main),
+                                      ("change_counter",
+                                       self._change_counter))
+            if controller is not None
+        )
+        return ControllerView(
+            flavor="distributed-adaptive", m=self.m, w=self.w,
+            granted=self.granted, rejected=self.rejected,
+            tree=self.tree, children=children,
+        )
 
     # ------------------------------------------------------------------
     def _serve(self, request: Request) -> Outcome:

@@ -57,6 +57,9 @@ class Agent:
     # Position index into ``path`` during downward/upward phases.
     pos: int = 0
     package: Optional[MobilePackage] = None
+    # Remaining ``Proc`` split schedule (kernel ``SplitStep``s, travel
+    # order) while distributing ``package`` down the locked path.
+    splits: Optional[List] = None
     waiting_at: Optional[TreeNode] = None
     # Outcome to deliver at the end of the unlock walk (grants deliver
     # early, at grant time, per the paper's ordering).

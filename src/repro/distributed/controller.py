@@ -16,23 +16,35 @@ The locking discipline follows Section 4.3.1 exactly:
   ``Proc`` down the locked path, grants at the origin, climbs back to
   the topmost node it reached, then descends unlocking every node.
 
+The permit/package *mechanics* are the shared kernel's
+(:mod:`repro.core.kernel`): the ledger owns storage and tallies, the
+whiteboard filler check is the kernel's level-indexed lookup, and the
+``Proc`` split schedule is a kernel distribution plan whose steps the
+agent matches against its locked-path position while descending.  This
+class supplies only the execution discipline — agents, locks, one
+message per hop.
+
 Graceful topology changes (Section 4.2) are implemented in the tree
 listener hooks at the bottom of this class; the correctness argument of
 Lemma 4.3/4.5 (serializability of the distributed execution into the
 centralized one) is exercised directly by ``tests/distributed/``, which
 compare grant totals and package layouts against the centralized engine
-on identical scenarios.
+on identical scenarios — and, transition-for-transition, by the kernel
+trace equality of ``tests/test_kernel_equivalence.py``.
 """
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import ControllerError, ProtocolError
 from repro.metrics.counters import MessageCounters
+from repro.protocol import ControllerView
 from repro.sim.delays import DelayModel, UniformDelay
 from repro.sim.scheduler import Scheduler
 from repro.sim.tracing import Tracer
 from repro.tree.dynamic_tree import DynamicTree, TreeListener
 from repro.tree.node import TreeNode
+from repro.core import kernel
+from repro.core.kernel import KernelTrace, PermitLedger
 from repro.core.packages import MobilePackage
 from repro.core.params import ControllerParams
 from repro.core.requests import (
@@ -67,6 +79,16 @@ class DistributedController(TreeListener):
         are scheduled on this controller's scheduler.  All injected
         faults are legal under the asynchronous model, so every
         controller guarantee must hold unchanged.
+    indexed_stores:
+        Use the kernel's level-windowed (indexed) filler lookup at each
+        whiteboard (default).  ``False`` restores the legacy linear
+        board scan — kept only so the ``kernel`` bench can measure the
+        before/after; results are identical either way.
+    kernel_trace:
+        Optional :class:`repro.core.kernel.KernelTrace` recording every
+        kernel transition (take/create/park/absorb/grant/reject-wave);
+        a serialized run's trace equals the centralized engine's on the
+        same stream (the Lemma 4.5 reduction, property-tested).
     """
 
     def __init__(self, tree: DynamicTree, m: int, w: int, u: int,
@@ -76,7 +98,9 @@ class DistributedController(TreeListener):
                  tracer: Optional[Tracer] = None,
                  terminate_on_exhaustion: bool = False,
                  apply_topology: bool = True,
-                 faults=None):
+                 faults=None,
+                 indexed_stores: bool = True,
+                 kernel_trace: Optional[KernelTrace] = None):
         self.tree = tree
         self.params = ControllerParams(m=m, w=w, u=u)
         self.scheduler = scheduler if scheduler is not None else Scheduler()
@@ -90,9 +114,10 @@ class DistributedController(TreeListener):
         self._apply_topology = apply_topology
 
         self.boards = WhiteboardMap()
-        self.storage = m
-        self.granted = 0
-        self.rejected = 0
+        self._trace = kernel_trace
+        self._indexed_stores = indexed_stores
+        self._ledger = PermitLedger(params=self.params, storage=m,
+                                    trace=kernel_trace)
         self.cancelled = 0
         self.pending = 0
         self.rejecting = False
@@ -101,6 +126,33 @@ class DistributedController(TreeListener):
         self.active_agents = 0
         self._attached = True
         tree.add_listener(self)
+
+    # ------------------------------------------------------------------
+    # Ledger delegation (setters kept for doctored-state tests).
+    # ------------------------------------------------------------------
+    @property
+    def storage(self) -> int:
+        return self._ledger.storage
+
+    @storage.setter
+    def storage(self, value: int) -> None:
+        self._ledger.storage = value
+
+    @property
+    def granted(self) -> int:
+        return self._ledger.granted
+
+    @granted.setter
+    def granted(self, value: int) -> None:
+        self._ledger.granted = value
+
+    @property
+    def rejected(self) -> int:
+        return self._ledger.rejected
+
+    @rejected.setter
+    def rejected(self, value: int) -> None:
+        self._ledger.rejected = value
 
     # ------------------------------------------------------------------
     # Public API.
@@ -159,13 +211,32 @@ class DistributedController(TreeListener):
                 f"{len(missing)} batch requests never resolved")
         return [resolved[r.request_id] for r in requests]
 
+    def handle(self, request: Request) -> Outcome:
+        """Protocol form of :meth:`submit_and_run`: one request, run to
+        quiescence, outcome returned synchronously."""
+        return self.submit_and_run(request)
+
+    def handle_batch(self, requests: Iterable[Request]) -> List[Outcome]:
+        """Protocol form of :meth:`submit_batch` (zero stagger)."""
+        return self.submit_batch(list(requests))
+
     def unused_permits(self) -> int:
-        return self.storage + self.boards.total_parked_permits()
+        return self._ledger.unused(self.boards.total_parked_permits())
 
     def detach(self) -> None:
         if self._attached:
             self.tree.remove_listener(self)
             self._attached = False
+
+    def introspect(self) -> ControllerView:
+        """The :class:`repro.protocol.ControllerProtocol` audit view."""
+        return ControllerView(
+            flavor="distributed", m=self.params.m, w=self.params.w,
+            granted=self.granted, rejected=self.rejected,
+            params=self.params, storage=self.storage, boards=self.boards,
+            tree=self.tree, active_agents=self.active_agents,
+            terminated=self.terminated,
+        )
 
     # ------------------------------------------------------------------
     # Request arrival (algorithm item 1).
@@ -173,7 +244,14 @@ class DistributedController(TreeListener):
     def _on_request_arrival(self, request: Request,
                             callback: Optional[Callable]) -> None:
         node = request.node
-        if node not in self.tree:
+        # A request whose event is already meaningless is cancelled at
+        # arrival (every meaningfulness condition of Section 4.2 is
+        # local to the origin node, so the requesting entity can observe
+        # it without travelling) — matching the centralized engine's
+        # pre-flight check and saving the agent's round trip.  Events
+        # that lose their meaning *mid-flight* are still caught by the
+        # grant-time check in ``_grant_from_static``.
+        if not self._still_meaningful(request):
             self._record(Outcome(OutcomeStatus.CANCELLED, request), callback)
             return
         if self.terminated:
@@ -213,7 +291,7 @@ class DistributedController(TreeListener):
             return
 
         # Item 3a: filler check at the current distance.
-        package = self._take_filler(board, agent.distance)
+        package = self._take_filler(board, agent.distance, node)
         if package is not None:
             self.tracer.emit(self.scheduler.now, "filler_found",
                              agent=agent.agent_id, node=node.node_id,
@@ -229,14 +307,23 @@ class DistributedController(TreeListener):
         # Keep climbing.
         self._hop(agent, self._climb_arrive)
 
-    def _take_filler(self, board, dist: int) -> Optional[MobilePackage]:
-        chosen = None
-        for package in board.store.mobile:
-            if self.params.in_filler_window(package.level, dist):
-                if chosen is None or package.level < chosen.level:
-                    chosen = package
+    def _take_filler(self, board, dist: int,
+                     node: Optional[TreeNode] = None
+                     ) -> Optional[MobilePackage]:
+        """Item 3a's whiteboard check, via the kernel.
+
+        The default is the kernel's level-windowed lookup (one window
+        computation plus one dict probe); ``indexed_stores=False``
+        falls back to the legacy linear board scan, which the ``kernel``
+        bench uses as its before/after baseline.
+        """
+        if self._indexed_stores:
+            return kernel.take_filler(board.store, dist, self.params,
+                                      node=node, trace=self._trace)
+        chosen = kernel.scan_filler(board.store, dist, self.params)
         if chosen is not None:
-            board.store.mobile.remove(chosen)
+            kernel.take_package(board.store, chosen, node=node, dist=dist,
+                                trace=self._trace)
         return chosen
 
     def _climb_arrive(self, agent: Agent) -> None:
@@ -274,9 +361,8 @@ class DistributedController(TreeListener):
         dist = agent.distance
         level = self.params.creation_level(dist)
         need = self.params.mobile_size(level)
-        if self.storage >= need:
-            self.storage -= need
-            package = MobilePackage(level=level, size=need)
+        if self._ledger.covers(need):
+            package = self._ledger.create_package(level, dist)
             self.tracer.emit(self.scheduler.now, "root_created",
                              agent=agent.agent_id, level=level, size=need)
             self._begin_distribution(agent, package)
@@ -305,12 +391,14 @@ class DistributedController(TreeListener):
 
         Modelled as an atomic placement (the wave's asynchrony does not
         interact with correctness: a node rejects only once its own flag
-        is set, and we set flags before any later event runs).
+        is set, and we set flags before any later event runs).  The
+        one-message-per-node accounting comes from the kernel's
+        reject-wave plan.
         """
         self.rejecting = True
-        self.counters.reject_messages += self.tree.size
-        for node in self.tree.nodes():
-            self.boards.get(node).store.has_reject = True
+        self.counters.reject_messages += kernel.broadcast_reject(
+            self.tree, lambda node: self.boards.get(node).store,
+            trace=self._trace)
         self.tracer.emit(self.scheduler.now, "reject_wave")
 
     # ------------------------------------------------------------------
@@ -318,7 +406,18 @@ class DistributedController(TreeListener):
     # ------------------------------------------------------------------
     def _begin_distribution(self, agent: Agent,
                             package: MobilePackage) -> None:
+        """Item 4: plan ``Proc`` once, then walk the plan down the path.
+
+        The split schedule is the same kernel plan the centralized
+        executor applies synchronously; here each ``SplitStep.dist`` is
+        matched against the agent's path position as it descends (the
+        locked path *is* the distance scale, including under graceful
+        splices, which patch both in lockstep).
+        """
         agent.package = package
+        agent.splits = list(kernel.plan_distribution(
+            self.params, package.level, package.size,
+            agent.distance).steps)
         agent.pos = len(agent.path) - 1
         if agent.pos == 0:
             # Filler at the origin itself (level 0 at distance 0).
@@ -331,17 +430,16 @@ class DistributedController(TreeListener):
         agent.pos -= 1
         node = agent.path[agent.pos]
         package = agent.package
-        while (package.level > 0
-               and agent.pos == self.params.uk_distance(package.level - 1)):
-            new_level = package.level - 1
-            half = package.size // 2
-            parked = MobilePackage(level=new_level, size=half)
-            self.boards.get(node).store.mobile.append(parked)
-            package.level = new_level
-            package.size = half
+        while agent.splits and agent.pos == agent.splits[0].dist:
+            step = agent.splits.pop(0)
+            parked = MobilePackage(level=step.level, size=step.size)
+            kernel.park(self.boards.get(node).store, parked, node=node,
+                        trace=self._trace)
+            package.level = step.level
+            package.size = step.size
             self.tracer.emit(self.scheduler.now, "split",
                              agent=agent.agent_id, node=node.node_id,
-                             level=new_level)
+                             level=step.level)
         if agent.pos == 0:
             self._package_reaches_origin(agent)
         else:
@@ -356,8 +454,9 @@ class DistributedController(TreeListener):
             )
         origin = agent.path[0]
         board = self.boards.get(origin)
-        board.store.static_permits += package.size
+        kernel.absorb(board.store, package, node=origin, trace=self._trace)
         agent.package = None
+        agent.splits = None
         self._grant_from_static(agent)
 
     def _grant_from_static(self, agent: Agent) -> None:
@@ -371,12 +470,7 @@ class DistributedController(TreeListener):
             agent.final_outcome = Outcome(OutcomeStatus.CANCELLED, request)
         else:
             board.store.static_permits -= 1
-            self.granted += 1
-            if self.granted > self.params.m:
-                raise ControllerError(
-                    f"safety violated: granted {self.granted} > "
-                    f"M={self.params.m}"
-                )
+            self._ledger.grant(origin)
             new_node = None
             if self._apply_topology and request.kind.is_topological:
                 new_node = perform_event(self.tree, request)
@@ -500,7 +594,7 @@ class DistributedController(TreeListener):
 
     def _record(self, outcome: Outcome, callback: Optional[Callable]) -> None:
         if outcome.status is OutcomeStatus.REJECTED:
-            self.rejected += 1
+            self._ledger.count_reject()
         elif outcome.status is OutcomeStatus.CANCELLED:
             self.cancelled += 1
         elif outcome.status is OutcomeStatus.PENDING:

@@ -19,6 +19,7 @@ from typing import Callable, Iterable, List, Optional
 
 from repro.errors import ControllerError
 from repro.metrics.counters import MessageCounters
+from repro.protocol import ControllerView
 from repro.sim.delays import DelayModel, UniformDelay
 from repro.sim.scheduler import Scheduler
 from repro.tree.dynamic_tree import DynamicTree
@@ -96,10 +97,34 @@ class DistributedIteratedController:
                 self._rollover()
         return resolved
 
+    def handle(self, request: Request) -> Outcome:
+        """Protocol form: one request served to completion."""
+        return self.process([request])[0]
+
+    def handle_batch(self, requests: Iterable[Request]) -> List[Outcome]:
+        """Protocol alias for :meth:`process`."""
+        return self.process(requests)
+
     def unused_permits(self) -> int:
         if self._trivial_active:
             return self._trivial_storage
         return self.m - self.granted - self._stage.granted
+
+    def introspect(self) -> ControllerView:
+        """The :class:`repro.protocol.ControllerProtocol` audit view.
+
+        ``granted`` includes the live stage's grants (the wrapper banks
+        them only at rollover), so safety/waste are checked against the
+        true running total.
+        """
+        stage = self._stage
+        children = (("stage", stage),) if stage is not None else ()
+        live = stage.granted if stage is not None else 0
+        return ControllerView(
+            flavor="distributed-iterated", m=self.m, w=self.w,
+            granted=self.granted + live, rejected=self.rejected,
+            tree=self.tree, children=children,
+        )
 
     # ------------------------------------------------------------------
     def _spawn_stage(self, budget: int) -> None:

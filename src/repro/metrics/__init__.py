@@ -7,7 +7,9 @@ from repro.metrics.invariants import (
     InvariantReport,
     Violation,
     audit_controller,
+    audit_outcomes,
     audit_tallies,
+    tally_outcomes,
 )
 
 __all__ = [
@@ -15,7 +17,9 @@ __all__ = [
     "InvariantReport",
     "Violation",
     "audit_controller",
+    "audit_outcomes",
     "audit_tallies",
+    "tally_outcomes",
     "MoveCounters",
     "MessageCounters",
     "MemoryAudit",

@@ -19,15 +19,22 @@ distributed — must satisfy:
 * **counter monotonicity**: move/message counters never decrease
   (checked in stream via :class:`CounterWatch`).
 
-The checker is deliberately import-light: controllers are recognized
-structurally (``boards`` implies the distributed engine, ``stages_run``
-the halving wrapper, ...), so :mod:`repro.metrics` never imports
-:mod:`repro.core` and the dependency graph stays acyclic.  The report
-is JSON-serializable for the bench CLI's grid runs.
+Dispatch is protocol-based: every controller flavour implements
+:meth:`repro.protocol.ControllerProtocol.introspect`, returning a
+:class:`repro.protocol.ControllerView` that *declares* its auditable
+state — tallies, root storage, package stores or whiteboards, the
+wrapper budget split, and nested controllers.  The auditor walks that
+declaration recursively; no structural probing of private attributes.
+The checker stays import-light (:mod:`repro.protocol` is typing-only),
+so :mod:`repro.metrics` never imports :mod:`repro.core` and the
+dependency graph stays acyclic.  The report is JSON-serializable for
+the bench CLI's grid runs.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
+
+from repro.protocol import ControllerView
 
 
 @dataclass
@@ -81,58 +88,82 @@ class InvariantReport:
 
 
 # ----------------------------------------------------------------------
-# Controller audits (structural dispatch).
+# Controller audits (protocol-based dispatch).
 # ----------------------------------------------------------------------
 def audit_controller(controller, report: Optional[InvariantReport] = None
                      ) -> InvariantReport:
-    """Audit any controller flavour; dispatches structurally.
+    """Audit any controller flavour through its ``introspect()`` view.
 
-    Recognized shapes: the distributed engine (``boards``), the halving
-    wrapper (``stages_run``), the unknown-U wrapper (``epochs_run``),
-    the terminating wrapper (``terminated`` + ``inner``), and the plain
-    centralized controller (``stores``).
+    The controller declares its auditable state as a
+    :class:`repro.protocol.ControllerView`; the auditor checks what the
+    declaration contains — safety and waste always, the wrapper budget
+    split when ``budget`` is present, centralized conservation and
+    package shapes when ``storage``/``stores`` are, the distributed
+    board/lock audits when ``boards`` is — and recurses into declared
+    ``children`` (live stages, epochs, parallel engines).
     """
     report = report if report is not None else InvariantReport()
-    if hasattr(controller, "boards"):
-        return _audit_distributed(controller, report)
-    if hasattr(controller, "epochs_run") and hasattr(controller, "_inner"):
-        return _audit_adaptive(controller, report)
-    if hasattr(controller, "stages_run") and hasattr(controller, "_inner"):
-        return _audit_iterated(controller, report)
-    if hasattr(controller, "terminated") and hasattr(controller, "inner"):
-        return _audit_terminating(controller, report)
-    if hasattr(controller, "_stage"):      # distributed halving wrapper
-        _check_safety_and_waste(report, controller.granted,
-                                controller.rejected, controller.m,
-                                controller.w, "distributed-iterated")
-        if controller._stage is not None:
-            _audit_distributed(controller._stage, report)
+    introspect = getattr(controller, "introspect", None)
+    if introspect is None:
+        report.fail(
+            "dispatch",
+            f"controller type {type(controller).__name__} does not "
+            "implement ControllerProtocol.introspect()")
         return report
-    if hasattr(controller, "_main"):       # distributed unknown-U wrapper
-        _check_safety_and_waste(report, controller.granted,
-                                controller.rejected, controller.m,
-                                controller.w, "distributed-adaptive")
-        if controller._main is not None:
-            _audit_distributed(controller._main, report)
-        return report
-    if hasattr(controller, "stores"):
-        return _audit_centralized(controller, report)
-    report.fail("dispatch",
-                f"unrecognized controller type {type(controller).__name__}")
+    view = introspect()
+    _audit_view(view, report, view.flavor)
     return report
 
 
-def _check_safety_and_waste(report: InvariantReport, granted: int,
-                            rejected: int, m: int, w: int, label: str
-                            ) -> None:
-    report.expect(granted <= m, "safety",
-                  f"{label}: granted {granted} exceeds M={m}",
-                  granted=granted, m=m)
-    if rejected > 0:
-        report.expect(granted >= m - w, "waste",
-                      f"{label}: rejected with only {granted} grants; "
-                      f"waste bound requires >= {m - w}",
-                      granted=granted, rejected=rejected, m=m, w=w)
+def _audit_view(view: ControllerView, report: InvariantReport,
+                label: str) -> None:
+    _check_safety_and_waste(view, report, label)
+    if view.budget is not None:
+        # Wrapper conservation: grants banked by finished stages/epochs
+        # plus the live budget equal the wrapper's own M.
+        report.expect(
+            view.budget.total == view.m, "conservation",
+            f"{label}: live budget {view.budget.live_budget} + prior "
+            f"grants {view.budget.prior_grants} = {view.budget.total} "
+            f"!= M={view.m}",
+            m=view.m, live=view.budget.live_budget,
+            prior=view.budget.prior_grants)
+    if view.boards is not None:
+        _audit_boards(view, report, label)
+    elif view.storage is not None:
+        parked = (view.stores.total_parked_permits()
+                  if view.stores is not None else 0)
+        total = view.granted + view.storage + parked
+        report.expect(
+            total == view.m, "conservation",
+            f"{label}: granted {view.granted} + storage {view.storage} "
+            f"+ parked {parked} = {total} != M={view.m}",
+            granted=view.granted, storage=view.storage, parked=parked,
+            m=view.m)
+    if view.stores is not None:
+        _check_store_packages(report, view.stores, view.params, label)
+    for child_label, child in view.children:
+        _audit_view(child.introspect(), report, f"{label}/{child_label}")
+
+
+def _check_safety_and_waste(view: ControllerView, report: InvariantReport,
+                            label: str) -> None:
+    report.expect(view.granted <= view.m, "safety",
+                  f"{label}: granted {view.granted} exceeds M={view.m}",
+                  granted=view.granted, m=view.m)
+    # The liveness bound triggers on rejection for (M,W) semantics and
+    # on termination for the Observation 2.1 terminating variant.
+    if view.waste_gate == "termination":
+        triggered = view.terminated
+    else:
+        triggered = view.rejected > 0
+    if triggered:
+        report.expect(view.granted >= view.m - view.w, "waste",
+                      f"{label}: only {view.granted} grants "
+                      f"({view.waste_gate} waste gate); bound requires "
+                      f">= {view.m - view.w}",
+                      granted=view.granted, rejected=view.rejected,
+                      m=view.m, w=view.w)
     else:
         report.count("waste")
 
@@ -154,137 +185,45 @@ def _check_store_packages(report: InvariantReport, stores, params,
                       static=store.static_permits)
 
 
-def _audit_centralized(controller, report: InvariantReport,
-                       label: str = "centralized") -> InvariantReport:
-    m = controller.params.m
-    w = controller.params.w
-    _check_safety_and_waste(report, controller.granted, controller.rejected,
-                            m, w, label)
-    parked = controller.stores.total_parked_permits()
-    total = controller.granted + controller.storage + parked
-    report.expect(total == m, "conservation",
-                  f"{label}: granted {controller.granted} + storage "
-                  f"{controller.storage} + parked {parked} = {total} != M={m}",
-                  granted=controller.granted, storage=controller.storage,
-                  parked=parked, m=m)
-    _check_store_packages(report, controller.stores, controller.params, label)
-    return report
-
-
-def _audit_iterated(controller, report: InvariantReport,
-                    label: str = "iterated") -> InvariantReport:
-    _check_safety_and_waste(report, controller.granted, controller.rejected,
-                            controller.m, controller.w, label)
-    inner = controller._inner
-    if inner is not None:
-        # Wrapper-level conservation: the total budget equals grants made
-        # in finished stages plus the live stage's full budget ...
-        report.expect(
-            controller.m == controller._granted_before_stage + inner.params.m,
-            "conservation",
-            f"{label}: stage budget {inner.params.m} + prior grants "
-            f"{controller._granted_before_stage} != M={controller.m}",
-            m=controller.m, stage_m=inner.params.m,
-            prior=controller._granted_before_stage)
-        # ... and the live stage conserves its own budget exactly.
-        _audit_centralized(inner, report, label=f"{label}/stage")
-    elif controller._trivial_active:
-        total = (controller._granted_before_stage
-                 + controller._trivial_storage)
-        report.expect(total == controller.m, "conservation",
-                      f"{label}: trivial-stage storage "
-                      f"{controller._trivial_storage} + grants != M",
-                      total=total, m=controller.m)
-    return report
-
-
-def _audit_adaptive(controller, report: InvariantReport) -> InvariantReport:
-    _check_safety_and_waste(report, controller.granted, controller.rejected,
-                            controller.m, controller.w, "adaptive")
-    inner = controller._inner
-    if inner is not None:
-        report.expect(
-            controller.m == controller._granted_before_epoch + inner.m,
-            "conservation",
-            f"adaptive: epoch budget {inner.m} + prior grants "
-            f"{controller._granted_before_epoch} != M={controller.m}",
-            m=controller.m, epoch_m=inner.m,
-            prior=controller._granted_before_epoch)
-        _audit_iterated(inner, report, label="adaptive/epoch")
-    return report
-
-
-def _audit_terminating(controller, report: InvariantReport
-                       ) -> InvariantReport:
-    inner = controller.inner
-    m = inner.params.m
-    w = inner.params.w
-    report.expect(controller.granted <= m, "safety",
-                  f"terminating: granted {controller.granted} > M={m}",
-                  granted=controller.granted, m=m)
-    if controller.terminated:
-        # Observation 2.1: at termination between M - W and M permits
-        # were granted (the terminating analogue of the waste bound).
-        report.expect(controller.granted >= m - w, "waste",
-                      f"terminating: terminated with {controller.granted} "
-                      f"grants, bound requires >= {m - w}",
-                      granted=controller.granted, m=m, w=w)
-    else:
-        report.count("waste")
-    parked = inner.stores.total_parked_permits()
-    total = controller.granted + inner.storage + parked
-    report.expect(total == m, "conservation",
-                  f"terminating: granted + storage + parked = {total} "
-                  f"!= M={m}",
-                  granted=controller.granted, storage=inner.storage,
-                  parked=parked, m=m)
-    _check_store_packages(report, inner.stores, inner.params, "terminating")
-    return report
-
-
-def _audit_distributed(controller, report: InvariantReport
-                       ) -> InvariantReport:
-    m = controller.params.m
-    w = controller.params.w
-    label = "distributed"
-    _check_safety_and_waste(report, controller.granted, controller.rejected,
-                            m, w, label)
-    quiescent = controller.active_agents == 0
+def _audit_boards(view: ControllerView, report: InvariantReport,
+                  label: str) -> None:
+    """The distributed-engine audits: conservation at quiescence, the
+    locking discipline, orphaned state, package shapes."""
+    quiescent = view.active_agents == 0
     if quiescent:
         # Conservation is a quiescent-state property: while agents are
         # mid-distribution their Bag carries permits that are neither
         # root storage nor parked.
-        parked = controller.boards.total_parked_permits()
-        total = controller.granted + controller.storage + parked
-        report.expect(total == m, "conservation",
-                      f"{label}: granted {controller.granted} + storage "
-                      f"{controller.storage} + parked {parked} = {total} "
-                      f"!= M={m}",
-                      granted=controller.granted,
-                      storage=controller.storage, parked=parked, m=m)
-    _check_lock_ordering(controller, report, quiescent)
+        parked = view.boards.total_parked_permits()
+        total = view.granted + view.storage + parked
+        report.expect(total == view.m, "conservation",
+                      f"{label}: granted {view.granted} + storage "
+                      f"{view.storage} + parked {parked} = {total} "
+                      f"!= M={view.m}",
+                      granted=view.granted,
+                      storage=view.storage, parked=parked, m=view.m)
+    _check_lock_ordering(view, report, quiescent)
     # Package shape + orphan audit over every whiteboard.
-    for node, board in controller.boards.items():
-        alive = node in controller.tree
+    for node, board in view.boards.items():
+        alive = node in view.tree
         report.expect(
             alive or board.is_empty, "locks",
             f"{label}: dead node {node.node_id} still holds state "
             "(orphaned store/lock/queue)",
             node=node.node_id)
         for package in board.store.mobile:
-            expected = controller.params.mobile_size(package.level)
+            expected = view.params.mobile_size(package.level)
             report.expect(
                 package.size == expected, "packages",
                 f"{label}: level-{package.level} package holds "
                 f"{package.size} permits, expected {expected}",
                 node=node.node_id, level=package.level)
-    return report
 
 
-def _check_lock_ordering(controller, report: InvariantReport,
+def _check_lock_ordering(view: ControllerView, report: InvariantReport,
                          quiescent: bool) -> None:
     """Section 4.3.1 locking discipline over the whiteboards."""
-    for node, board in controller.boards.items():
+    for node, board in view.boards.items():
         holder = board.locked_by
         if holder is not None:
             report.expect(
@@ -316,15 +255,42 @@ def _check_lock_ordering(controller, report: InvariantReport,
 
 
 # ----------------------------------------------------------------------
-# Outcome-tally audit (works on ScenarioResult or raw numbers).
+# Outcome tallying and the tally audit (engine-agnostic).
 # ----------------------------------------------------------------------
+def tally_outcomes(outcomes: Iterable) -> Dict[str, int]:
+    """Count outcomes by status: the one shared tally shape.
+
+    Works on any iterable of objects with a ``status`` enum (the
+    :class:`repro.core.requests.Outcome` contract); keys are the status
+    values — ``granted``/``rejected``/``cancelled``/``pending`` — so
+    the result drops straight into bench JSON documents and differential
+    comparisons.
+    """
+    tally = {"granted": 0, "rejected": 0, "cancelled": 0, "pending": 0}
+    for outcome in outcomes:
+        tally[outcome.status.value] += 1
+    return tally
+
+
 def audit_tallies(granted: int, rejected: int, m: int, w: int,
                   report: Optional[InvariantReport] = None
                   ) -> InvariantReport:
     """Safety + waste from outcome tallies alone (engine-agnostic)."""
     report = report if report is not None else InvariantReport()
-    _check_safety_and_waste(report, granted, rejected, m, w, "tallies")
+    view = ControllerView(flavor="tallies", m=m, w=w,
+                          granted=granted, rejected=rejected)
+    _check_safety_and_waste(view, report, "tallies")
     return report
+
+
+def audit_outcomes(outcomes: Iterable, m: int, w: int,
+                   report: Optional[InvariantReport] = None
+                   ) -> InvariantReport:
+    """Safety + waste straight from an outcome list: the
+    :func:`tally_outcomes` / :func:`audit_tallies` composition."""
+    tally = tally_outcomes(outcomes)
+    return audit_tallies(tally["granted"], tally["rejected"], m, w,
+                         report=report)
 
 
 # ----------------------------------------------------------------------

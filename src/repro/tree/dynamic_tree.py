@@ -126,7 +126,16 @@ class DynamicTree:
         self._listeners.append(listener)
 
     def remove_listener(self, listener: TreeListener) -> None:
-        self._listeners.remove(listener)
+        """Unregister ``listener``; a no-op if it is not registered.
+
+        Discard semantics make every layered ``detach()`` idempotent
+        by construction — a second detach finds the listener gone and
+        does nothing, instead of raising out of the listener list.
+        """
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # Queries.

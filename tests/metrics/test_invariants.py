@@ -5,12 +5,10 @@ green, and doctored states must trip exactly the invariant they
 violate (a checker that cannot fail checks nothing).
 """
 
-from repro.core.adaptive import AdaptiveController
+from repro import make_controller
 from repro.core.centralized import CentralizedController
-from repro.core.iterated import IteratedController
 from repro.core.packages import MobilePackage
 from repro.core.requests import Request, RequestKind
-from repro.core.terminating import TerminatingController
 from repro.distributed import DistributedController
 from repro.metrics import MoveCounters
 from repro.metrics.invariants import (
@@ -31,16 +29,15 @@ def _violated(report, invariant):
 # ----------------------------------------------------------------------
 def test_clean_runs_audit_green():
     makers = [
-        lambda t: CentralizedController(t, m=300, w=60, u=600),
-        lambda t: IteratedController(t, m=300, w=8, u=600),
-        lambda t: AdaptiveController(t, m=300, w=8),
-        lambda t: TerminatingController(t, m=150, w=40, u=600),
+        ("centralized", dict(m=300, w=60, u=600)),
+        ("iterated", dict(m=300, w=8, u=600)),
+        ("adaptive", dict(m=300, w=8)),
+        ("terminating", dict(m=150, w=40, u=600)),
     ]
-    for make in makers:
+    for flavor, knobs in makers:
         tree = build_random_tree(50, seed=2)
-        controller = make(tree)
-        submit = getattr(controller, "handle", None) or controller.submit
-        run_scenario(tree, submit, steps=400, seed=5)
+        controller = make_controller(flavor, tree, **knobs)
+        run_scenario(tree, controller.handle, steps=400, seed=5)
         report = audit_controller(controller)
         assert report.passed, (type(controller).__name__,
                                report.violations[:3])

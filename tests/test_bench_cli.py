@@ -19,7 +19,7 @@ from repro.bench import (
 def test_registry_names():
     assert set(SCENARIOS) == {"ancestry", "move_complexity", "batch",
                               "scenario", "scenario_grid",
-                              "distributed_batch"}
+                              "distributed_batch", "kernel"}
 
 
 def test_ancestry_small_sweep_is_exact_and_json():

@@ -1,0 +1,125 @@
+"""ControllerProtocol conformance, the public registry, and detach
+idempotency across all eight controller flavours."""
+
+import pytest
+
+from repro import (
+    CONTROLLER_FLAVORS,
+    ControllerProtocol,
+    ControllerView,
+    Request,
+    RequestKind,
+    controller_flavors,
+    make_controller,
+)
+from repro.metrics import audit_controller
+from repro.workloads import build_random_tree, run_scenario
+
+
+def _fresh(flavor, n=30, seed=4):
+    tree = build_random_tree(n, seed=seed)
+    return tree, make_controller(flavor, tree, m=240, w=30, u=480)
+
+
+# ----------------------------------------------------------------------
+# Registry.
+# ----------------------------------------------------------------------
+def test_registry_lists_all_eight_flavors():
+    assert controller_flavors() == CONTROLLER_FLAVORS
+    assert set(CONTROLLER_FLAVORS) == {
+        "centralized", "iterated", "adaptive", "terminating",
+        "distributed", "distributed_iterated", "distributed_adaptive",
+        "trivial",
+    }
+
+
+def test_unknown_flavor_error_lists_registry():
+    tree = build_random_tree(5)
+    with pytest.raises(ValueError) as err:
+        make_controller("quantum", tree, m=10, w=2, u=20)
+    for flavor in CONTROLLER_FLAVORS:
+        assert flavor in str(err.value)
+
+
+def test_missing_u_is_rejected_for_known_u_flavors():
+    tree = build_random_tree(5)
+    with pytest.raises(ValueError, match="needs the node bound"):
+        make_controller("centralized", tree, m=10, w=2)
+    # Adaptive flavours derive U per epoch and need none.
+    assert make_controller("adaptive", tree, m=10, w=2) is not None
+
+
+def test_hyphenated_flavor_names_resolve():
+    tree = build_random_tree(5)
+    controller = make_controller("distributed-iterated", tree,
+                                 m=20, w=4, u=40)
+    assert controller.introspect().flavor == "distributed-iterated"
+
+
+def test_kwargs_pass_through():
+    from repro.metrics import MoveCounters
+    tree = build_random_tree(5)
+    counters = MoveCounters()
+    controller = make_controller("centralized", tree, m=20, w=4, u=40,
+                                 counters=counters)
+    assert controller.counters is counters
+
+
+# ----------------------------------------------------------------------
+# Protocol conformance (all eight flavours).
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("flavor", CONTROLLER_FLAVORS)
+def test_protocol_surface(flavor):
+    tree, controller = _fresh(flavor)
+    assert isinstance(controller, ControllerProtocol)
+    outcome = controller.handle(Request(RequestKind.PLAIN, tree.root))
+    assert outcome.granted
+    outcomes = controller.handle_batch(
+        [Request(RequestKind.PLAIN, tree.root) for _ in range(3)])
+    assert len(outcomes) == 3 and all(o.granted for o in outcomes)
+    assert isinstance(controller.unused_permits(), int)
+    view = controller.introspect()
+    assert isinstance(view, ControllerView)
+    assert view.granted >= 4
+    assert view.m == 240
+
+
+@pytest.mark.parametrize("flavor", CONTROLLER_FLAVORS)
+def test_introspection_audits_green_after_a_run(flavor):
+    tree, controller = _fresh(flavor)
+    run_scenario(tree, controller.handle, steps=120, seed=9)
+    report = audit_controller(controller)
+    assert report.passed, (flavor, report.violations[:3])
+    assert sum(report.checks.values()) > 0
+
+
+# ----------------------------------------------------------------------
+# detach() idempotency (the regression the protocol mandates).
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("flavor", CONTROLLER_FLAVORS)
+def test_detach_is_idempotent(flavor):
+    tree, controller = _fresh(flavor)
+    run_scenario(tree, controller.handle, steps=40, seed=2)
+    controller.detach()
+    controller.detach()  # second call must be a no-op, never an error
+    # The tree keeps working after the detach pair.
+    tree.add_leaf(tree.root)
+
+
+def test_detach_idempotent_after_internal_rollovers():
+    """Wrappers that already detached their inner stage (halving
+    rollover, termination) must still detach cleanly twice."""
+    tree = build_random_tree(20, seed=1)
+    controller = make_controller("terminating", tree, m=6, w=2, u=40)
+    # Exhaust so the wrapper terminates and detaches its inner engine.
+    for _ in range(10):
+        controller.handle(Request(RequestKind.PLAIN, tree.root))
+    assert controller.terminated
+    controller.detach()
+    controller.detach()
+
+
+def test_remove_listener_is_discard_semantics():
+    tree = build_random_tree(4)
+    listener = object.__new__(type("L", (), {}))
+    tree.remove_listener(listener)  # never registered: still a no-op
