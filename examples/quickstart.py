@@ -1,15 +1,16 @@
-"""Quickstart: an (M,W)-Controller guarding a dynamic tree.
+"""Quickstart: an (M,W)-Controller behind a ControllerSession.
 
 Builds a small network, routes every topological change through the
-controller, exhausts the permit budget, and shows the safety/liveness
+session layer (typed envelopes, admission control, streaming
+settlement), exhausts the permit budget, and shows the safety/liveness
 guarantee numerically.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Request, RequestKind, make_controller
-from repro.metrics import audit_controller
-from repro.workloads import build_random_tree, run_scenario
+from repro import Request, RequestKind, SessionConfig, ControllerSession
+from repro.service import drive_scenario
+from repro.workloads import build_random_tree
 
 
 def main():
@@ -18,33 +19,42 @@ def main():
     # eight registered flavours would serve here — see
     # repro.controller_flavors().
     tree = build_random_tree(20, seed=42)
-    controller = make_controller("iterated", tree, m=50, w=10, u=500)
+    session = ControllerSession(
+        SessionConfig.of("iterated", m=50, w=10, u=500), tree=tree)
 
     print(f"initial size: {tree.size} nodes")
 
-    # One explicit request: add a leaf below the root.
-    outcome = controller.handle(Request(RequestKind.ADD_LEAF, tree.root))
-    print(f"explicit add-leaf -> {outcome.status.value}, "
-          f"new node {outcome.new_node.node_id}")
+    # One explicit request: submit is non-blocking and returns a
+    # ticket; result() settles it and yields the full outcome record
+    # (verdict, submit/settle ticks, the raw controller outcome).
+    ticket = session.submit(Request(RequestKind.ADD_LEAF, tree.root))
+    record = ticket.result()
+    print(f"explicit add-leaf -> {record.verdict.value}, "
+          f"new node {record.outcome.new_node.node_id}, "
+          f"latency {record.latency:g} ticks")
 
     # Drive random churn (adds/removes of leaves and internal nodes,
     # plus plain events) until the budget runs out.
-    result = run_scenario(tree, controller.handle, steps=200, seed=7)
+    result = drive_scenario(session, steps=200, seed=7)
 
-    print(f"\nafter the scenario:")
+    controller = session.controller
+    print("\nafter the scenario:")
     print(f"  granted:  {controller.granted}  (<= M = 50: safety)")
     print(f"  rejected: {controller.rejected}")
     if controller.rejecting:
         print(f"  liveness: granted >= M - W = 40 -> "
               f"{controller.granted >= 40}")
+    print(f"  session tally: {session.tally()}")
     print(f"  tree size: {tree.size}, "
           f"topological changes: {tree.topology_changes}")
     print(f"  move complexity: {controller.counters.total} "
           f"({controller.counters.snapshot()})")
     tree.validate()
-    report = audit_controller(controller)  # protocol-based introspection
+    report = session.audit()  # protocol-based introspection
     print(f"tree validated OK; invariant audit passed={report.passed} "
           f"({sum(report.checks.values())} checks)")
+    session.close()
+    assert result.granted == controller.granted - 1  # the explicit add
 
 
 if __name__ == "__main__":

@@ -17,20 +17,38 @@ The library provides:
 
 Quickstart::
 
-    from repro import DynamicTree, Request, RequestKind, make_controller
+    from repro import (
+        ControllerSession, Request, RequestKind, SessionConfig,
+    )
 
-    tree = DynamicTree()
-    controller = make_controller("centralized", tree, m=100, w=20, u=256)
-    outcome = controller.handle(Request(RequestKind.ADD_LEAF, tree.root))
-    assert outcome.granted and tree.size == 2
+    session = ControllerSession(
+        SessionConfig.of("centralized", m=100, w=20, u=256))
+    ticket = session.submit(
+        Request(RequestKind.ADD_LEAF, session.tree.root))
+    record = ticket.result()
+    assert record.granted and session.tree.size == 2
 
-Every flavour built by :func:`make_controller` implements
+The session layer (:mod:`repro.service`) is the supported way to drive
+an engine: one :class:`SessionConfig` describes the whole wiring
+(flavour, (M, W, U), schedule policy, delay model, faults, admission
+window), and the :class:`ControllerSession` serves requests through
+typed envelopes — non-blocking ``submit`` -> ``Ticket``, batched
+``submit_many``, streaming ``drain()`` in settlement order, with
+saturation reported as an explicit ``BACKPRESSURE`` verdict distinct
+from the paper's permit reject.
+
+Below the session sits the controller registry: every flavour built by
+:func:`make_controller` implements
 :class:`repro.protocol.ControllerProtocol` — ``handle``,
 ``handle_batch``, ``unused_permits``, ``detach`` (idempotent), and
-``introspect()`` for the protocol-based invariant auditor.
+``introspect()`` for the protocol-based invariant auditor.  Direct
+``handle`` wiring remains supported for library embedders; the legacy
+``run_scenario`` callable driver is deprecated (see
+``docs/architecture.md`` §7 for the timeline).
 """
 
 from repro.errors import (
+    ConfigError,
     ControllerError,
     InvariantViolation,
     ProtocolError,
@@ -38,7 +56,12 @@ from repro.errors import (
     SimulationError,
     TopologyError,
 )
-from repro.protocol import BudgetSplit, ControllerProtocol, ControllerView
+from repro.protocol import (
+    BudgetSplit,
+    ControllerProtocol,
+    ControllerView,
+    SessionProtocol,
+)
 from repro.tree import DynamicTree, TreeNode
 from repro.core import (
     AdaptiveController,
@@ -58,34 +81,60 @@ from repro.registry import (
     controller_flavors,
     make_controller,
 )
+from repro.service import (
+    ControllerSession,
+    ControllerSpec,
+    OutcomeRecord,
+    RequestEnvelope,
+    SessionConfig,
+    SessionVerdict,
+    Ticket,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
+# The curated public surface, grouped the way README's public-API table
+# documents it (tests/test_public_api.py asserts the two stay in sync).
 __all__ = [
+    # The session layer — the supported way to drive an engine.
+    "ControllerSession",
+    "SessionConfig",
+    "ControllerSpec",
+    "RequestEnvelope",
+    "OutcomeRecord",
+    "SessionVerdict",
+    "Ticket",
+    # Registry + protocol types.
+    "make_controller",
+    "controller_flavors",
+    "CONTROLLER_FLAVORS",
+    "ControllerProtocol",
+    "SessionProtocol",
+    "ControllerView",
+    "BudgetSplit",
+    # Requests and outcomes.
+    "Request",
+    "RequestKind",
+    "Outcome",
+    "OutcomeStatus",
+    # Substrate and kernel.
+    "DynamicTree",
+    "TreeNode",
+    "ControllerParams",
+    "KernelTrace",
+    "PermitLedger",
+    # Controller classes (importable directly for embedders).
+    "CentralizedController",
+    "IteratedController",
+    "AdaptiveController",
+    "TerminatingController",
+    # Errors.
     "ReproError",
+    "ConfigError",
     "TopologyError",
     "ControllerError",
     "InvariantViolation",
     "SimulationError",
     "ProtocolError",
-    "DynamicTree",
-    "TreeNode",
-    "ControllerParams",
-    "Request",
-    "RequestKind",
-    "Outcome",
-    "OutcomeStatus",
-    "CentralizedController",
-    "IteratedController",
-    "AdaptiveController",
-    "TerminatingController",
-    "ControllerProtocol",
-    "ControllerView",
-    "BudgetSplit",
-    "KernelTrace",
-    "PermitLedger",
-    "CONTROLLER_FLAVORS",
-    "controller_flavors",
-    "make_controller",
     "__version__",
 ]

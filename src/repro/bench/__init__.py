@@ -8,6 +8,7 @@ One-liner reproduction of the perf trajectory::
     python -m repro.bench scenario --topology path --controller iterated --steps 1000
     python -m repro.bench distributed_batch --sizes 200
     python -m repro.bench kernel --out BENCH_kernel.json
+    python -m repro.bench session --out BENCH_session.json
 
 Every scenario returns (and prints) a JSON document: the parameters it
 ran with, one row per configuration, and the derived headline numbers,
@@ -25,6 +26,7 @@ from repro.bench.runner import (
     run_kernel,
     run_move_complexity,
     run_scenario_bench,
+    run_session_overhead,
 )
 
 __all__ = [
@@ -35,4 +37,5 @@ __all__ = [
     "run_kernel",
     "run_move_complexity",
     "run_scenario_bench",
+    "run_session_overhead",
 ]

@@ -10,6 +10,7 @@ Examples::
     python -m repro.bench scenario --name all --policy fifo,random,adversary \\
         --seeds 0,1,2,3,4 --faults "stall=0.05,storms=3" --out grid.json
     python -m repro.bench distributed_batch --sizes 100,200
+    python -m repro.bench session --out BENCH_session.json
 """
 
 import argparse
@@ -17,7 +18,7 @@ import inspect
 import json
 import sys
 
-from repro.bench.runner import SCENARIOS
+from repro.bench.runner import SCENARIOS, SESSION_BENCH_FLAVORS
 from repro.registry import CONTROLLER_FLAVORS
 
 
@@ -113,6 +114,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--requests-per-node", type=float, default=0.5,
                    dest="requests_per_node")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", **common_out)
+
+    p = sub.add_parser("session",
+                       help="session-layer overhead vs direct "
+                            "handle_batch (equivalence-checked; "
+                            "target <= 5%% amortized)")
+    p.add_argument("--n", type=int, default=600)
+    p.add_argument("--steps", type=int, default=2000)
+    p.add_argument("--batch-size", type=int, default=64, dest="batch_size")
+    p.add_argument("--topology", default="random",
+                   choices=["random", "path", "star", "caterpillar"])
+    p.add_argument("--mix", default="default",
+                   choices=["default", "grow", "plain"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--flavor", default="iterated",
+                   choices=list(SESSION_BENCH_FLAVORS),
+                   help="synchronous flavours only: the bench replays "
+                        "its recorded stream lazily, which the "
+                        "distributed engines cannot consume")
     p.add_argument("--out", **common_out)
 
     p = sub.add_parser("kernel",

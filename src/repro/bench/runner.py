@@ -7,32 +7,41 @@ scheduler noise); correctness-sensitive quantities (move counters,
 outcome tallies) are additionally cross-checked between the engine and
 legacy configurations, so a benchmark run doubles as an equivalence
 check.
+
+Every entry point constructs its engine through the session layer
+(``SessionConfig``/``ControllerSession`` — see ``repro.service`` and
+docs §7); the ``session`` scenario additionally measures the session
+layer's own tax against direct protocol calls.
 """
 
 import dataclasses
+import gc
 import random
 import time
 import zlib
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core import kernel as controller_kernel
-from repro.core.iterated import IteratedController
 from repro.core.packages import MobilePackage, NodeStore
 from repro.core.params import ControllerParams
 from repro.core.requests import Request, RequestKind
-from repro.distributed.controller import DistributedController
-from repro.distributed.faults import FaultInjector, parse_fault_spec
+from repro.distributed.faults import parse_fault_spec
+from repro.errors import ConfigError, ProtocolError
 from repro.metrics.fitting import log_log_slope, observation_3_4_bound
 from repro.metrics.invariants import (
     CounterWatch,
     InvariantReport,
-    audit_controller,
     tally_outcomes,
 )
 from repro.registry import CONTROLLER_FLAVORS, make_controller
-from repro.sim.delays import make_delay_model
-from repro.sim.policies import SCHEDULE_POLICIES, make_policy
-from repro.sim.scheduler import Scheduler
+from repro.service import (
+    ControllerSession,
+    ControllerSpec,
+    SessionConfig,
+    drive_scenario,
+    replay_stream,
+)
+from repro.sim.policies import SCHEDULE_POLICIES
 from repro.workloads.catalogue import CATALOGUE, get_scenario
 from repro.workloads.scenarios import (
     NodePicker,
@@ -45,7 +54,6 @@ from repro.workloads.scenarios import (
     grow_only_mix,
     random_request,
     request_spec,
-    run_scenario,
 )
 
 DEFAULT_SIZES = [200, 400, 800, 1600, 3200]  # the bench_e02 sweep
@@ -74,11 +82,14 @@ def _build(topology: str, n: int, seed: int, skip_ancestry: bool):
     return tree
 
 
-def _controller(kind: str, tree, m: int, w: int, u: int):
-    """Registry-backed construction: every flavour speaks the protocol,
-    so ``handle``/``handle_batch`` are uniform."""
-    controller = make_controller(kind, tree, m=m, w=w, u=u)
-    return controller, controller.handle, controller.handle_batch
+def _session(kind: str, tree, m: int, w: int, u: int, *,
+             window: int = 1 << 20, **knobs: Any) -> ControllerSession:
+    """Session-backed construction: every bench entry point wires its
+    engine through ``SessionConfig``/``ControllerSession`` (the window
+    defaults wide open — benches measure the engine, not admission)."""
+    config = SessionConfig.of(kind, m=m, w=w, u=u,
+                              max_in_flight=window, **knobs)
+    return ControllerSession(config, tree=tree)
 
 
 # ----------------------------------------------------------------------
@@ -95,14 +106,14 @@ def run_ancestry(sizes: Optional[List[int]] = None, repeats: int = 3,
 
     * **legacy** — ``skip_ancestry=False``: the seed's data paths
       (naive parent-pointer walks, dict store probes, full filler
-      climbs), driven by sequential ``handle``;
+      climbs), driven one request at a time (``session.serve``);
     * **engine** — ``skip_ancestry=True``: skip-pointer jump tables,
-      slot-pinned stores, the indexed filler scan, driven by
-      ``handle_batch``.
+      slot-pinned stores, the indexed filler scan, driven as one
+      batch (``session.serve_stream``).
 
-    Move counters and grant tallies are asserted identical between the
-    two modes; the headline is the wall-clock ratio on the deepest
-    path.
+    Both modes run behind a :class:`ControllerSession`; move counters
+    and grant tallies are asserted identical between them, and the
+    headline is the wall-clock ratio on the deepest path.
     """
     sizes = sizes or DEFAULT_SIZES
     rows = []
@@ -121,18 +132,19 @@ def run_ancestry(sizes: Optional[List[int]] = None, repeats: int = 3,
                             nodes[rng.randrange(len(nodes))])
                     for _ in range(steps)
                 ]
-                controller = IteratedController(
-                    tree, m=4 * n, w=n // 4, u=2 * n)
+                session = _session("iterated", tree,
+                                   m=4 * n, w=n // 4, u=2 * n)
                 start = time.perf_counter()
                 if skip:
-                    outcomes = controller.handle_batch(requests)
+                    records = session.serve_stream(requests)
                 else:
-                    outcomes = [controller.handle(r) for r in requests]
+                    records = [session.serve(request)
+                               for request in requests]
                 elapsed = time.perf_counter() - start
                 best = elapsed if best is None else min(best, elapsed)
                 checks[label] = (
-                    controller.counters.total,
-                    sum(1 for o in outcomes if o.granted),
+                    session.controller.counters.total,
+                    sum(1 for r in records if r.granted),
                 )
             timings[label] = best
         if checks["legacy"] != checks["engine"]:
@@ -176,12 +188,12 @@ def run_move_complexity(sizes: Optional[List[int]] = None,
     for n in sizes:
         tree = build_path(n)
         u, m, w = 2 * n, 4 * n, n // 4
-        controller = IteratedController(tree, m=m, w=w, u=u)
+        session = _session("iterated", tree, m=m, w=w, u=u)
         start = time.perf_counter()
-        result = run_scenario(tree, controller.handle, steps=n, seed=n)
+        result = drive_scenario(session, steps=n, seed=n)
         elapsed = time.perf_counter() - start
         bound = observation_3_4_bound(u, m, w)
-        moves = controller.counters.total
+        moves = session.controller.counters.total
         measured.append(moves)
         rows.append({
             "n": n, "u": u, "m": m, "w": w,
@@ -209,24 +221,25 @@ def run_batch(n: int = 600, steps: int = 2000, batch_size: int = 64,
               seed: int = 0) -> Dict:
     """Sequential vs batched handling of the *same* request stream.
 
-    Tree A is driven sequentially while the stream is recorded as
-    tree-independent specs; tree B (a twin built identically) replays
-    the stream through ``handle_batch`` in ``batch_size`` chunks via a
-    lazily-resolved :class:`TreeMirror`.  Outcomes, grant tallies and
-    move counters must match exactly — that equality is this PR's
-    batch-semantics contract — and both wall clocks are reported.
+    Session A is driven one request at a time while the stream is
+    recorded as tree-independent specs; session B (on a twin tree built
+    identically) replays the stream in ``batch_size`` chunks through
+    ``serve_stream`` via a lazily-resolved :class:`TreeMirror`.
+    Outcomes, grant tallies and move counters must match exactly — that
+    equality is the batch-semantics contract — and both wall clocks are
+    reported.
     """
     mix_map = _MIXES[mix]()
     tree_a = _build(topology, n, seed, True)
     tree_b = _build(topology, n, seed, True)
     u, m, w = 4 * n, 4 * n, max(n // 4, 1)
-    ctrl_a = IteratedController(tree_a, m=m, w=w, u=u)
-    ctrl_b = IteratedController(tree_b, m=m, w=w, u=u)
+    session_a = _session("iterated", tree_a, m=m, w=w, u=u)
+    session_b = _session("iterated", tree_b, m=m, w=w, u=u)
 
     rng = random.Random(seed)
     picker = NodePicker(tree_a)
     mirror = TreeMirror(tree_b)
-    outcomes_a = []
+    records_a = []
     specs = []
     start = time.perf_counter()
     sequential_time = 0.0
@@ -234,21 +247,21 @@ def run_batch(n: int = 600, steps: int = 2000, batch_size: int = 64,
         request = random_request(tree_a, rng, mix=mix_map, picker=picker)
         specs.append(request_spec(request))
         t0 = time.perf_counter()
-        outcomes_a.append(ctrl_a.handle(request))
+        records_a.append(session_a.serve(request))
         sequential_time += time.perf_counter() - t0
     generation_time = time.perf_counter() - start - sequential_time
     picker.detach()
 
-    outcomes_b = []
+    records_b = []
     start = time.perf_counter()
     for base in range(0, len(specs), batch_size):
         chunk = specs[base:base + batch_size]
-        outcomes_b.extend(ctrl_b.handle_batch(mirror.requests(chunk)))
+        records_b.extend(session_b.serve_stream(mirror.requests(chunk)))
     batched_time = time.perf_counter() - start
     mirror.detach()
 
-    status_a = [o.status.value for o in outcomes_a]
-    status_b = [o.status.value for o in outcomes_b]
+    status_a = [r.verdict.value for r in records_a]
+    status_b = [r.verdict.value for r in records_b]
     if status_a != status_b:
         first = next(i for i, (a, b) in enumerate(zip(status_a, status_b))
                      if a != b)
@@ -256,11 +269,14 @@ def run_batch(n: int = 600, steps: int = 2000, batch_size: int = 64,
             f"batched outcome diverged at step {first}: "
             f"{status_a[first]} != {status_b[first]}"
         )
-    if ctrl_a.counters.snapshot() != ctrl_b.counters.snapshot():
+    counters_a = session_a.controller.counters
+    counters_b = session_b.controller.counters
+    if counters_a.snapshot() != counters_b.snapshot():
         raise AssertionError(
-            f"batched counters diverged: {ctrl_b.counters.snapshot()} "
-            f"!= {ctrl_a.counters.snapshot()}"
+            f"batched counters diverged: {counters_b.snapshot()} "
+            f"!= {counters_a.snapshot()}"
         )
+    tally = session_a.tally()
     return {
         "scenario": "batch",
         "params": {"n": n, "steps": steps, "batch_size": batch_size,
@@ -268,9 +284,9 @@ def run_batch(n: int = 600, steps: int = 2000, batch_size: int = 64,
         "sequential_ms": round(sequential_time * 1000, 3),
         "batched_ms": round(batched_time * 1000, 3),
         "generation_ms": round(generation_time * 1000, 3),
-        "granted": ctrl_a.granted,
-        "rejected": ctrl_a.rejected,
-        "moves": ctrl_a.counters.total,
+        "granted": tally["granted"],
+        "rejected": tally["rejected"],
+        "moves": counters_a.total,
         "outcomes_identical": True,
         "counters_identical": True,
         "requests_per_sec_batched": round(
@@ -291,15 +307,12 @@ def run_scenario_bench(topology: str = "random", controller: str = "iterated",
     u = 4 * n
     m = m_factor * n
     w = max(n // w_divisor, 1)
-    ctrl, submit, submit_batch = _controller(controller, tree, m, w, u)
+    session = _session(controller, tree, m, w, u)
     start = time.perf_counter()
-    result = run_scenario(
-        tree, submit, steps=steps, seed=seed, mix=_MIXES[mix](),
-        batch_size=batch_size,
-        submit_batch=submit_batch if batch_size > 1 else None,
-    )
+    result = drive_scenario(session, steps=steps, seed=seed,
+                            mix=_MIXES[mix](), batch_size=batch_size)
     elapsed = time.perf_counter() - start
-    counters = ctrl.counters.snapshot()
+    counters = session.controller.counters.snapshot()
     return {
         "scenario": "scenario",
         "params": {"topology": topology, "controller": controller,
@@ -324,10 +337,11 @@ def run_scenario_bench(topology: str = "random", controller: str = "iterated",
 def run_distributed_batch(sizes: Optional[List[int]] = None,
                           requests_per_node: float = 0.5,
                           seed: int = 0) -> Dict:
-    """Pipeline a concurrent batch through the distributed controller.
+    """Pipeline a concurrent batch through the distributed engine.
 
-    All requests are injected up front (``submit_batch``); agents
-    interleave under the locking discipline and the scheduler runs to
+    All requests are injected up front (``submit_many`` on a
+    distributed :class:`ControllerSession`); agents interleave under
+    the locking discipline and the session drains the scheduler to
     quiescence.  Reported: grant tallies, message counters, and the
     simulated-time compression vs serving the batch one request at a
     time (sequential lower bound: the sum of per-request round trips).
@@ -343,17 +357,17 @@ def run_distributed_batch(sizes: Optional[List[int]] = None,
             Request(RequestKind.PLAIN, nodes[rng.randrange(len(nodes))])
             for _ in range(count)
         ]
-        controller = DistributedController(tree, m=4 * n, w=n, u=2 * n)
+        session = _session("distributed", tree, m=4 * n, w=n, u=2 * n)
         start = time.perf_counter()
-        outcomes = controller.submit_batch(requests)
+        records = replay_stream(session, requests)
         elapsed = time.perf_counter() - start
         rows.append({
             "n": n,
             "requests": count,
-            "granted": sum(1 for o in outcomes if o.granted),
-            "rejected": controller.rejected,
-            "messages": controller.counters.total,
-            "simulated_time": round(controller.scheduler.now, 3),
+            "granted": sum(1 for r in records if r.granted),
+            "rejected": session.controller.rejected,
+            "messages": session.controller.counters.total,
+            "simulated_time": round(session.now, 3),
             "wall_ms": round(elapsed * 1000, 3),
         })
     return {
@@ -518,19 +532,18 @@ def run_scenario_grid(name: str = "all",
 def _run_core_cell(spec, seed: int, engine: str, stream_specs,
                    grid_report: InvariantReport) -> Dict:
     tree, requests = _replay_requests(spec, seed, stream_specs)
-    controller = make_controller(engine, tree, m=spec.m, w=spec.w, u=spec.u)
-    watch = CounterWatch(controller.counters, report=grid_report)
-    submit = controller.handle
+    session = _session(engine, tree, m=spec.m, w=spec.w, u=spec.u)
+    watch = CounterWatch(session.controller.counters, report=grid_report)
     start = time.perf_counter()
     outcomes = []
     for request in requests:
-        outcomes.append(submit(request))
+        outcomes.append(session.serve(request).outcome)
         watch.observe()
     wall = time.perf_counter() - start
-    audit_controller(controller, grid_report)
+    session.audit(grid_report)
     cell = {
         "scenario": spec.name, "seed": seed, "engine": engine,
-        "policy": None, "cost": controller.counters.total,
+        "policy": None, "cost": session.controller.counters.total,
         "wall_ms": round(wall * 1000, 3),
     }
     cell.update(_tally(outcomes))
@@ -542,48 +555,51 @@ def _run_distributed_cell(spec, seed: int, policy: str, stream_specs,
                           grid_report: InvariantReport) -> Dict:
     cell_seed = _cell_seed(spec.name, seed, policy, "distributed")
     tree, requests = _replay_requests(spec, seed, stream_specs)
-    scheduler = Scheduler(policy=make_policy(policy, seed=cell_seed))
-    injector = None
+    plan = None
     if not fault_plan.is_noop:
         # Auto horizon: the submission window plus a flight-time margin,
         # so pauses/storms land while agents are actually mid-climb
         # rather than bunching into the first instants of a long run.
         span = len(requests) * stagger + 4 * spec.n
-        injector = FaultInjector(dataclasses.replace(
+        plan = dataclasses.replace(
             fault_plan.resolved(span),
-            seed=int(fault_plan.seed) ^ cell_seed))
-    controller = DistributedController(
-        tree, m=spec.m, w=spec.w, u=spec.u, scheduler=scheduler,
-        delays=make_delay_model(delays, seed=cell_seed),
-        faults=injector)
-    watch = CounterWatch(controller.counters, report=grid_report)
-    resolved: Dict[int, object] = {}
-
-    def settle(outcome) -> None:
-        resolved[outcome.request.request_id] = outcome
-        watch.observe()
+            seed=int(fault_plan.seed) ^ cell_seed)
+    config = SessionConfig(
+        controller=ControllerSpec("distributed", m=spec.m, w=spec.w,
+                                  u=spec.u),
+        schedule_policy=policy, delay_model=delays, faults=plan,
+        seed=cell_seed, max_in_flight=max(len(requests), 1))
+    session = ControllerSession(config, tree=tree)
+    watch = CounterWatch(session.controller.counters, report=grid_report)
+    settled = []
 
     start = time.perf_counter()
-    for position, request in enumerate(requests):
-        controller.submit(request, delay=position * stagger,
-                          callback=settle)
-    controller.run()
+    session.submit_many(requests, stagger=stagger)
+    try:
+        for record in session.drain():
+            settled.append(record)
+            watch.observe()
+    except ProtocolError:
+        # A lost agent surfaces as a liveness violation in the report
+        # (the grid keeps running and records the evidence).
+        pass
     wall = time.perf_counter() - start
     grid_report.expect(
-        len(resolved) == len(requests), "liveness",
+        len(settled) == len(requests), "liveness",
         f"{spec.name}/{policy}/seed={seed}: "
-        f"{len(requests) - len(resolved)} requests never resolved",
+        f"{len(requests) - len(settled)} requests never resolved",
         scenario=spec.name, policy=policy, seed=seed)
-    audit_controller(controller, grid_report)
+    session.audit(grid_report)
     cell = {
         "scenario": spec.name, "seed": seed, "engine": "distributed",
-        "policy": policy, "cost": controller.counters.total,
-        "simulated_time": round(controller.scheduler.now, 3),
+        "policy": policy, "cost": session.controller.counters.total,
+        "simulated_time": round(session.now, 3),
         "wall_ms": round(wall * 1000, 3),
     }
+    injector = getattr(session.controller, "faults", None)
     if injector is not None:
         cell["fault_stats"] = dict(injector.stats)
-    cell.update(_tally(resolved.values()))
+    cell.update(_tally(r.outcome for r in settled))
     return cell
 
 
@@ -652,17 +668,19 @@ def run_kernel(scenario: str = "deep_burst", seeds: str = "0,1",
             best: Optional[float] = None
             for _ in range(max(repeats, 1)):
                 tree, requests = _replay_requests(spec, seed, stream_specs)
-                controller = DistributedController(
-                    tree, m=spec.m, w=spec.w, u=spec.u,
-                    indexed_stores=indexed)
+                session = _session(
+                    "distributed", tree, m=spec.m, w=spec.w, u=spec.u,
+                    options={"indexed_stores": indexed})
                 start = time.perf_counter()
-                outcomes = controller.submit_batch(requests,
-                                                   stagger=stagger)
+                records = replay_stream(session, requests,
+                                        stagger=stagger)
                 elapsed = time.perf_counter() - start
                 best = elapsed if best is None else min(best, elapsed)
-                checks[label] = (tuple(sorted(_tally(outcomes).items())),
-                                 controller.counters.total)
-                controller.detach()
+                checks[label] = (
+                    tuple(sorted(
+                        _tally(r.outcome for r in records).items())),
+                    session.controller.counters.total)
+                session.close()
             timings[label] = best or 0.0
         if checks["scan"] != checks["indexed"]:
             raise AssertionError(
@@ -724,6 +742,190 @@ def run_kernel(scenario: str = "deep_burst", seeds: str = "0,1",
     }
 
 
+# ----------------------------------------------------------------------
+# session — the session layer's own overhead, measured honestly.
+# ----------------------------------------------------------------------
+#: Flavours whose handle_batch consumes its input lazily (required by
+#: the bench's TreeMirror replay; see run_session_overhead).
+SESSION_BENCH_FLAVORS = ("centralized", "iterated", "adaptive",
+                         "terminating", "trivial")
+
+
+def run_session_overhead(n: int = 600, steps: int = 2000,
+                         batch_size: int = 64, topology: str = "random",
+                         mix: str = "default", seed: int = 0,
+                         repeats: int = 3,
+                         flavor: str = "iterated") -> Dict:
+    """Session layer vs direct protocol calls on the batch workload.
+
+    One request stream is recorded once (tree-independent specs), then
+    replayed through two *paired* comparisons on identically-built twin
+    trees:
+
+    * **batch** — ``handle_batch`` (direct ``make_controller`` product)
+      vs ``ControllerSession.serve_stream``, chunk by chunk;
+    * **seq** — ``handle`` vs ``ControllerSession.serve``, block by
+      block.
+
+    The pairing is chunk-interleaved with alternating order (direct
+    first on even chunks, session first on odd ones), so slow clock
+    drift (CPU frequency, noisy CI neighbours) and warm-cache ordering
+    bias hit both arms of a pair equally.  Both engines of a pair
+    advance over the same stream in lockstep and must produce identical
+    outcome sequences and move counters (asserted).  Because the
+    replays are deterministic, chunk ``i`` does identical work in every
+    repeat; each arm's wall clock is therefore the **sum of per-chunk
+    minima** over ``repeats`` (the lower-envelope estimate, which
+    converges far faster than min-of-totals under bursty noise).  The
+    headline is ``overhead_batch_pct`` — the amortized session tax on
+    the batched path, targeted at <= 5%.
+    """
+    if flavor not in SESSION_BENCH_FLAVORS:
+        # The replay resolves each recorded spec lazily against a twin
+        # tree, which needs a handle_batch that consumes its input
+        # incrementally; the distributed engine and the wrappers
+        # materialize batches up front, so specs that target mid-chunk
+        # creations cannot resolve there.
+        raise ConfigError(
+            f"the session bench replays lazily and supports only the "
+            f"synchronous flavours ({', '.join(SESSION_BENCH_FLAVORS)}); "
+            f"got {flavor!r}")
+    mix_map = _MIXES[mix]()
+    u, m, w = 4 * n, 4 * n, max(n // 4, 1)
+
+    # Record the stream once, sequentially, against a scratch engine.
+    scratch = _build(topology, n, seed, True)
+    recorder = _session(flavor, scratch, m=m, w=w, u=u)
+    rng = random.Random(seed)
+    picker = NodePicker(scratch)
+    specs = []
+    for _ in range(steps):
+        request = random_request(scratch, rng, mix=mix_map, picker=picker)
+        specs.append(request_spec(request))
+        recorder.serve(request)
+    picker.detach()
+
+    def paired_replay(batched: bool):
+        """One repeat: direct vs session over the same stream, timed
+        chunk-against-chunk in alternating order.  Returns per-chunk
+        time lists and the per-arm evidence (statuses + counters) for
+        the equivalence assert."""
+        tree_d = _build(topology, n, seed, True)
+        tree_s = _build(topology, n, seed, True)
+        mirror_d = TreeMirror(tree_d)
+        mirror_s = TreeMirror(tree_s)
+        controller = make_controller(flavor, tree_d, m=m, w=w, u=u)
+        session = _session(flavor, tree_s, m=m, w=w, u=u)
+        statuses_d: List[str] = []
+        statuses_s: List[str] = []
+        chunk_times_d: List[float] = []
+        chunk_times_s: List[float] = []
+
+        def run_direct(chunk) -> float:
+            t0 = time.perf_counter()
+            if batched:
+                outcomes = controller.handle_batch(mirror_d.requests(chunk))
+            else:
+                outcomes = [controller.handle(mirror_d.request(spec))
+                            for spec in chunk]
+            elapsed = time.perf_counter() - t0
+            statuses_d.extend(o.status.value for o in outcomes)
+            return elapsed
+
+        def run_session(chunk) -> float:
+            t0 = time.perf_counter()
+            if batched:
+                records = session.serve_stream(mirror_s.requests(chunk))
+            else:
+                records = [session.serve(mirror_s.request(spec))
+                           for spec in chunk]
+            elapsed = time.perf_counter() - t0
+            # Status read through the record's raw outcome — the same
+            # enum access the direct arm pays, so the diff isolates
+            # the session layer itself.
+            statuses_s.extend(r.outcome.status.value for r in records)
+            return elapsed
+
+        for index, base in enumerate(range(0, len(specs), batch_size)):
+            chunk = specs[base:base + batch_size]
+            if index % 2 == 0:
+                chunk_times_d.append(run_direct(chunk))
+                chunk_times_s.append(run_session(chunk))
+            else:
+                chunk_times_s.append(run_session(chunk))
+                chunk_times_d.append(run_direct(chunk))
+        mirror_d.detach()
+        mirror_s.detach()
+        return (chunk_times_d, chunk_times_s,
+                (statuses_d, tuple(sorted(
+                    controller.counters.snapshot().items()))),
+                (statuses_s, tuple(sorted(
+                    session.controller.counters.snapshot().items()))))
+
+    arm_chunks: Dict[str, List[float]] = {}
+    evidence: Dict[str, object] = {}
+    gc_was_enabled = gc.isenabled()
+    try:
+        gc.disable()
+        for _ in range(max(repeats, 1)):
+            for batched in (True, False):
+                gc.collect()
+                times_d, times_s, proof_d, proof_s = paired_replay(batched)
+                kind = "batch" if batched else "seq"
+                for label, times in ((f"direct_{kind}", times_d),
+                                     (f"session_{kind}", times_s)):
+                    if label in arm_chunks:
+                        arm_chunks[label] = [
+                            min(old, new) for old, new in
+                            zip(arm_chunks[label], times)]
+                    else:
+                        arm_chunks[label] = times
+                evidence[f"direct_{kind}"] = proof_d
+                evidence[f"session_{kind}"] = proof_s
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    timings = {label: sum(times) for label, times in arm_chunks.items()}
+    baseline = evidence["direct_batch"]
+    for label in ("session_batch", "direct_seq", "session_seq"):
+        if evidence[label] != baseline:
+            raise AssertionError(
+                f"arm {label} diverged from direct_batch "
+                "(outcomes or counters differ)")
+
+    def overhead(direct: float, session: float) -> float:
+        return round((session - direct) / direct * 100, 2) if direct else 0.0
+
+    overhead_batch = overhead(timings["direct_batch"],
+                              timings["session_batch"])
+    tally = _tally_statuses(baseline[0])
+    return {
+        "scenario": "session",
+        "params": {"n": n, "steps": steps, "batch_size": batch_size,
+                   "topology": topology, "mix": mix, "seed": seed,
+                   "repeats": repeats, "flavor": flavor,
+                   "m": m, "w": w, "u": u},
+        "direct_batch_ms": round(timings["direct_batch"] * 1000, 3),
+        "session_batch_ms": round(timings["session_batch"] * 1000, 3),
+        "direct_seq_ms": round(timings["direct_seq"] * 1000, 3),
+        "session_seq_ms": round(timings["session_seq"] * 1000, 3),
+        "overhead_batch_pct": overhead_batch,
+        "overhead_seq_pct": overhead(timings["direct_seq"],
+                                     timings["session_seq"]),
+        "target_pct": 5.0,
+        "within_target": overhead_batch <= 5.0,
+        "equivalent": True,
+        **tally,
+    }
+
+
+def _tally_statuses(statuses: List[str]) -> Dict[str, int]:
+    tally = {"granted": 0, "rejected": 0, "cancelled": 0, "pending": 0}
+    for status in statuses:
+        tally[status] += 1
+    return tally
+
+
 SCENARIOS = {
     "ancestry": run_ancestry,
     "move_complexity": run_move_complexity,
@@ -732,4 +934,5 @@ SCENARIOS = {
     "scenario_grid": run_scenario_grid,
     "distributed_batch": run_distributed_batch,
     "kernel": run_kernel,
+    "session": run_session_overhead,
 }

@@ -19,6 +19,17 @@ class TopologyError(ReproError):
     """
 
 
+class ConfigError(ReproError, ValueError):
+    """A controller/session was *configured* wrong.
+
+    Raised before any engine state exists: an unknown controller flavour,
+    a missing node bound ``u`` for a known-U flavour, an unknown schedule
+    policy or delay model, a non-positive admission window.  The message
+    always names the valid choices.  Derives from :class:`ValueError` so
+    pre-1.3 callers that caught ``ValueError`` keep working.
+    """
+
+
 class ControllerError(ReproError):
     """The controller was driven outside of its contract.
 

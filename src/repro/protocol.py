@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import (
     Any,
     Iterable,
+    Iterator,
     List,
     Optional,
     Protocol,
@@ -97,6 +98,33 @@ class ControllerView:
     waste_gate: str = "rejection"
     budget: Optional[BudgetSplit] = None
     children: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+
+
+@runtime_checkable
+class SessionProtocol(Protocol):
+    """The session-layer ingestion interface (PEP 544, structural).
+
+    Implemented by :class:`repro.service.session.ControllerSession`:
+    non-blocking ``submit`` returning a ticket, batched
+    ``submit_many``, a streaming ``drain`` yielding settled outcome
+    records in settlement order, and ``close``.  ``introspect()`` is
+    shared with :class:`ControllerProtocol`, so the invariant auditor
+    accepts sessions and controllers interchangeably.
+    """
+
+    def submit(self, request: Any,
+               delay: Optional[float] = None) -> Any: ...
+
+    def submit_many(self, requests: Iterable[Any],
+                    stagger: Optional[float] = None) -> List[Any]: ...
+
+    def drain(self) -> Iterator[Any]: ...
+
+    def settle_all(self) -> List[Any]: ...
+
+    def close(self) -> None: ...
+
+    def introspect(self) -> ControllerView: ...
 
 
 @runtime_checkable

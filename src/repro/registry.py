@@ -25,6 +25,7 @@ Registered flavours:
 
 from typing import Any, Callable, Dict, Tuple
 
+from repro.errors import ConfigError
 from repro.baselines.trivial import TrivialController
 from repro.core.adaptive import AdaptiveController
 from repro.core.centralized import CentralizedController
@@ -60,6 +61,23 @@ def controller_flavors() -> Tuple[str, ...]:
     return CONTROLLER_FLAVORS
 
 
+def resolve_flavor(flavor: str) -> str:
+    """Normalize a flavour name (strip, hyphens to underscores) and
+    check it against the registry.
+
+    The single definition of what counts as a valid flavour spelling —
+    shared by :func:`make_controller` and the session layer's
+    ``ControllerSpec``.  Raises :class:`ConfigError` naming the
+    registry for anything unknown.
+    """
+    key = flavor.strip().replace("-", "_")
+    if key not in CONTROLLER_REGISTRY:
+        raise ConfigError(
+            f"unknown controller flavor {flavor!r}; registered: "
+            f"{', '.join(CONTROLLER_FLAVORS)}")
+    return key
+
+
 def make_controller(flavor: str, tree: DynamicTree, *, m: int, w: int = 0,
                     u: int = 0, **kwargs: Any) -> ControllerProtocol:
     """Build a controller of the requested ``flavor`` on ``tree``.
@@ -70,19 +88,17 @@ def make_controller(flavor: str, tree: DynamicTree, *, m: int, w: int = 0,
     through to the flavour's constructor (``counters=``, ``scheduler=``,
     ``kernel_trace=``, ...).
 
-    Raises ``ValueError`` for an unknown flavour (listing the registry)
-    or a missing ``u`` where one is required.
+    Raises :class:`repro.errors.ConfigError` for an unknown flavour
+    (listing the registry) or a missing ``u`` where one is required —
+    one exception type for every misconfiguration, whatever the flavour.
     """
-    key = flavor.strip().replace("-", "_")
-    factory = CONTROLLER_REGISTRY.get(key)
-    if factory is None:
-        raise ValueError(
-            f"unknown controller flavor {flavor!r}; registered: "
-            f"{', '.join(CONTROLLER_FLAVORS)}")
+    key = resolve_flavor(flavor)
+    factory = CONTROLLER_REGISTRY[key]
     if key in _NEEDS_U and u <= 0:
-        raise ValueError(
+        raise ConfigError(
             f"flavor {key!r} needs the node bound u (got {u!r}); only the "
-            "adaptive flavours run without one")
+            "adaptive flavours run without one "
+            f"(registered: {', '.join(CONTROLLER_FLAVORS)})")
     if key == "trivial":
         return factory(tree, m=m, **kwargs)
     if key in ("adaptive", "distributed_adaptive"):

@@ -1,0 +1,487 @@
+"""The controller session: one object that owns the whole engine.
+
+``ControllerSession`` wires a tree, a controller flavour, and (for the
+event-driven engine) a scheduler + delay model + fault injector from a
+single frozen :class:`~repro.service.config.SessionConfig`, then serves
+requests through one ingestion-shaped API:
+
+* :meth:`submit` — non-blocking; admission-checks the request and
+  returns a :class:`~repro.service.envelopes.Ticket`;
+* :meth:`submit_many` — a batch of tickets (staggered arrivals on the
+  event-driven engine);
+* :meth:`drain` — a streaming iterator that pumps the engine and yields
+  :class:`~repro.service.envelopes.OutcomeRecord` objects in
+  **settlement order**, for both the synchronous flavours (the session
+  batches pending requests through ``handle_batch``) and the
+  event-driven distributed engine (the session steps the scheduler and
+  yields as agent callbacks land);
+* :meth:`settle_all` — ``list(drain())``.
+
+Admission control: at most ``config.max_in_flight`` requests may be in
+flight; beyond that, ``submit`` settles the ticket immediately with the
+``BACKPRESSURE`` verdict without touching the controller — saturation
+is answered at the session boundary, never confused with the paper's
+permit *reject* (see :mod:`repro.service.envelopes`).
+
+The session implements the controller protocol's ``introspect()`` by
+delegation, so :func:`repro.metrics.invariants.audit_controller`
+accepts a session wherever it accepts a controller (:meth:`audit` is
+the shorthand).
+"""
+
+import operator
+from collections import Counter, deque
+from itertools import repeat
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    cast,
+)
+
+from repro.core.kernel import KernelTrace
+from repro.core.requests import Outcome, Request
+from repro.distributed.faults import FaultInjector
+from repro.errors import ConfigError, ControllerError, ProtocolError
+from repro.metrics.invariants import InvariantReport, audit_controller
+from repro.protocol import ControllerProtocol, ControllerView
+from repro.registry import make_controller
+from repro.service.config import (
+    SCHEDULED_FLAVORS,
+    TRACED_FLAVORS,
+    SessionConfig,
+)
+from repro.service.envelopes import (
+    OutcomeRecord,
+    RequestEnvelope,
+    SessionVerdict,
+    Ticket,
+    TraceHandle,
+    verdict_of,
+)
+from repro.sim.delays import make_delay_model
+from repro.sim.policies import make_policy
+from repro.sim.scheduler import Scheduler
+from repro.tree.dynamic_tree import DynamicTree
+
+#: Constructor keywords the session wires itself; passing them through
+#: ``ControllerSpec.options`` would silently fight the session's wiring.
+_SESSION_OWNED_OPTIONS = ("scheduler", "delays", "faults", "kernel_trace")
+
+#: C-speed attribute extraction for the per-batch settlement loop.
+_status_of = operator.attrgetter("status")
+_request_of = operator.attrgetter("request")
+
+
+class ControllerSession:
+    """A live engine behind the session API (see module docstring).
+
+    Parameters
+    ----------
+    config:
+        The frozen wiring description.
+    tree:
+        The tree to control.  ``None`` builds a fresh single-root
+        :class:`DynamicTree` owned by the session.
+    """
+
+    def __init__(self, config: SessionConfig,
+                 tree: Optional[DynamicTree] = None):
+        self.config = config
+        self.tree = tree if tree is not None else DynamicTree()
+        spec = config.controller
+        for key in _SESSION_OWNED_OPTIONS:
+            if key in spec.options:
+                raise ConfigError(
+                    f"option {key!r} is session-owned wiring; use the "
+                    "SessionConfig knobs instead of ControllerSpec.options")
+        if config.trace and spec.flavor not in TRACED_FLAVORS:
+            raise ConfigError(
+                f"flavor {spec.flavor!r} does not take a kernel trace; "
+                f"traced flavours: {', '.join(TRACED_FLAVORS)}")
+
+        kwargs: Dict[str, Any] = dict(spec.options)
+        self.scheduler: Optional[Scheduler] = None
+        if spec.flavor in SCHEDULED_FLAVORS:
+            self.scheduler = Scheduler(
+                policy=make_policy(config.schedule_policy, seed=config.seed))
+            kwargs["scheduler"] = self.scheduler
+            kwargs["delays"] = make_delay_model(config.delay_model,
+                                                seed=config.seed)
+        if spec.flavor == "distributed" and not config.fault_plan.is_noop:
+            kwargs["faults"] = FaultInjector(config.fault_plan)
+        self.trace: Optional[KernelTrace] = None
+        if config.trace:
+            self.trace = KernelTrace()
+            kwargs["kernel_trace"] = self.trace
+        self.controller: ControllerProtocol = make_controller(
+            spec.flavor, self.tree, m=spec.m, w=spec.w, u=spec.u, **kwargs)
+        self._event_driven = spec.event_driven
+        # Bound-method caches for the per-request hot paths.
+        self._handle = self.controller.handle
+        self._handle_batch = self.controller.handle_batch
+
+        self._next_envelope = 0
+        self._clock = 0
+        self._in_flight: Dict[int, Ticket] = {}
+        self._pending: Deque[Tuple[RequestEnvelope, Ticket]] = deque()
+        self._ready: Deque[Tuple[OutcomeRecord, Optional[Ticket]]] = deque()
+        self._compact_limit = 64
+        self._closed = False
+        #: Verdict tallies over every settled record (including
+        #: backpressure, which the controller never sees).
+        self.verdicts: Dict[str, int] = {v.value: 0 for v in SessionVerdict}
+
+    # ------------------------------------------------------------------
+    # Clock and introspection.
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The session clock: simulated time on the event-driven
+        engine, the submit/settle operation counter otherwise.
+
+        The scheduled-but-synchronous wrappers (distributed_iterated /
+        distributed_adaptive) also carry a scheduler, but they settle
+        inside ``handle_batch`` — their ticks use the operation counter
+        so submit and settle ticks stay on one scale.
+        """
+        if self._event_driven and self.scheduler is not None:
+            return self.scheduler.now
+        return float(self._clock)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests admitted but not yet settled."""
+        return len(self._in_flight) + len(self._pending)
+
+    @property
+    def backpressured(self) -> int:
+        """Requests refused at the admission window so far."""
+        return self.verdicts[SessionVerdict.BACKPRESSURE.value]
+
+    @property
+    def undelivered(self) -> int:
+        """Settled records a future :meth:`drain` would still yield
+        (settled but neither drained nor claimed via a ticket)."""
+        return sum(1 for _record, ticket in self._ready
+                   if ticket is None or not ticket.claimed)
+
+    def introspect(self) -> ControllerView:
+        """Delegates to the engine, so the protocol-based auditor
+        accepts a session wherever it accepts a controller."""
+        return self.controller.introspect()
+
+    def audit(self, report: Optional[InvariantReport] = None
+              ) -> InvariantReport:
+        """Run the invariant auditor over the live engine."""
+        return audit_controller(self.controller, report)
+
+    def tally(self) -> Dict[str, int]:
+        """Verdict counts over every settled record."""
+        return dict(self.verdicts)
+
+    # ------------------------------------------------------------------
+    # Submission.
+    # ------------------------------------------------------------------
+    def submit(self, request: Request,
+               delay: Optional[float] = None) -> Ticket:
+        """Admit one request; non-blocking.
+
+        Returns a ticket that settles when the session pumps the engine
+        (:meth:`drain`, :meth:`settle_all`, or ``Ticket.result()``).
+        If the admission window is full the ticket settles *immediately*
+        with ``BACKPRESSURE`` and the controller never sees the request.
+        ``delay`` is the arrival offset in simulated time (event-driven
+        engine only).
+        """
+        if self._closed:
+            raise ControllerError("session is closed")
+        envelope, ticket = self._make_ticket(request)
+        if (len(self._in_flight) + len(self._pending)
+                >= self.config.max_in_flight):
+            self._settle(ticket, envelope, None,
+                         SessionVerdict.BACKPRESSURE)
+            return ticket
+        self._dispatch(envelope, ticket, delay)
+        return ticket
+
+    def _make_ticket(self, request: Request
+                     ) -> Tuple[RequestEnvelope, Ticket]:
+        scheduler = self.scheduler
+        tick = (scheduler.now if self._event_driven
+                and scheduler is not None else float(self._clock))
+        envelope = RequestEnvelope(envelope_id=self._next_envelope,
+                                   request=request, submit_tick=tick)
+        self._next_envelope += 1
+        self._clock += 1
+        return envelope, Ticket(envelope, pump=self._pump)
+
+    def _dispatch(self, envelope: RequestEnvelope, ticket: Ticket,
+                  delay: Optional[float]) -> None:
+        """Hand an admitted request to the engine (no window check)."""
+        if self._event_driven:
+            self._in_flight[envelope.envelope_id] = ticket
+            submit = getattr(self.controller, "submit")
+            submit(envelope.request,
+                   delay=delay if delay is not None else 0.0,
+                   callback=lambda outcome, t=ticket, e=envelope:
+                   self._settle(t, e, outcome, verdict_of(outcome)))
+        else:
+            self._pending.append((envelope, ticket))
+
+    def submit_many(self, requests: Iterable[Request],
+                    stagger: Optional[float] = None) -> List[Ticket]:
+        """Admit a batch; arrivals spaced ``stagger`` apart on the
+        event-driven engine (default: ``config.stagger``)."""
+        step = self.config.stagger if stagger is None else stagger
+        return [self.submit(request, delay=position * step)
+                for position, request in enumerate(requests)]
+
+    def serve(self, request: Request) -> OutcomeRecord:
+        """Serve one request to completion, synchronously.
+
+        The single-request convenience mirroring the protocol's
+        ``handle``: on the synchronous flavours this is one
+        ``controller.handle`` call wrapped in an envelope/record (any
+        queued submissions are flushed first so settlement order stays
+        submission order); on the event-driven engine the request is
+        dispatched and the scheduler pumped until it settles.  Like
+        :meth:`serve_stream`, a served request is never queued, so
+        admission control does not apply and the record is returned
+        directly (not re-yielded by :meth:`drain`).
+        """
+        if self._closed:
+            raise ControllerError("session is closed")
+        if self._event_driven:
+            envelope, ticket = self._make_ticket(request)
+            self._dispatch(envelope, ticket, None)
+            record = ticket.result()
+            # Match submit_and_run: each serve runs to quiescence, so
+            # consecutive serves never interleave with prior cleanup.
+            self._quiesce()
+            return record
+        if self._pending:
+            self._pump()
+        clock = self._clock
+        envelope_id = self._next_envelope
+        self._next_envelope = envelope_id + 1
+        outcome = self._handle(request)
+        trace = self.trace
+        handle = (TraceHandle(trace=trace, upto=len(trace))
+                  if trace is not None else None)
+        self._clock = clock + 2
+        self.verdicts[outcome.status.value] += 1
+        return OutcomeRecord((request, envelope_id, clock, outcome,
+                              clock + 1, handle))
+
+    def serve_stream(self, requests: Iterable[Request]
+                     ) -> List[OutcomeRecord]:
+        """Serve a lazily-resolved request stream to completion.
+
+        The cooperative batched path for replay harnesses: on the
+        synchronous flavours the iterable is handed to ``handle_batch``
+        and consumed one element at a time, so a resolver such as
+        :class:`repro.workloads.scenarios.TreeMirror` may bind each
+        request only after the previous one was applied (the laziness
+        guarantee holds for the centralized family, whose
+        ``handle_batch`` walks its input incrementally).  On the
+        event-driven engine — where requests race and late binding is
+        meaningless — the stream is dispatched to the scheduler
+        (arrivals spaced ``config.stagger`` apart) and pumped to
+        quiescence.
+
+        Admission control does not apply on either engine: the stream
+        is served, not queued, so the session is never saturated by it
+        (and no request of the stream is ever backpressured).  Records
+        come back in stream order and are *not* also yielded by
+        :meth:`drain`.
+        """
+        if self._closed:
+            raise ControllerError("session is closed")
+        if self._event_driven:
+            # Served, not queued: admission does not apply, so the
+            # stream dispatches past the window instead of going
+            # through submit() (which would backpressure the tail).
+            step = self.config.stagger
+            tickets: List[Ticket] = []
+            for position, request in enumerate(requests):
+                envelope, ticket = self._make_ticket(request)
+                self._dispatch(envelope, ticket, position * step)
+                tickets.append(ticket)
+            records = [ticket.result() for ticket in tickets]
+            self._quiesce()
+            return records
+        if self._pending:
+            self._pump()  # keep settlement order = submission order
+        # The stream goes straight to ``handle_batch`` — nothing is
+        # collected up front (that is what keeps resolver laziness
+        # intact), and each record reads its request back from the
+        # outcome, which carries it by contract.  The loop below runs
+        # once per request inside the <= 5% session-overhead budget
+        # (the ``session`` bench enforces it): one record allocation,
+        # hoisted locals, tallies merged per batch at C speed.
+        outcomes = self._handle_batch(requests)
+        trace = self.trace
+        # The whole batch settled inside one handle_batch call, so every
+        # record shares one trace cursor (the log length at return).
+        handle = (TraceHandle(trace=trace, upto=len(trace))
+                  if trace is not None else None)
+        clock = self._clock
+        envelope_id = self._next_envelope
+        count = len(outcomes)
+        settle_base = clock + count
+        # The whole construction loop runs in C: zip builds each
+        # record's field tuple from C iterators, tuple.__new__ wraps it.
+        records = cast(List[OutcomeRecord], list(map(
+            tuple.__new__, repeat(OutcomeRecord),
+            zip(map(_request_of, outcomes),
+                range(envelope_id, envelope_id + count),
+                range(clock, clock + count),
+                outcomes,
+                range(settle_base, settle_base + count),
+                repeat(handle)))))
+        self._next_envelope = envelope_id + count
+        self._clock = clock + 2 * count
+        # OutcomeStatus values are a subset of SessionVerdict values by
+        # construction, so statuses tally straight into the verdicts.
+        for status, value in Counter(
+                map(_status_of, outcomes)).items():
+            self.verdicts[status.value] += value
+        return records
+
+    # ------------------------------------------------------------------
+    # Settlement.
+    # ------------------------------------------------------------------
+    def _settle(self, ticket: Ticket, envelope: RequestEnvelope,
+                outcome: Optional[Outcome],
+                verdict: SessionVerdict) -> None:
+        self._clock += 1
+        handle: Optional[TraceHandle] = None
+        if self.trace is not None:
+            handle = TraceHandle(trace=self.trace, upto=len(self.trace))
+        record = OutcomeRecord((envelope.request, envelope.envelope_id,
+                                envelope.submit_tick, outcome, self.now,
+                                handle))
+        self._in_flight.pop(envelope.envelope_id, None)
+        self.verdicts[verdict.value] += 1
+        ticket._settle(record)
+        ready = self._ready
+        # Ticket-only consumers never drain: purge the already-claimed
+        # head so the queue stays O(unclaimed) instead of O(all-time).
+        while ready:
+            head_ticket = ready[0][1]
+            if head_ticket is None or not head_ticket.claimed:
+                break
+            ready.popleft()
+        ready.append((record, ticket))
+        # An abandoned unclaimed ticket at the head blocks the cheap
+        # purge above; compact occasionally (amortized O(1) per settle)
+        # so claimed records behind it cannot accumulate forever.
+        # Unclaimed records are retained by design — they are the
+        # not-yet-drained outcome stream.
+        if len(ready) >= self._compact_limit:
+            retained = [pair for pair in ready
+                        if pair[1] is None or not pair[1].claimed]
+            ready.clear()
+            ready.extend(retained)
+            self._compact_limit = max(64, 2 * len(retained))
+
+    def _pump(self) -> bool:
+        """Advance the engine one unit; False when it is idle.
+
+        Synchronous flavours: serve the whole pending queue as one
+        ``handle_batch`` (amortizing exactly as a direct batch call
+        would).  Event-driven engine: execute one scheduler event
+        (settlement callbacks fire from inside the step).  A closed
+        session refuses to pump — in-flight tickets of a closed
+        session never settle, they raise here instead.
+        """
+        if self._closed:
+            raise ControllerError("session is closed")
+        if self._event_driven:
+            assert self.scheduler is not None
+            return self.scheduler.step()
+        if not self._pending:
+            return False
+        batch = list(self._pending)
+        self._pending.clear()
+        outcomes = self._handle_batch(
+            [envelope.request for envelope, _ in batch])
+        for (envelope, ticket), outcome in zip(batch, outcomes):
+            self._settle(ticket, envelope, outcome, verdict_of(outcome))
+        return True
+
+    def drain(self) -> Iterator[OutcomeRecord]:
+        """Pump the engine, yielding records in settlement order.
+
+        Terminates when nothing is in flight; a later ``submit`` may be
+        followed by another ``drain()``.  Delivery is exactly-once: a
+        record whose ticket was already taken via ``Ticket.result()``
+        is skipped here (the reverse also holds — a drained record
+        stays readable through its ticket, as a lookup).
+        """
+        while True:
+            while self._ready:
+                record, ticket = self._ready.popleft()
+                if ticket is not None and ticket.claimed:
+                    continue
+                yield record
+            if self.in_flight == 0:
+                self._quiesce()
+                return
+            if not self._pump():
+                raise ProtocolError(
+                    f"{self.in_flight} requests in flight but the "
+                    "engine is idle (agent lost?)")
+
+    def settle_all(self) -> List[OutcomeRecord]:
+        """Drain to quiescence and return the settled records."""
+        return list(self.drain())
+
+    def _quiesce(self) -> None:
+        """Finish the event engine's post-settlement cleanup.
+
+        Grants are delivered at grant time; the granting agent's
+        return-and-unlock walk is still queued when the last request
+        settles.  Draining runs that cleanup to quiescence so the
+        engine's locks and counters end exactly where a direct
+        ``submit_batch``/``run()`` would leave them.
+        """
+        if self.scheduler is not None:
+            self.scheduler.run()
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Settle nothing further: detach the engine from the tree.
+
+        Idempotent.  In-flight requests are abandoned (their tickets
+        never settle), so callers normally drain first.
+        """
+        if not self._closed:
+            self._closed = True
+            if not self._in_flight and not self._pending:
+                self._quiesce()  # settled work still owed its cleanup
+            self.controller.detach()
+
+    def __enter__(self) -> "ControllerSession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        spec = self.config.controller
+        return (f"ControllerSession({spec.flavor!r}, m={spec.m}, "
+                f"w={spec.w}, u={spec.u}, in_flight={self.in_flight}, "
+                f"settled={sum(self.verdicts.values())})")

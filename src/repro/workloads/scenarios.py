@@ -16,6 +16,7 @@ and caterpillars (high degree — deletion hand-over stress).
 """
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -291,6 +292,15 @@ def run_scenario(tree: DynamicTree,
                  ) -> ScenarioResult:
     """Generate ``steps`` random requests and feed them to ``submit``.
 
+    .. deprecated:: 1.3
+        This is the legacy callable-wiring driver, kept as a thin shim
+        (identical tallies, property-tested) for one minor release.
+        New code should build a
+        :class:`repro.service.session.ControllerSession` and use
+        :func:`repro.service.drive_scenario`, which drives the same
+        stream through the session layer (typed envelopes, admission
+        control, streaming settlement).
+
     ``on_step`` (if given) runs after every request — property tests hook
     invariant checks there.  ``stop_when`` ends the scenario early (e.g.
     once the controller starts rejecting).
@@ -304,6 +314,12 @@ def run_scenario(tree: DynamicTree,
     controller's own meaning check prescribes.  With ``batch_size=1``
     behaviour is bit-for-bit the historical sequential driver.
     """
+    warnings.warn(
+        "run_scenario(tree, submit, ...) is deprecated; build a "
+        "repro.service.ControllerSession and drive it with "
+        "repro.service.drive_scenario (same tallies, typed envelopes). "
+        "The callable-wiring shim will be removed in 2.0.",
+        DeprecationWarning, stacklevel=2)
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     rng = random.Random(seed)

@@ -19,7 +19,7 @@ from repro.bench import (
 def test_registry_names():
     assert set(SCENARIOS) == {"ancestry", "move_complexity", "batch",
                               "scenario", "scenario_grid",
-                              "distributed_batch", "kernel"}
+                              "distributed_batch", "kernel", "session"}
 
 
 def test_ancestry_small_sweep_is_exact_and_json():
@@ -52,6 +52,34 @@ def test_distributed_batch_scenario():
     result = run_distributed_batch(sizes=[60])
     row = result["rows"][0]
     assert row["granted"] == row["requests"]
+    json.dumps(result)
+
+
+def test_session_overhead_rejects_eager_batch_flavors():
+    """The bench's lazy TreeMirror replay cannot feed engines that
+    materialize batches up front; asking for one is a ConfigError, not
+    a mid-run KeyError."""
+    from repro.bench import run_session_overhead
+    from repro.errors import ConfigError
+    with pytest.raises(ConfigError, match="synchronous flavours"):
+        run_session_overhead(n=60, steps=80, batch_size=16, repeats=1,
+                             flavor="distributed")
+
+
+def test_session_overhead_is_equivalence_checked():
+    from repro.bench import run_session_overhead
+    result = run_session_overhead(n=100, steps=200, batch_size=16,
+                                  repeats=1)
+    # Timing on a tiny run is noise; the contract under test is the
+    # four-arm outcome/counter equivalence and the document shape.
+    assert result["equivalent"] is True
+    assert result["granted"] + result["rejected"] + result["cancelled"] \
+        + result["pending"] == 200
+    assert result["target_pct"] == 5.0
+    for key in ("direct_batch_ms", "session_batch_ms",
+                "overhead_batch_pct", "overhead_seq_pct",
+                "within_target"):
+        assert key in result
     json.dumps(result)
 
 

@@ -5,8 +5,10 @@ import pytest
 
 from repro import (
     CONTROLLER_FLAVORS,
+    ConfigError,
     ControllerProtocol,
     ControllerView,
+    ReproError,
     Request,
     RequestKind,
     controller_flavors,
@@ -35,7 +37,7 @@ def test_registry_lists_all_eight_flavors():
 
 def test_unknown_flavor_error_lists_registry():
     tree = build_random_tree(5)
-    with pytest.raises(ValueError) as err:
+    with pytest.raises(ConfigError) as err:
         make_controller("quantum", tree, m=10, w=2, u=20)
     for flavor in CONTROLLER_FLAVORS:
         assert flavor in str(err.value)
@@ -43,10 +45,32 @@ def test_unknown_flavor_error_lists_registry():
 
 def test_missing_u_is_rejected_for_known_u_flavors():
     tree = build_random_tree(5)
-    with pytest.raises(ValueError, match="needs the node bound"):
+    with pytest.raises(ConfigError, match="needs the node bound"):
         make_controller("centralized", tree, m=10, w=2)
     # Adaptive flavours derive U per epoch and need none.
     assert make_controller("adaptive", tree, m=10, w=2) is not None
+
+
+def test_missing_u_error_names_the_registry():
+    tree = build_random_tree(5)
+    with pytest.raises(ConfigError) as err:
+        make_controller("distributed", tree, m=10, w=2)
+    for flavor in CONTROLLER_FLAVORS:
+        assert flavor in str(err.value)
+
+
+def test_config_error_is_one_catchable_type():
+    """Both misconfiguration paths raise the *same* exception type,
+    and it stays catchable as ValueError (the pre-1.3 contract) and as
+    ReproError (the library-wide base)."""
+    tree = build_random_tree(5)
+    for bad_call in (
+        lambda: make_controller("quantum", tree, m=10, w=2, u=20),
+        lambda: make_controller("iterated", tree, m=10, w=2),
+    ):
+        for catch in (ConfigError, ValueError, ReproError):
+            with pytest.raises(catch):
+                bad_call()
 
 
 def test_hyphenated_flavor_names_resolve():

@@ -1,6 +1,11 @@
 """The public API surface and the README quickstart."""
 
+import os
+import re
+
 import repro
+
+_README = os.path.join(os.path.dirname(__file__), os.pardir, "README.md")
 
 
 def test_version():
@@ -10,6 +15,37 @@ def test_version():
 def test_all_exports_resolve():
     for name in repro.__all__:
         assert getattr(repro, name) is not None
+
+
+def test_every_export_documented_in_readme_table():
+    """The curated ``__all__`` and README's public-API table stay in
+    sync: every exported name imports (above) and appears, backticked,
+    inside the table section."""
+    with open(_README, encoding="utf-8") as handle:
+        readme = handle.read()
+    match = re.search(r"### Public API table\n(.*?)\n## ", readme,
+                      flags=re.S)
+    assert match, "README lost its '### Public API table' section"
+    table = match.group(1)
+    documented = set(re.findall(r"`([A-Za-z_][A-Za-z0-9_]*)`", table))
+    missing = [name for name in repro.__all__ if name not in documented]
+    assert not missing, (
+        f"exports missing from README's public-API table: {missing}")
+
+
+def test_session_quickstart_from_module_docstring():
+    from repro import (
+        ControllerSession,
+        Request,
+        RequestKind,
+        SessionConfig,
+    )
+    session = ControllerSession(
+        SessionConfig.of("centralized", m=100, w=20, u=256))
+    ticket = session.submit(
+        Request(RequestKind.ADD_LEAF, session.tree.root))
+    record = ticket.result()
+    assert record.granted and session.tree.size == 2
 
 
 def test_quickstart_from_module_docstring():
@@ -32,12 +68,14 @@ def test_subpackages_importable():
     import repro.core
     import repro.distributed
     import repro.metrics
+    import repro.service
     import repro.sim
     import repro.tree
     import repro.workloads
     assert repro.apps.SizeEstimationProtocol
     assert repro.distributed.DistributedController
     assert repro.bench.SCENARIOS
+    assert repro.service.ControllerSession
 
 
 def test_batch_api_present_on_all_controllers():
