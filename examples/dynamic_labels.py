@@ -8,21 +8,28 @@ maintains two classic informative structures on a *changing* tree:
 * interval ancestry labels — any two nodes decide ancestry from their
   labels alone, surviving deletions of leaves and internal nodes.
 
+The decomposition is the ``heavy_child`` app (one declarative
+:class:`repro.AppSpec`, controllers rolled through the session layer);
+the ancestry labels ride along as the listener-layer
+:class:`~repro.apps.AncestryLabeling` structure on the same tree, so
+one controller guards the whole stack.  The drain stream makes the
+iteration rollovers visible as ``IterationRecord`` events.
+
 Run:  python examples/dynamic_labels.py
 """
 
 import math
 import random
 
-from repro import RequestKind
-from repro.apps import AncestryLabeling, HeavyChildDecomposition
+from repro import AppSpec, IterationRecord, RequestKind, make_app
+from repro.apps import AncestryLabeling
 from repro.tree.paths import is_ancestor
 from repro.workloads import NodePicker, build_random_tree, random_request
 
 
 def main():
     tree = build_random_tree(300, seed=6)
-    decomposition = HeavyChildDecomposition(tree)
+    decomposition = make_app(AppSpec("heavy_child"), tree=tree)
     labels = AncestryLabeling(tree)
     rng = random.Random(7)
     picker = NodePicker(tree)
@@ -34,27 +41,41 @@ def main():
         RequestKind.REMOVE_INTERNAL: 0.20,
     }
     queries_checked = 0
+    boundaries = 0
     for step in range(1200):
         request = random_request(tree, rng, mix=mix, picker=picker)
-        decomposition.submit(request)   # labels track via tree listener
-        if step % 50 == 0:
+        decomposition.submit(request)   # non-blocking ticket
+        if step % 60 == 59:
+            # Drain the queued work; iteration rollovers appear in the
+            # stream as IterationRecord boundary events.
+            for record in decomposition.drain():
+                if isinstance(record, IterationRecord):
+                    boundaries += 1
             nodes = list(tree.nodes())
             for _ in range(20):
                 u = nodes[rng.randrange(len(nodes))]
                 v = nodes[rng.randrange(len(nodes))]
                 assert labels.query_ancestry(u, v) == is_ancestor(u, v)
-                queries_checked += 20
+                queries_checked += 1
+    decomposition.settle_all()
     picker.detach()
 
     n = tree.size
     print(f"final tree: {n} nodes after "
-          f"{tree.topology_changes} topological changes")
+          f"{tree.topology_changes} topological changes "
+          f"({decomposition.iterations_run} controller iterations, "
+          f"{boundaries} observed as stream boundaries)")
     print(f"heavy-child decomposition: max light ancestors = "
           f"{decomposition.max_light_depth()} "
           f"(log2 n = {math.log2(n):.1f})")
     print(f"ancestry labels: {labels.label_bits()} bits/label, "
           f"{labels.relabels} relabels, "
           f"{queries_checked} label-only queries verified")
+    report = decomposition.audit()
+    print(f"invariant audit passed={report.passed} "
+          f"({sum(report.checks.values())} checks)")
+    decomposition.close()
+    labels.detach()
     tree.validate()
     print("all structures consistent")
 

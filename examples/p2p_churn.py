@@ -4,22 +4,25 @@ A peer-to-peer overlay dedicated to one topic: peers join (as leaves or
 as internal relay nodes) and leave gracefully.  A controller layer
 "present[s] to the application a more orderly overlay network, one for
 which the number of nodes is known (and can be controlled), nodes are
-labeled economically..." — we run exactly that stack in two phases:
+labeled economically..." — we run exactly that stack in two phases,
+each built from one declarative :class:`repro.AppSpec` via
+:func:`repro.make_app`:
 
-1. the size-estimation protocol keeps a 2-approximation of the overlay
+1. the ``size_estimation`` app keeps a 2-approximation of the overlay
    size at every peer through heavy join/leave churn;
-2. the name-assignment protocol keeps every peer's id unique and within
+2. the ``name_assignment`` app keeps every peer's id unique and within
    [1, 4n] through further churn.
 
-Both amortize to polylog messages per membership change.
+Both amortize to polylog messages per membership change, and both roll
+their per-iteration controllers through the session layer — the same
+specs run event-driven by adding ``flavor="distributed"``.
 
 Run:  python examples/p2p_churn.py
 """
 
 import random
 
-from repro import RequestKind
-from repro.apps import NameAssignmentProtocol, SizeEstimationProtocol
+from repro import AppSpec, RequestKind, make_app
 from repro.workloads import NodePicker, build_random_tree, random_request
 
 CHURN_MIX = {
@@ -30,10 +33,10 @@ CHURN_MIX = {
 }
 
 
-def churn(overlay, submit, steps, rng):
+def churn(overlay, serve, steps, rng):
     picker = NodePicker(overlay)
     for _ in range(steps):
-        submit(random_request(overlay, rng, mix=CHURN_MIX, picker=picker))
+        serve(random_request(overlay, rng, mix=CHURN_MIX, picker=picker))
     picker.detach()
 
 
@@ -43,32 +46,37 @@ def main():
     print(f"overlay starts with {overlay.size} peers")
 
     # Phase 1: membership size, known everywhere, within a factor 2.
-    sizes = SizeEstimationProtocol(overlay, beta=2.0)
+    sizes = make_app(AppSpec("size_estimation", params={"beta": 2.0}),
+                     tree=overlay)
     worst = 1.0
     for epoch in range(4):
         def guarded(request):
             nonlocal worst
-            sizes.submit(request)
+            sizes.serve(request)
             worst = max(worst, sizes.check_approximation())
         churn(overlay, guarded, steps=400, rng=rng)
         print(f"  epoch {epoch}: {overlay.size:4d} peers, every peer "
               f"estimates {sizes.estimate_at(overlay.root):4d} "
               f"(worst ratio so far {worst:.3f})")
     changes = overlay.topology_changes
+    report = sizes.audit()  # estimate sandwich + controller invariants
     print(f"phase 1: {changes} changes, "
           f"{sizes.counters.total / changes:.1f} msgs/change "
           f"(flooding would pay ~{overlay.size}); "
-          f"2-approximation held: {worst <= 2.0}")
-    sizes.detach()
+          f"2-approximation held: {worst <= 2.0}; "
+          f"audit passed={report.passed} over {sizes.iterations_run} "
+          "iterations")
+    sizes.close()
 
     # Phase 2: compact unique names for routing tables.
-    names = NameAssignmentProtocol(overlay)
-    churn(overlay, names.submit, steps=800, rng=rng)
+    names = make_app(AppSpec("name_assignment"), tree=overlay)
+    churn(overlay, names.serve, steps=800, rng=rng)
     names.check_invariants()
     max_id = max(names.id_of(peer) for peer in overlay.nodes())
     print(f"phase 2: {overlay.size} peers named with unique ids in "
           f"[1, {max_id}] (4n = {4 * overlay.size}); "
           f"{names.iterations_run} renaming iterations")
+    names.close()
     overlay.validate()
     print("overlay validated OK")
 

@@ -57,6 +57,8 @@ from repro.errors import (
     TopologyError,
 )
 from repro.protocol import (
+    AppProtocol,
+    AppView,
     BudgetSplit,
     ControllerProtocol,
     ControllerView,
@@ -82,16 +84,20 @@ from repro.registry import (
     make_controller,
 )
 from repro.service import (
+    APP_NAMES,
+    AppSpec,
     ControllerSession,
     ControllerSpec,
+    IterationRecord,
     OutcomeRecord,
     RequestEnvelope,
     SessionConfig,
     SessionVerdict,
     Ticket,
 )
+from repro.apps import AppSession, make_app
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 # The curated public surface, grouped the way README's public-API table
 # documents it (tests/test_public_api.py asserts the two stay in sync).
@@ -104,6 +110,14 @@ __all__ = [
     "OutcomeRecord",
     "SessionVerdict",
     "Ticket",
+    # The application layer — the Section 5 apps behind one spec.
+    "AppSpec",
+    "AppSession",
+    "make_app",
+    "APP_NAMES",
+    "AppProtocol",
+    "AppView",
+    "IterationRecord",
     # Registry + protocol types.
     "make_controller",
     "controller_flavors",

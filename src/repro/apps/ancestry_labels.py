@@ -17,13 +17,77 @@ are served from gap budgets pre-allocated inside the parent's interval
 the amortized accounting also covers.
 """
 
-from typing import Dict, Optional, Tuple
+from typing import ClassVar, Dict, Iterable, Optional, Tuple
 
 from repro.errors import ControllerError, InvariantViolation
 from repro.metrics.counters import MoveCounters
+from repro.service.appspec import AppSpec
 from repro.tree.dynamic_tree import DynamicTree, TreeListener
 from repro.tree.node import TreeNode
 from repro.tree.paths import is_ancestor
+
+from repro.apps.size_estimation import SizeEstimationApp
+
+
+class AncestryLabelsApp(SizeEstimationApp):
+    """Controlled dynamic ancestry labels behind the app-session API.
+
+    The Corollary 5.7 stack as one app: the size-estimation iterations
+    guard every topological change (inherited — so deletions are
+    *controlled* in the paper's sense and the amortized accounting
+    applies), and an :class:`AncestryLabeling` structure listens on the
+    same tree, relabeling when the size halves/doubles relative to the
+    last labeling.  Parameters: ``slack`` (gap budget, default 4).
+    """
+
+    name: ClassVar[str] = "ancestry_labels"
+
+    def __init__(self, spec: AppSpec,
+                 tree: Optional[DynamicTree] = None) -> None:
+        self.labeling: Optional[AncestryLabeling] = None
+        # The label structure keeps its own ledger so the controller
+        # layer's polylog cost and the relabel traversals stay
+        # separately reportable (the bench fits them separately).
+        self.label_counters = MoveCounters()
+        super().__init__(spec, tree)
+        self.labeling = AncestryLabeling(
+            self.tree, slack=int(spec.param("slack", 4)),
+            counters=self.label_counters)
+
+    # ------------------------------------------------------------------
+    # Label queries (delegated to the structure layer).
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> Dict[TreeNode, Tuple[int, int]]:
+        assert self.labeling is not None
+        return self.labeling.labels
+
+    @property
+    def relabels(self) -> int:
+        assert self.labeling is not None
+        return self.labeling.relabels
+
+    def label_of(self, node: TreeNode) -> Tuple[int, int]:
+        assert self.labeling is not None
+        return self.labeling.label_of(node)
+
+    def query_ancestry(self, ancestor: TreeNode, node: TreeNode) -> bool:
+        assert self.labeling is not None
+        return self.labeling.query_ancestry(ancestor, node)
+
+    def label_bits(self) -> int:
+        assert self.labeling is not None
+        return self.labeling.label_bits()
+
+    def check_correctness(
+            self, sample_pairs: Iterable[Tuple[TreeNode, TreeNode]]) -> None:
+        assert self.labeling is not None
+        self.labeling.check_correctness(sample_pairs)
+
+    def close(self) -> None:
+        if self.labeling is not None:
+            self.labeling.detach()
+        super().close()
 
 
 class AncestryLabeling(TreeListener):

@@ -22,14 +22,86 @@ This implementation layers directly on
   protocol.
 """
 
-from typing import Optional
+import warnings
+from typing import ClassVar, Optional
 
 from repro.errors import ControllerError
 from repro.metrics.counters import MoveCounters
+from repro.service.appspec import AppSpec
+from repro.service.envelopes import OutcomeRecord
 from repro.tree.dynamic_tree import DynamicTree
 from repro.tree.node import TreeNode
 from repro.core.requests import Outcome, Request, RequestKind
-from repro.apps.size_estimation import SizeEstimationProtocol
+from repro.apps.size_estimation import (
+    SizeEstimationApp,
+    SizeEstimationProtocol,
+)
+
+
+class MajorityCommitApp(SizeEstimationApp):
+    """Majority commitment behind the app-session API.
+
+    The session-era form of :class:`MajorityCommitProtocol` (Section
+    1.3): the size-estimation iterations run underneath (inherited),
+    the participant tree evolves through :meth:`join` / :meth:`leave`
+    (each a guarded request), and ``n_tilde / beta`` certifies the
+    lower bound :meth:`can_commit` fires on.  Parameters: ``total``
+    (the universe size, required) and ``beta`` (default 1.5).
+    """
+
+    name: ClassVar[str] = "majority_commit"
+    _default_beta: ClassVar[float] = 1.5
+
+    def __init__(self, spec: AppSpec,
+                 tree: Optional[DynamicTree] = None) -> None:
+        total = spec.param("total")
+        if total is None or int(total) < 1:
+            raise ControllerError(
+                "majority_commit needs params={'total': <universe size>} "
+                f"with total >= 1, got {total!r}")
+        self.total = int(total)
+        self.committed = False
+        super().__init__(spec, tree)
+        if self.tree.size > self.total:
+            raise ControllerError("tree already exceeds the universe size")
+
+    # ------------------------------------------------------------------
+    # Participant churn (guarded by the estimator's controller).
+    # ------------------------------------------------------------------
+    def join(self, parent: TreeNode) -> Optional[TreeNode]:
+        """A processor wakes up and joins below ``parent``."""
+        if self.tree.size >= self.total:
+            raise ControllerError("all processors are already awake")
+        record = self.serve(Request(RequestKind.ADD_LEAF, parent))
+        outcome = record.outcome
+        assert outcome is not None
+        return outcome.new_node if outcome.granted else None
+
+    def leave(self, node: TreeNode) -> OutcomeRecord:
+        """A processor leaves (leaf or internal — the generalization)."""
+        kind = (RequestKind.REMOVE_LEAF if not node.children
+                else RequestKind.REMOVE_INTERNAL)
+        return self.serve(Request(kind, node))
+
+    # ------------------------------------------------------------------
+    # Commitment (the Section 1.3 decision rule).
+    # ------------------------------------------------------------------
+    def certified_participants(self) -> float:
+        """A lower bound on the participant count from the estimate."""
+        return self.estimate / self.beta
+
+    def can_commit(self) -> bool:
+        """True only when the estimate *certifies* a strict majority."""
+        if self.committed:
+            return True
+        return self.certified_participants() > self.total / 2
+
+    def commit_exact(self) -> bool:
+        """Exact counting round (one upcast): decide at the boundary."""
+        self.counters.reset_moves += max(self.tree.size - 1, 0)
+        if self.tree.size > self.total / 2:
+            self.committed = True
+        return self.committed
 
 
 class MajorityCommitProtocol:
@@ -37,6 +109,12 @@ class MajorityCommitProtocol:
 
     def __init__(self, tree: DynamicTree, total: int, beta: float = 1.5,
                  counters: Optional[MoveCounters] = None):
+        warnings.warn(
+            "MajorityCommitProtocol is deprecated; build the app through "
+            "repro.apps.make_app(AppSpec('majority_commit', "
+            "params={'total': ..., 'beta': ...})) (same decisions and "
+            "tallies, property-tested).  The legacy constructor will be "
+            "removed in 2.0.", DeprecationWarning, stacklevel=2)
         if total < 1:
             raise ControllerError("total must be positive")
         if tree.size > total:

@@ -20,14 +20,77 @@ share the relabel policy; this one additionally maintains the per-node
 child tables that routing needs).
 """
 
-from typing import Dict, List, Optional, Tuple
+from typing import ClassVar, Dict, List, Optional, Tuple
 
 from repro.errors import ControllerError, InvariantViolation
 from repro.metrics.counters import MoveCounters
+from repro.service.appspec import AppSpec
 from repro.tree.dynamic_tree import DynamicTree, TreeListener
 from repro.tree.node import TreeNode
 
+from repro.apps.size_estimation import SizeEstimationApp
+
 Interval = Tuple[int, int]
+
+
+class RoutingLabelsApp(SizeEstimationApp):
+    """Compact tree routing behind the app-session API.
+
+    The Corollary 5.6 stack as one app: the size-estimation iterations
+    guard the churn (inherited), and a :class:`RoutingLabeling`
+    structure maintains the per-node interval routing tables on the
+    same tree — correctness survives the controlled deletions, and the
+    estimate-paced relabel keeps the label size O(log n).
+    """
+
+    name: ClassVar[str] = "routing_labels"
+
+    def __init__(self, spec: AppSpec,
+                 tree: Optional[DynamicTree] = None) -> None:
+        self.labeling: Optional[RoutingLabeling] = None
+        # Separate ledger for the label structure: routing relabels on
+        # every addition (tight intervals leave no gaps), which is the
+        # structure's linear term, not the controller's polylog one.
+        self.label_counters = MoveCounters()
+        super().__init__(spec, tree)
+        self.labeling = RoutingLabeling(self.tree,
+                                        counters=self.label_counters)
+
+    # ------------------------------------------------------------------
+    # Routing queries (delegated to the structure layer).
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> Dict[TreeNode, Interval]:
+        assert self.labeling is not None
+        return self.labeling.labels
+
+    @property
+    def relabels(self) -> int:
+        assert self.labeling is not None
+        return self.labeling.relabels
+
+    def label_of(self, node: TreeNode) -> Interval:
+        assert self.labeling is not None
+        return self.labeling.label_of(node)
+
+    def next_hop(self, node: TreeNode, target_label: Interval) -> TreeNode:
+        assert self.labeling is not None
+        return self.labeling.next_hop(node, target_label)
+
+    def route(self, source: TreeNode, destination: TreeNode,
+              hop_limit: Optional[int] = None) -> List[TreeNode]:
+        assert self.labeling is not None
+        return self.labeling.route(source, destination,
+                                   hop_limit=hop_limit)
+
+    def label_bits(self) -> int:
+        assert self.labeling is not None
+        return self.labeling.label_bits()
+
+    def close(self) -> None:
+        if self.labeling is not None:
+            self.labeling.detach()
+        super().close()
 
 
 class RoutingLabeling(TreeListener):

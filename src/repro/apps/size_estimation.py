@@ -19,17 +19,91 @@ messages amortize to ``O(log^2 n)`` per change — the Theorem 5.1 bound.
 The protocol exposes ``submit`` for topological requests; requests that
 arrive while an iteration rolls over are transparently resubmitted to
 the next iteration (the queue of Observation 2.1).
+
+Two forms live here: :class:`SizeEstimationApp` (the session-era app,
+built via ``repro.apps.make_app``) and the deprecated
+:class:`SizeEstimationProtocol` (the legacy hand-wired constructor,
+kept as the differential reference until 2.0).
 """
 
-import math
-from typing import Callable, List, Optional
+import warnings
+from dataclasses import replace
+from typing import Any, Callable, ClassVar, Dict, List, Optional, Tuple
 
+from repro.apps.base import AppSession
 from repro.errors import ControllerError
 from repro.metrics.counters import MoveCounters
+from repro.protocol import AppView
+from repro.service.appspec import AppSpec
 from repro.tree.dynamic_tree import DynamicTree
 from repro.tree.node import TreeNode
 from repro.core.requests import Outcome, OutcomeStatus, Request
 from repro.core.terminating import TerminatingController
+
+
+class SizeEstimationApp(AppSession):
+    """β-approximate size estimation behind the app-session API.
+
+    The session-era form of :class:`SizeEstimationProtocol` (Theorem
+    5.1): the same iteration discipline — count and broadcast ``N_i``,
+    guard the iteration with an ``(alpha*N_i, alpha*N_i/2)``-terminating
+    controller, roll on exhaustion — but the per-iteration controller
+    lives inside a :class:`~repro.service.session.ControllerSession`
+    built from the app's :class:`~repro.service.appspec.AppSpec`, so
+    the protocol runs synchronously or event-driven (schedule policies,
+    delay models, fault plans) unchanged.  Parameters: ``beta`` (> 1,
+    default 2.0).
+    """
+
+    name: ClassVar[str] = "size_estimation"
+    _default_beta: ClassVar[float] = 2.0
+
+    def __init__(self, spec: AppSpec,
+                 tree: Optional[DynamicTree] = None) -> None:
+        beta = float(spec.param("beta", self._default_beta))
+        if beta <= 1.0:
+            raise ControllerError(f"beta must exceed 1, got {beta}")
+        self.beta = beta
+        self.alpha = 1.0 - 1.0 / beta
+        #: Every node's current estimate ``n_tilde`` (uniform: the
+        #: iteration-start broadcast delivered it everywhere).
+        self.estimate = 0
+        super().__init__(spec, tree)
+
+    # ------------------------------------------------------------------
+    # Iteration hooks.
+    # ------------------------------------------------------------------
+    def _iteration_contract(self, n_i: int
+                            ) -> Tuple[int, int, int, Dict[str, Any]]:
+        m_i = max(int(self.alpha * n_i), 1)
+        w_i = max(m_i // 2, 1)
+        u_i = max(2 * n_i, 2)
+        return m_i, w_i, u_i, {}
+
+    def _on_iteration_start(self, n_i: int) -> None:
+        super()._on_iteration_start(n_i)
+        self.estimate = n_i
+        # Count and broadcast N_i: upcast + broadcast.
+        self.counters.reset_moves += 2 * max(n_i - 1, 0)
+
+    # ------------------------------------------------------------------
+    # Public queries (the Theorem 5.1 guarantee).
+    # ------------------------------------------------------------------
+    def estimate_at(self, node: TreeNode) -> int:
+        """The estimate ``n_tilde(v)`` held at ``node`` (uniform; the
+        per-node signature documents the distributed reading)."""
+        return self.estimate
+
+    def check_approximation(self) -> float:
+        """Current ratio max(n_tilde/n, n/n_tilde); must stay <= beta."""
+        n = self.tree.size
+        if n == 0 or self.estimate == 0:
+            raise ControllerError("degenerate size")
+        return max(self.estimate / n, n / self.estimate)
+
+    def app_view(self) -> AppView:
+        return replace(super().app_view(),
+                       beta=self.beta, estimate=self.estimate)
 
 
 class SizeEstimationProtocol:
@@ -49,8 +123,15 @@ class SizeEstimationProtocol:
 
     def __init__(self, tree: DynamicTree, beta: float = 2.0,
                  counters: Optional[MoveCounters] = None,
-                 permit_flow_observer=None,
+                 permit_flow_observer: Optional[
+                     Callable[[TreeNode, int], None]] = None,
                  on_iteration: Optional[Callable[[int], None]] = None):
+        warnings.warn(
+            "SizeEstimationProtocol is deprecated; build the app through "
+            "repro.apps.make_app(AppSpec('size_estimation', "
+            "params={'beta': ...})) (same estimates and tallies, "
+            "property-tested).  The legacy constructor will be removed "
+            "in 2.0.", DeprecationWarning, stacklevel=2)
         if beta <= 1.0:
             raise ControllerError(f"beta must exceed 1, got {beta}")
         self.tree = tree

@@ -9,6 +9,7 @@ One-liner reproduction of the perf trajectory::
     python -m repro.bench distributed_batch --sizes 200
     python -m repro.bench kernel --out BENCH_kernel.json
     python -m repro.bench session --out BENCH_session.json
+    python -m repro.bench apps --out BENCH_apps.json
 
 Every scenario returns (and prints) a JSON document: the parameters it
 ran with, one row per configuration, and the derived headline numbers,
@@ -21,6 +22,7 @@ measurement works.
 from repro.bench.runner import (
     SCENARIOS,
     run_ancestry,
+    run_apps,
     run_batch,
     run_distributed_batch,
     run_kernel,
@@ -32,6 +34,7 @@ from repro.bench.runner import (
 __all__ = [
     "SCENARIOS",
     "run_ancestry",
+    "run_apps",
     "run_batch",
     "run_distributed_batch",
     "run_kernel",

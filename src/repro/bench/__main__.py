@@ -11,6 +11,8 @@ Examples::
         --seeds 0,1,2,3,4 --faults "stall=0.05,storms=3" --out grid.json
     python -m repro.bench distributed_batch --sizes 100,200
     python -m repro.bench session --out BENCH_session.json
+    python -m repro.bench apps --out BENCH_apps.json
+    python -m repro.bench apps --apps name_assignment --policies adversary
 """
 
 import argparse
@@ -134,6 +136,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="synchronous flavours only: the bench replays "
                         "its recorded stream lazily, which the "
                         "distributed engines cannot consume")
+    p.add_argument("--out", **common_out)
+
+    p = sub.add_parser("apps",
+                       help="Section 5 application layer: old-vs-new "
+                            "overhead (<= 5%% target), msgs/change "
+                            "polylog fits, event-driven policy x fault "
+                            "grid (invariant-audited)")
+    p.add_argument("--apps", default="all",
+                   help="app name(s), comma-separated, or 'all'")
+    p.add_argument("--sizes", type=_int_list, default=None,
+                   help="complexity sweep sizes (default: 100,200,400)")
+    p.add_argument("--steps-per-node", type=int, default=3,
+                   dest="steps_per_node")
+    p.add_argument("--overhead-n", type=int, default=200,
+                   dest="overhead_n")
+    p.add_argument("--overhead-steps", type=int, default=600,
+                   dest="overhead_steps")
+    p.add_argument("--batch-size", type=int, default=64, dest="batch_size")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--policies", default="fifo,random,adversary",
+                   help="grid: schedule policies for the event-driven "
+                        "cells")
+    p.add_argument("--faults", default="stall=0.05",
+                   help="grid: fault plan for the faulted cells "
+                        "(e.g. 'stall=0.05')")
+    p.add_argument("--grid-n", type=int, default=40, dest="grid_n")
+    p.add_argument("--grid-steps", type=int, default=120,
+                   dest="grid_steps")
     p.add_argument("--out", **common_out)
 
     p = sub.add_parser("kernel",

@@ -926,6 +926,440 @@ def _tally_statuses(statuses: List[str]) -> Dict[str, int]:
     return tally
 
 
+# ----------------------------------------------------------------------
+# apps — the Section 5 application layer, measured honestly.
+# ----------------------------------------------------------------------
+#: The churn mix the estimator benches have always used (bench_e05..e07):
+#: topological requests only, additions slightly outweighing removals.
+APP_BENCH_MIX = {
+    RequestKind.ADD_LEAF: 0.35,
+    RequestKind.ADD_INTERNAL: 0.15,
+    RequestKind.REMOVE_LEAF: 0.30,
+    RequestKind.REMOVE_INTERNAL: 0.20,
+}
+
+#: Apps with a legacy constructor to pair against (the deprecated
+#: ``*Protocol`` path); the label apps compose a still-supported
+#: structure and have no second implementation to diff.
+APP_LEGACY_FACTORIES: Dict[str, Any] = {}
+
+
+def _app_legacy_factories() -> Dict[str, Any]:
+    """Deferred import + warning suppression: the bench constructs the
+    deprecated classes on purpose (they are its differential baseline)."""
+    if not APP_LEGACY_FACTORIES:
+        from repro.apps import (
+            HeavyChildDecomposition,
+            NameAssignmentProtocol,
+            SizeEstimationProtocol,
+            SubtreeEstimator,
+        )
+        APP_LEGACY_FACTORIES.update({
+            "size_estimation": lambda tree: SizeEstimationProtocol(
+                tree, beta=2.0),
+            "name_assignment": NameAssignmentProtocol,
+            "subtree_estimator": lambda tree: SubtreeEstimator(
+                tree, beta=2.0),
+            "heavy_child": HeavyChildDecomposition,
+        })
+    return APP_LEGACY_FACTORIES
+
+
+def _app_spec_for(name: str, **knobs: Any):
+    from repro.service import AppSpec
+    params: Dict[str, Any] = {}
+    if name == "size_estimation" or name == "subtree_estimator":
+        params["beta"] = 2.0
+    if name == "majority_commit":
+        params["total"] = 1 << 20  # the universe bound never binds here
+    return AppSpec(name, params=params, **knobs)
+
+
+def _app_state(name: str, app: Any, tree) -> Any:
+    """The app-level state the old/new equivalence compares: estimates,
+    ids, mu pointers — whatever the app's theorem is about."""
+    if name == "size_estimation":
+        return ("estimate", app.estimate, app.iterations_run)
+    if name == "name_assignment":
+        return ("ids", tuple(sorted(app.ids[node]
+                                    for node in tree.nodes())))
+    if name == "subtree_estimator":
+        probe = app.estimate_of if hasattr(app, "estimate_of") else app.estimate
+        return ("sw", tuple(sorted(probe(node) for node in tree.nodes())))
+    if name == "heavy_child":
+        return ("mu", tuple(sorted(
+            (k.node_id, v.node_id) for k, v in app._mu.items())))
+    return ()
+
+
+def _drive_app_overhead(name: str, n: int, steps: int, batch_size: int,
+                        seed: int, repeats: int) -> Dict:
+    """Old path vs new path on identical churn, chunk-paired.
+
+    The stream is recorded once (tree-independent specs) against a
+    scratch legacy run, then replayed through two twin trees — the
+    deprecated hand-wired protocol and ``make_app``'s session-era app —
+    chunk against chunk in alternating order, exactly the
+    ``run_session_overhead`` pairing discipline (per-chunk minima over
+    ``repeats``).  Outcome sequences and the app-level state
+    (estimates / ids / mu pointers) must match; the headline is the
+    amortized wall-clock tax of the new path.
+    """
+    import warnings as _warnings
+
+    from repro.apps import make_app
+
+    factory = _app_legacy_factories()[name]
+
+    def build_legacy(tree):
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore", DeprecationWarning)
+            return factory(tree)
+
+    # Record the stream once against a scratch legacy run.
+    scratch = build_random_tree(n, seed=seed)
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("ignore", DeprecationWarning)
+        recorder = build_legacy(scratch)
+        rng = random.Random(seed + 1)
+        picker = NodePicker(scratch)
+        specs = []
+        for _ in range(steps):
+            request = random_request(scratch, rng, mix=APP_BENCH_MIX,
+                                     picker=picker)
+            specs.append(request_spec(request))
+            recorder.submit(request)
+        picker.detach()
+        recorder.detach()
+
+    def paired_replay():
+        """Three arms on twin trees, timed chunk-against-chunk in
+        rotating order: the deprecated sequential protocol (baseline),
+        the app's per-request ``serve``, and the app's chunked
+        ``serve_stream`` (the <= 5% target arm, mirroring the session
+        bench's batched comparison)."""
+        trees = [build_random_tree(n, seed=seed) for _ in range(3)]
+        mirrors = [TreeMirror(tree) for tree in trees]
+        legacy = build_legacy(trees[0])
+        app_seq = make_app(_app_spec_for(name), tree=trees[1])
+        app_batch = make_app(_app_spec_for(name), tree=trees[2])
+        statuses: Dict[str, List[str]] = {
+            "legacy": [], "seq": [], "batch": []}
+        chunk_times: Dict[str, List[float]] = {
+            "legacy": [], "seq": [], "batch": []}
+
+        def run_legacy(chunk) -> float:
+            mirror = mirrors[0]
+            t0 = time.perf_counter()
+            outcomes = [legacy.submit(mirror.request(spec))
+                        for spec in chunk]
+            elapsed = time.perf_counter() - t0
+            statuses["legacy"].extend(o.status.value for o in outcomes)
+            return elapsed
+
+        def run_seq(chunk) -> float:
+            mirror = mirrors[1]
+            t0 = time.perf_counter()
+            records = [app_seq.serve(mirror.request(spec))
+                       for spec in chunk]
+            elapsed = time.perf_counter() - t0
+            statuses["seq"].extend(
+                r.outcome.status.value for r in records)
+            return elapsed
+
+        def run_batch(chunk) -> float:
+            mirror = mirrors[2]
+            t0 = time.perf_counter()
+            records = app_batch.serve_stream(mirror.requests(chunk))
+            elapsed = time.perf_counter() - t0
+            statuses["batch"].extend(
+                r.outcome.status.value for r in records)
+            return elapsed
+
+        arms = (("legacy", run_legacy), ("seq", run_seq),
+                ("batch", run_batch))
+        for index, base in enumerate(range(0, len(specs), batch_size)):
+            chunk = specs[base:base + batch_size]
+            for offset in range(3):  # rotate the arm order per chunk
+                label, runner = arms[(index + offset) % 3]
+                chunk_times[label].append(runner(chunk))
+        for mirror in mirrors:
+            mirror.detach()
+        for app in (app_seq, app_batch):
+            report = app.audit()
+            if not report.passed:
+                raise AssertionError(
+                    f"app {name}: invariant audit failed in overhead "
+                    f"bench: {report.violations[0].message}")
+        evidence = {
+            "legacy": (statuses["legacy"],
+                       _app_state(name, legacy, trees[0])),
+            "seq": (statuses["seq"], _app_state(name, app_seq, trees[1])),
+            "batch": (statuses["batch"],
+                      _app_state(name, app_batch, trees[2])),
+        }
+        legacy.detach()
+        app_seq.close()
+        app_batch.close()
+        return chunk_times, evidence
+
+    best: Dict[str, List[float]] = {}
+    evidence: Dict[str, object] = {}
+    gc_was_enabled = gc.isenabled()
+    try:
+        gc.disable()
+        for _ in range(max(repeats, 1)):
+            gc.collect()
+            chunk_times, evidence = paired_replay()
+            for label, times in chunk_times.items():
+                best[label] = ([min(a, b) for a, b in
+                                zip(best[label], times)]
+                               if label in best else times)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    for label in ("seq", "batch"):
+        if evidence[label] != evidence["legacy"]:
+            raise AssertionError(
+                f"app {name}: {label} path diverged from legacy "
+                "(outcomes or app state differ)")
+    timings = {label: sum(times) for label, times in best.items()}
+
+    def overhead(arm: str) -> float:
+        baseline = timings["legacy"]
+        return (round((timings[arm] - baseline) / baseline * 100, 2)
+                if baseline else 0.0)
+
+    return {
+        "app": name,
+        "legacy_ms": round(timings["legacy"] * 1000, 3),
+        "app_seq_ms": round(timings["seq"] * 1000, 3),
+        "app_batch_ms": round(timings["batch"] * 1000, 3),
+        "overhead_seq_pct": overhead("seq"),
+        "overhead_batch_pct": overhead("batch"),
+        "equivalent": True,
+        **_tally_statuses(list(evidence["legacy"][0])),
+    }
+
+
+def _drive_app_complexity(name: str, sizes: List[int],
+                          steps_per_node: int, seed: int) -> Dict:
+    """Messages-per-change sweep for one app on the new path: the
+    bench_e05/e06/e07 measurement, CLI-shaped.  Reports the amortized
+    cost per topological change, the ``12 log^2 n`` envelope ratio, a
+    log-log slope of total messages against n (near 1 = near-linear
+    totals = polylog amortized), and the app's guarantee statistic."""
+    import math as _math
+
+    from repro.apps import make_app
+
+    rows = []
+    totals = []
+    for n in sizes:
+        tree = build_random_tree(n, seed=seed + n)
+        app = make_app(_app_spec_for(name), tree=tree)
+        rng = random.Random(seed + n + 1)
+        picker = NodePicker(tree)
+        worst: float = 0.0
+        for _ in range(steps_per_node * n):
+            request = random_request(tree, rng, mix=APP_BENCH_MIX,
+                                     picker=picker)
+            app.serve(request)
+        picker.detach()
+        report = app.audit()
+        if not report.passed:
+            raise AssertionError(
+                f"app {name}: invariant audit failed at n={n}: "
+                f"{report.violations[0].message}")
+        if name == "subtree_estimator":
+            # The Lemma 5.3 guarantee is about super-weights, not the
+            # root size estimate: worst over-approximation over nodes
+            # (estimates never undercount — every addition below v
+            # shipped its permit through v first).
+            worst = max(app.estimate_of(node) / app.true_super_weight(node)
+                        for node in tree.nodes())
+        elif name in ("size_estimation", "majority_commit",
+                      "ancestry_labels", "routing_labels"):
+            worst = app.check_approximation()
+        elif name == "name_assignment":
+            app.check_invariants()
+            worst = max(app.ids[v] for v in tree.nodes()) / tree.size
+        elif name == "heavy_child":
+            worst = app.max_light_depth()
+        messages = app.counters.total
+        changes = max(tree.topology_changes, 1)
+        per_change = messages / changes
+        envelope = 12 * _math.log2(max(tree.size, 4)) ** 2
+        row = {
+            "n": n, "final_n": tree.size, "changes": changes,
+            "iterations": app.iterations_run,
+            "messages": messages,
+            "per_change": round(per_change, 2),
+            "envelope_12log2": round(envelope, 2),
+            "within_envelope": per_change <= envelope,
+            "guarantee_stat": round(float(worst), 3),
+        }
+        if hasattr(app, "label_counters"):
+            row["label_messages"] = app.label_counters.total
+            row["label_per_change"] = round(
+                app.label_counters.total / changes, 2)
+        rows.append(row)
+        totals.append(messages)
+        app.close()
+    return {
+        "app": name,
+        "rows": rows,
+        # Total messages ~ n polylog(n): the log-log slope against n
+        # stays near 1 when the amortized cost is polylog.  (None when
+        # the sweep has a single size — a fit needs two points.)
+        "log_log_slope": round(log_log_slope(sizes, totals), 4)
+        if len(sizes) >= 2 else None,
+        "polylog_envelope_held": all(r["within_envelope"] for r in rows),
+    }
+
+
+def _drive_app_grid_cell(name: str, policy: str, faults: Optional[str],
+                         n: int, steps: int, seed: int,
+                         grid_report: InvariantReport) -> Dict:
+    """One event-driven cell: the app on the distributed engine under a
+    schedule policy (and optionally a fault plan), invariant-audited."""
+    from repro.apps import make_app
+    from repro.service import IterationRecord
+
+    cell_seed = _cell_seed("apps", name, policy, faults or "none", seed)
+    tree = build_random_tree(n, seed=seed)
+    spec = _app_spec_for(name, flavor="distributed",
+                         schedule_policy=policy, faults=faults,
+                         seed=cell_seed, max_in_flight=1 << 20)
+    app = make_app(spec, tree=tree)
+    # Pre-generated against the initial topology (catalogue style):
+    # targets may vanish mid-run and resolve CANCELLED, which is the
+    # Section 4.2 semantics, not an error.
+    rng = random.Random(cell_seed)
+    requests = [random_request(tree, rng, mix=APP_BENCH_MIX)
+                for _ in range(steps)]
+    start = time.perf_counter()
+    app.submit_many(requests)
+    stream = app.settle_all()
+    wall = time.perf_counter() - start
+    boundaries = sum(1 for r in stream if isinstance(r, IterationRecord))
+    app.audit(grid_report)
+    if name == "name_assignment":
+        app.check_invariants()
+    cell = {
+        "app": name, "policy": policy, "faults": faults or "none",
+        "iterations": app.iterations_run, "boundaries": boundaries,
+        "engine_messages": app.engine_counters.total,
+        "wall_ms": round(wall * 1000, 3),
+    }
+    cell.update(app.tally())
+    if faults:
+        # The whole-run view: banked per-iteration injector tallies
+        # plus the live one (each rollover wires a fresh injector).
+        cell["fault_stats"] = app.fault_stats
+    app.close()
+    return cell
+
+
+def run_apps(apps: str = "all", sizes: Optional[List[int]] = None,
+             steps_per_node: int = 3, overhead_n: int = 200,
+             overhead_steps: int = 600, batch_size: int = 64,
+             repeats: int = 3, seed: int = 0,
+             policies: str = "fifo,random,adversary",
+             faults: str = "stall=0.05",
+             grid_n: int = 40, grid_steps: int = 120) -> Dict:
+    """The application-layer bench: overhead + complexity + grid.
+
+    Three sections, one JSON document (``BENCH_apps.json``):
+
+    * **overhead** — the session-era app path vs the deprecated
+      hand-wired protocol path on identical churn (chunk-paired,
+      per-chunk minima, equivalence-asserted); target <= 5% amortized
+      over the apps that have a legacy twin;
+    * **complexity** — the bench_e05/e06/e07 sweeps on the new path:
+      messages per topological change against the ``12 log^2 n``
+      polylog envelope, plus log-log fits of the totals
+      (:mod:`repro.metrics.fitting`);
+    * **grid** — every app event-driven on the distributed engine,
+      per schedule policy, without and with a fault plan, audited by
+      :func:`repro.metrics.invariants.audit_app`; the run **raises**
+      on any violation.
+    """
+    from repro.service import APP_NAMES, resolve_app
+
+    if apps == "all":
+        names = list(APP_NAMES)
+    else:
+        # resolve_app applies the same spelling normalization every
+        # other entry point accepts (hyphens, whitespace) and raises
+        # ConfigError — a ValueError — naming the registry.
+        names = [resolve_app(part)
+                 for part in apps.split(",") if part.strip()]
+    sizes = sizes or [100, 200, 400]
+    policy_list = [p.strip() for p in policies.split(",") if p.strip()]
+    for policy in policy_list:
+        if policy not in SCHEDULE_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; known: "
+                f"{', '.join(SCHEDULE_POLICIES)}")
+
+    overhead_rows = [
+        _drive_app_overhead(name, overhead_n, overhead_steps, batch_size,
+                            seed, repeats)
+        for name in names if name in _app_legacy_factories()]
+    legacy_total = sum(r["legacy_ms"] for r in overhead_rows)
+    app_total = sum(r["app_batch_ms"] for r in overhead_rows)
+    amortized = (round((app_total - legacy_total) / legacy_total * 100, 2)
+                 if legacy_total else 0.0)
+
+    complexity = [_drive_app_complexity(name, sizes, steps_per_node, seed)
+                  for name in names]
+
+    grid_report = InvariantReport()
+    cells = []
+    for name in names:
+        for policy in policy_list:
+            for plan in (None, faults):
+                cells.append(_drive_app_grid_cell(
+                    name, policy, plan, grid_n, grid_steps, seed,
+                    grid_report))
+
+    document = {
+        "scenario": "apps",
+        "params": {
+            "apps": names, "sizes": sizes,
+            "steps_per_node": steps_per_node,
+            "overhead_n": overhead_n, "overhead_steps": overhead_steps,
+            "batch_size": batch_size, "repeats": repeats, "seed": seed,
+            "policies": policy_list, "faults": faults,
+            "grid_n": grid_n, "grid_steps": grid_steps,
+        },
+        "overhead": {
+            "rows": overhead_rows,
+            "amortized_pct": amortized,
+            "target_pct": 5.0,
+            "within_target": amortized <= 5.0,
+        },
+        "complexity": complexity,
+        "grid": {
+            "cells": cells,
+            "invariants": grid_report.to_json(),
+            "checks_run": sum(grid_report.checks.values()),
+            "violations": len(grid_report.violations),
+            "passed": grid_report.passed,
+        },
+    }
+    if not grid_report.passed:
+        first = grid_report.violations[0]
+        error = AssertionError(
+            f"invariant violations in the apps grid "
+            f"({len(grid_report.violations)} total); first: "
+            f"[{first.invariant}] {first.message}")
+        error.document = document
+        raise error
+    return document
+
+
 SCENARIOS = {
     "ancestry": run_ancestry,
     "move_complexity": run_move_complexity,
@@ -935,4 +1369,5 @@ SCENARIOS = {
     "distributed_batch": run_distributed_batch,
     "kernel": run_kernel,
     "session": run_session_overhead,
+    "apps": run_apps,
 }

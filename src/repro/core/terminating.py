@@ -36,7 +36,8 @@ class TerminatingController:
                  counters: Optional[MoveCounters] = None,
                  track_domains: bool = False,
                  track_intervals: bool = False,
-                 interval_base: int = 0):
+                 interval_base: int = 0,
+                 permit_flow_observer=None):
         self.tree = tree
         self.counters = counters if counters is not None else MoveCounters()
         self.inner = CentralizedController(
@@ -45,6 +46,7 @@ class TerminatingController:
             reject_on_exhaustion=False,
             track_intervals=track_intervals,
             interval_base=interval_base,
+            permit_flow_observer=permit_flow_observer,
         )
         self.terminated = False
         self.pending: List[Request] = []
@@ -69,9 +71,9 @@ class TerminatingController:
             self.pending.append(request)
         return outcome
 
-    def handle(self, request: Request) -> Outcome:
-        """Protocol alias for :meth:`submit`."""
-        return self.submit(request)
+    #: Protocol alias for :meth:`submit` — the same function object, so
+    #: the applications' per-request hot path pays no wrapper hop.
+    handle = submit
 
     def handle_batch(self, requests: Iterable[Request]) -> List[Outcome]:
         """Serve a batch in order.  Requests past the termination point

@@ -89,6 +89,22 @@ class DistributedController(TreeListener):
         kernel transition (take/create/park/absorb/grant/reject-wave);
         a serialized run's trace equals the centralized engine's on the
         same stream (the Lemma 4.5 reduction, property-tested).
+    track_intervals / interval_base:
+        Interval mode (Section 5.2, the name-assignment protocol):
+        packages created at the root carve explicit serial-number
+        intervals ``interval_base + 1 .. interval_base + m`` out of the
+        ledger, ``Proc`` splits halve the interval alongside the
+        permits, and every granted outcome carries the serial it
+        consumed from the origin's static pool — the same plumbing the
+        centralized engine runs, so a serialized distributed run grants
+        the identical serials.
+    permit_flow_observer:
+        ``observer(node, permits)``, invoked whenever a package
+        carrying ``permits`` permits passes *down* into ``node`` while
+        an agent walks its distribution plan (plus once at the root
+        when fresh permits enter circulation) — the Lemma 5.3
+        monitoring hook, free of extra messages because nodes watch
+        traffic already passing through them.
     """
 
     def __init__(self, tree: DynamicTree, m: int, w: int, u: int,
@@ -100,7 +116,10 @@ class DistributedController(TreeListener):
                  apply_topology: bool = True,
                  faults=None,
                  indexed_stores: bool = True,
-                 kernel_trace: Optional[KernelTrace] = None):
+                 kernel_trace: Optional[KernelTrace] = None,
+                 track_intervals: bool = False,
+                 interval_base: int = 0,
+                 permit_flow_observer=None):
         self.tree = tree
         self.params = ControllerParams(m=m, w=w, u=u)
         self.scheduler = scheduler if scheduler is not None else Scheduler()
@@ -116,7 +135,11 @@ class DistributedController(TreeListener):
         self.boards = WhiteboardMap()
         self._trace = kernel_trace
         self._indexed_stores = indexed_stores
+        self.track_intervals = track_intervals
+        self.permit_flow_observer = permit_flow_observer
         self._ledger = PermitLedger(params=self.params, storage=m,
+                                    track_intervals=track_intervals,
+                                    interval_base=interval_base,
                                     trace=kernel_trace)
         self.cancelled = 0
         self.pending = 0
@@ -365,6 +388,9 @@ class DistributedController(TreeListener):
             package = self._ledger.create_package(level, dist)
             self.tracer.emit(self.scheduler.now, "root_created",
                              agent=agent.agent_id, level=level, size=need)
+            if self.permit_flow_observer is not None:
+                # Freshly created permits "enter" the root as well.
+                self.permit_flow_observer(self.tree.root, package.size)
             self._begin_distribution(agent, package)
             return
         # Exhaustion.
@@ -430,13 +456,19 @@ class DistributedController(TreeListener):
         agent.pos -= 1
         node = agent.path[agent.pos]
         package = agent.package
+        if self.permit_flow_observer is not None:
+            # The package enters ``node`` still at its pre-split size.
+            self.permit_flow_observer(node, package.size)
         while agent.splits and agent.pos == agent.splits[0].dist:
             step = agent.splits.pop(0)
-            parked = MobilePackage(level=step.level, size=step.size)
+            left_interval, right_interval = package.split_interval()
+            parked = MobilePackage(level=step.level, size=step.size,
+                                   interval=left_interval)
             kernel.park(self.boards.get(node).store, parked, node=node,
                         trace=self._trace)
             package.level = step.level
             package.size = step.size
+            package.interval = right_interval
             self.tracer.emit(self.scheduler.now, "split",
                              agent=agent.agent_id, node=node.node_id,
                              level=step.level)
@@ -470,6 +502,8 @@ class DistributedController(TreeListener):
             agent.final_outcome = Outcome(OutcomeStatus.CANCELLED, request)
         else:
             board.store.static_permits -= 1
+            serial = (board.store.take_static_serial()
+                      if self.track_intervals else None)
             self._ledger.grant(origin)
             new_node = None
             if self._apply_topology and request.kind.is_topological:
@@ -478,7 +512,8 @@ class DistributedController(TreeListener):
                              agent=agent.agent_id, node=origin.node_id)
             # Grants are delivered at grant time (the walk is cleanup).
             self._record(Outcome(OutcomeStatus.GRANTED, request,
-                                 new_node=new_node), agent.callback)
+                                 new_node=new_node, serial=serial),
+                         agent.callback)
             agent.delivered = True
         # A self-deletion with a single-node path leaves nothing locked.
         if not agent.path:

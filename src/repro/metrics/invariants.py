@@ -34,7 +34,7 @@ the bench CLI's grid runs.
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
-from repro.protocol import ControllerView
+from repro.protocol import AppView, ControllerView
 
 
 @dataclass
@@ -252,6 +252,88 @@ def _check_lock_ordering(view: ControllerView, report: InvariantReport,
                 f"quiescent engine: node {node.node_id} still locked "
                 "or queued",
                 node=node.node_id)
+
+
+# ----------------------------------------------------------------------
+# Application audits (protocol-based dispatch, like the controllers).
+# ----------------------------------------------------------------------
+def audit_app(app, report: Optional[InvariantReport] = None
+              ) -> InvariantReport:
+    """Audit a Section 5 application through its ``app_view()``.
+
+    The app declares its auditable state as a
+    :class:`repro.protocol.AppView`; the auditor checks what the
+    declaration contains —
+
+    * the Theorem 5.1 **estimate sandwich** when ``estimate``/``beta``
+      are present: ``max(estimate/n, n/estimate) <= beta``;
+    * Theorem 5.2 **id uniqueness and range** when ``ids`` is present:
+      all distinct, all within ``[1, 4n]``;
+    * **permit conservation across rollover**: grants banked by closed
+      iterations plus the live controller's tally equal the app's own
+      granted count — teardown/rebuild loses no grant and invents
+      none;
+
+    and then audits the live iteration's controller recursively via
+    :func:`audit_controller` (safety, waste, conservation, package
+    shapes, lock discipline — whatever the engine flavour declares).
+    """
+    report = report if report is not None else InvariantReport()
+    app_view = getattr(app, "app_view", None)
+    if app_view is None:
+        report.fail(
+            "dispatch",
+            f"app type {type(app).__name__} does not implement "
+            "AppProtocol.app_view()")
+        return report
+    view = app_view()
+    _audit_app_view(view, report)
+    return report
+
+
+def _audit_app_view(view: AppView, report: InvariantReport) -> None:
+    label = f"app:{view.name}"
+    if view.estimate is not None and view.beta is not None:
+        n = view.size
+        estimate = view.estimate
+        if n > 0 and estimate > 0:
+            ratio = max(estimate / n, n / estimate)
+            report.expect(
+                ratio <= view.beta + 1e-9, "estimate",
+                f"{label}: estimate {estimate} vs n={n} is a factor "
+                f"{ratio:.3f} off, above beta={view.beta}",
+                estimate=estimate, n=n, beta=view.beta)
+        else:
+            report.fail("estimate", f"{label}: degenerate size "
+                        f"(n={n}, estimate={estimate})",
+                        estimate=estimate, n=n)
+    if view.ids is not None:
+        n = view.size
+        report.expect(
+            len(set(view.ids)) == len(view.ids), "ids",
+            f"{label}: duplicate ids among {len(view.ids)} nodes",
+            count=len(view.ids))
+        report.expect(
+            len(view.ids) == n, "ids",
+            f"{label}: {len(view.ids)} ids for {n} nodes",
+            count=len(view.ids), n=n)
+        bad = [i for i in view.ids if not 1 <= i <= 4 * n]
+        report.expect(
+            not bad, "ids",
+            f"{label}: {len(bad)} id(s) outside [1, {4 * n}] "
+            f"(first: {bad[:3]})", n=n)
+    live = view.controller
+    if live is not None:
+        live_granted = getattr(live, "granted", 0)
+        total = view.grants_banked + live_granted
+        report.expect(
+            total == view.granted_total, "conservation",
+            f"{label}: banked grants {view.grants_banked} + live "
+            f"{live_granted} = {total} != app tally "
+            f"{view.granted_total} across {view.iterations} iterations",
+            banked=view.grants_banked, live=live_granted,
+            tally=view.granted_total, iterations=view.iterations)
+        audit_controller(live, report)
 
 
 # ----------------------------------------------------------------------

@@ -127,6 +127,73 @@ class SessionProtocol(Protocol):
     def introspect(self) -> ControllerView: ...
 
 
+@dataclass
+class AppView:
+    """Structured snapshot an application returns from ``app_view()``.
+
+    The application analogue of :class:`ControllerView`: the app
+    *declares* the state its Section 5 guarantee is about, and
+    :func:`repro.metrics.invariants.audit_app` checks what the
+    declaration contains —
+
+    * ``estimate`` + ``beta`` -> the Theorem 5.1 sandwich
+      ``n/beta <= estimate <= beta * n``;
+    * ``ids`` -> Theorem 5.2 id-uniqueness and the ``[1, 4n]`` range;
+    * ``grants_banked`` / ``granted_total`` -> permit conservation
+      across iteration rollovers (grants banked by closed iterations
+      plus the live controller's tally equal the app's own grant
+      count);
+    * ``controller`` -> the live iteration's engine, audited
+      recursively through :func:`~repro.metrics.invariants.audit_controller`.
+    """
+
+    name: str
+    iterations: int
+    size: int
+    beta: Optional[float] = None
+    estimate: Optional[int] = None
+    ids: Optional[Tuple[int, ...]] = None
+    grants_banked: int = 0
+    granted_total: int = 0
+    controller: Optional[Any] = None
+
+
+@runtime_checkable
+class AppProtocol(Protocol):
+    """The application-layer session interface (PEP 544, structural).
+
+    Implemented by :class:`repro.apps.base.AppSession` and every
+    Section 5 application built by :func:`repro.apps.make_app`.  The
+    surface mirrors :class:`SessionProtocol` — non-blocking
+    ``submit`` returning a ticket, ``submit_many``, a streaming
+    ``drain`` — with two app-level additions: the drain stream carries
+    *iteration boundary events* (``IterationRecord``) interleaved with
+    the settled outcome records, and ``iterations_run`` exposes the
+    Observation 2.1 iteration lifecycle (requests still pending when an
+    iteration's controller terminates are resubmitted to the next
+    iteration's controller automatically).  ``app_view()`` returns the
+    :class:`AppView` declaration the invariant auditor walks.
+    """
+
+    iterations_run: int
+
+    def submit(self, request: Any) -> Any: ...
+
+    def submit_many(self, requests: Iterable[Any]) -> List[Any]: ...
+
+    def serve(self, request: Any) -> Any: ...
+
+    def drain(self) -> Iterator[Any]: ...
+
+    def settle_all(self) -> List[Any]: ...
+
+    def introspect(self) -> ControllerView: ...
+
+    def app_view(self) -> AppView: ...
+
+    def close(self) -> None: ...
+
+
 @runtime_checkable
 class ControllerProtocol(Protocol):
     """The interface every controller flavour implements.

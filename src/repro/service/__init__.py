@@ -11,6 +11,13 @@ explicit :attr:`SessionVerdict.BACKPRESSURE` verdict, distinct from the
 paper's permit reject.  See ``docs/architecture.md`` §7.
 """
 
+from repro.service.appspec import (
+    APP_ENGINE_FLAVORS,
+    APP_NAMES,
+    APP_PARAMS,
+    AppSpec,
+    resolve_app,
+)
 from repro.service.config import (
     EVENT_DRIVEN_FLAVORS,
     SCHEDULED_FLAVORS,
@@ -20,6 +27,7 @@ from repro.service.config import (
 )
 from repro.service.driver import drive_scenario, replay_stream
 from repro.service.envelopes import (
+    IterationRecord,
     OutcomeRecord,
     RequestEnvelope,
     SessionVerdict,
@@ -33,8 +41,14 @@ __all__ = [
     "ControllerSession",
     "ControllerSpec",
     "SessionConfig",
+    "AppSpec",
+    "resolve_app",
+    "APP_NAMES",
+    "APP_PARAMS",
+    "APP_ENGINE_FLAVORS",
     "RequestEnvelope",
     "OutcomeRecord",
+    "IterationRecord",
     "SessionVerdict",
     "Ticket",
     "TraceHandle",

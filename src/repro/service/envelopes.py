@@ -12,7 +12,10 @@ becomes a first-class, traceable object instead of a loop variable:
   intervals, and a :class:`TraceHandle` into the kernel transition log
   when tracing is on;
 * :class:`Ticket` — the non-blocking handle ``submit()`` returns;
-  :meth:`Ticket.result` pumps the session until this request settles.
+  :meth:`Ticket.result` pumps the session until this request settles;
+* :class:`IterationRecord` — an application iteration boundary
+  (:mod:`repro.apps`): the app-layer drain stream interleaves these
+  with its outcome records so rollovers are observable events.
 
 The verdict vocabulary deliberately distinguishes the paper's permit
 *reject* (the controller said no: the waste budget is charged, the
@@ -25,11 +28,14 @@ fighting the (M, W) contract itself.
 import operator
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Optional, Tuple
+from itertools import repeat
+from typing import Any, Callable, List, Optional, Sequence, Tuple, cast
 
 from repro.core.kernel import KernelTrace, TraceEvent
 from repro.core.requests import Outcome, OutcomeStatus, Request
 from repro.errors import ProtocolError
+
+_request_of = operator.attrgetter("request")
 
 
 class SessionVerdict(Enum):
@@ -97,6 +103,33 @@ class RequestEnvelope:
         return (f"RequestEnvelope(envelope_id={self.envelope_id}, "
                 f"request={self.request!r}, "
                 f"submit_tick={self.submit_tick})")
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """An application iteration boundary, as a first-class stream event.
+
+    The Section 5 applications run in iterations, each owning one
+    terminating controller; when an iteration's budget is exhausted the
+    app tears the engine session down, re-derives the contract from the
+    fresh tree size, and resubmits the queued requests (Observation
+    2.1).  :meth:`repro.apps.base.AppSession.drain` yields one
+    ``IterationRecord`` at each boundary, interleaved with the
+    :class:`OutcomeRecord` stream in event order, so consumers observe
+    rollovers instead of inferring them from PENDING gaps.
+
+    ``index`` is the 1-based iteration number (the first record, for
+    ``index=1``, is emitted when the app is constructed); ``size`` is
+    ``N_i``, the tree size the iteration's ``(m, w, u)`` contract was
+    derived from; ``tick`` is the app clock at the boundary.
+    """
+
+    index: int
+    size: int
+    m: int
+    w: int
+    u: int
+    tick: float
 
 
 @dataclass(frozen=True)
@@ -195,6 +228,34 @@ class OutcomeRecord(Tuple[Any, ...]):
         """Settle tick minus submit tick, in session clock units."""
         tick: float = self[4] - self[2]
         return tick
+
+
+def build_records(outcomes: Sequence[Outcome], envelope_id: int,
+                  clock: int, handle: Optional[TraceHandle]
+                  ) -> List[OutcomeRecord]:
+    """Build one :class:`OutcomeRecord` per settled outcome, in C.
+
+    The shared batched-settlement constructor used by both
+    ``ControllerSession.serve_stream`` and ``AppSession.serve_stream``
+    (one definition keeps the tuple layout in lockstep with
+    :class:`OutcomeRecord`): ``zip`` assembles each record's 6-field
+    tuple from C iterators — the outcome's request, consecutive
+    envelope ids from ``envelope_id``, consecutive submit ticks from
+    ``clock``, the outcome, consecutive settle ticks, and the shared
+    trace ``handle`` — and ``tuple.__new__`` wraps it without a Python
+    ``__init__`` frame.  The caller advances its envelope counter by
+    ``len(outcomes)`` and its clock by ``2 * len(outcomes)``.
+    """
+    count = len(outcomes)
+    settle_base = clock + count
+    return cast(List[OutcomeRecord], list(map(
+        tuple.__new__, repeat(OutcomeRecord),
+        zip(map(_request_of, outcomes),
+            range(envelope_id, envelope_id + count),
+            range(clock, clock + count),
+            outcomes,
+            range(settle_base, settle_base + count),
+            repeat(handle)))))
 
 
 class Ticket:

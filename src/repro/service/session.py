@@ -31,7 +31,6 @@ the shorthand).
 
 import operator
 from collections import Counter, deque
-from itertools import repeat
 from typing import (
     Any,
     Deque,
@@ -41,7 +40,6 @@ from typing import (
     List,
     Optional,
     Tuple,
-    cast,
 )
 
 from repro.core.kernel import KernelTrace
@@ -62,6 +60,7 @@ from repro.service.envelopes import (
     SessionVerdict,
     Ticket,
     TraceHandle,
+    build_records,
     verdict_of,
 )
 from repro.sim.delays import make_delay_model
@@ -75,7 +74,6 @@ _SESSION_OWNED_OPTIONS = ("scheduler", "delays", "faults", "kernel_trace")
 
 #: C-speed attribute extraction for the per-batch settlement loop.
 _status_of = operator.attrgetter("status")
-_request_of = operator.attrgetter("request")
 
 
 class ControllerSession:
@@ -334,17 +332,9 @@ class ControllerSession:
         clock = self._clock
         envelope_id = self._next_envelope
         count = len(outcomes)
-        settle_base = clock + count
-        # The whole construction loop runs in C: zip builds each
-        # record's field tuple from C iterators, tuple.__new__ wraps it.
-        records = cast(List[OutcomeRecord], list(map(
-            tuple.__new__, repeat(OutcomeRecord),
-            zip(map(_request_of, outcomes),
-                range(envelope_id, envelope_id + count),
-                range(clock, clock + count),
-                outcomes,
-                range(settle_base, settle_base + count),
-                repeat(handle)))))
+        # The whole construction loop runs in C (the shared batched
+        # constructor in repro.service.envelopes).
+        records = build_records(outcomes, envelope_id, clock, handle)
         self._next_envelope = envelope_id + count
         self._clock = clock + 2 * count
         # OutcomeStatus values are a subset of SessionVerdict values by

@@ -19,7 +19,8 @@ from repro.bench import (
 def test_registry_names():
     assert set(SCENARIOS) == {"ancestry", "move_complexity", "batch",
                               "scenario", "scenario_grid",
-                              "distributed_batch", "kernel", "session"}
+                              "distributed_batch", "kernel", "session",
+                              "apps"}
 
 
 def test_ancestry_small_sweep_is_exact_and_json():
@@ -81,6 +82,42 @@ def test_session_overhead_is_equivalence_checked():
                 "within_target"):
         assert key in result
     json.dumps(result)
+
+
+def test_apps_bench_shape_and_equivalence():
+    """A small ``apps`` run: the legacy/new arms must agree, the grid
+    must audit clean, and the document must be JSON-serializable.
+    (Timing thresholds are not asserted at this scale — the contract
+    under test is equivalence + shape.)"""
+    from repro.bench import run_apps
+    result = run_apps(apps="size_estimation,name_assignment",
+                      sizes=[48, 96], steps_per_node=2, overhead_n=60,
+                      overhead_steps=120, batch_size=16, repeats=1,
+                      policies="fifo,random", faults="stall=0.05",
+                      grid_n=20, grid_steps=40)
+    json.dumps(result)
+    for row in result["overhead"]["rows"]:
+        assert row["equivalent"] is True
+    assert result["overhead"]["target_pct"] == 5.0
+    for fit in result["complexity"]:
+        assert fit["polylog_envelope_held"] is True
+        assert fit["log_log_slope"] is not None
+    grid = result["grid"]
+    # 2 apps x 2 policies x {no faults, stall plan}.
+    assert len(grid["cells"]) == 8
+    assert grid["passed"] and grid["violations"] == 0
+    faulted = [c for c in grid["cells"] if c["faults"] != "none"]
+    assert faulted and all("fault_stats" in c for c in faulted)
+    # With a stall plan over whole runs, some cell must have stalled.
+    assert any(c["fault_stats"].get("stalls", 0) > 0 for c in faulted)
+
+
+def test_apps_bench_rejects_unknown_names():
+    from repro.bench import run_apps
+    with pytest.raises(ValueError, match="unknown app"):
+        run_apps(apps="definitely_not_an_app")
+    with pytest.raises(ValueError, match="unknown policy"):
+        run_apps(apps="size_estimation", policies="yolo")
 
 
 def test_cli_list_and_run(tmp_path):
