@@ -37,6 +37,14 @@ typed envelopes — non-blocking ``submit`` -> ``Ticket``, batched
 saturation reported as an explicit ``BACKPRESSURE`` verdict distinct
 from the paper's permit reject.
 
+Above the session sits :mod:`repro.gateway`: a concurrent ingestion
+front door that multiplexes many client streams into batched session
+feeds through a bounded leveling queue, a token-bucket throttle
+(verdict ``SHED``), and a per-session circuit breaker, with health
+probes and a machine-audited settle-exactly-once ledger
+(:func:`repro.metrics.invariants.audit_gateway`).  ``Gateway`` serves
+threads, ``AsyncGateway`` serves asyncio.
+
 Below the session sits the controller registry: every flavour built by
 :func:`make_controller` implements
 :class:`repro.protocol.ControllerProtocol` — ``handle``,
@@ -50,11 +58,21 @@ Below the session sits the controller registry: every flavour built by
 from repro.errors import (
     ConfigError,
     ControllerError,
+    GatewayError,
     InvariantViolation,
     ProtocolError,
     ReproError,
     SimulationError,
     TopologyError,
+)
+from repro.gateway import (
+    AsyncGateway,
+    BreakerState,
+    Gateway,
+    GatewayConfig,
+    GatewayStats,
+    GatewayTicket,
+    HealthReport,
 )
 from repro.protocol import (
     AppProtocol,
@@ -97,7 +115,7 @@ from repro.service import (
 )
 from repro.apps import AppSession, make_app
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 # The curated public surface, grouped the way README's public-API table
 # documents it (tests/test_public_api.py asserts the two stay in sync).
@@ -110,6 +128,14 @@ __all__ = [
     "OutcomeRecord",
     "SessionVerdict",
     "Ticket",
+    # The ingestion gateway — the concurrent front door.
+    "Gateway",
+    "AsyncGateway",
+    "GatewayConfig",
+    "GatewayStats",
+    "GatewayTicket",
+    "BreakerState",
+    "HealthReport",
     # The application layer — the Section 5 apps behind one spec.
     "AppSpec",
     "AppSession",
@@ -150,5 +176,6 @@ __all__ = [
     "InvariantViolation",
     "SimulationError",
     "ProtocolError",
+    "GatewayError",
     "__version__",
 ]

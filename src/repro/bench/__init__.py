@@ -10,6 +10,7 @@ One-liner reproduction of the perf trajectory::
     python -m repro.bench kernel --out BENCH_kernel.json
     python -m repro.bench session --out BENCH_session.json
     python -m repro.bench apps --out BENCH_apps.json
+    python -m repro.bench gateway --out BENCH_gateway.json
 
 Every scenario returns (and prints) a JSON document: the parameters it
 ran with, one row per configuration, and the derived headline numbers,
@@ -25,6 +26,7 @@ from repro.bench.runner import (
     run_apps,
     run_batch,
     run_distributed_batch,
+    run_gateway,
     run_kernel,
     run_move_complexity,
     run_scenario_bench,
@@ -37,6 +39,7 @@ __all__ = [
     "run_apps",
     "run_batch",
     "run_distributed_batch",
+    "run_gateway",
     "run_kernel",
     "run_move_complexity",
     "run_scenario_bench",

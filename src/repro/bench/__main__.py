@@ -22,6 +22,7 @@ import sys
 
 from repro.bench.runner import SCENARIOS, SESSION_BENCH_FLAVORS
 from repro.registry import CONTROLLER_FLAVORS
+from repro.sim.policies import SCHEDULE_POLICIES
 
 
 def _int_list(text: str):
@@ -165,6 +166,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grid-n", type=int, default=40, dest="grid_n")
     p.add_argument("--grid-steps", type=int, default=120,
                    dest="grid_steps")
+    p.add_argument("--out", **common_out)
+
+    p = sub.add_parser("gateway",
+                       help="concurrent ingestion through the gateway "
+                            "under churn-storm faults: sustained req/s, "
+                            "p50/p99 latency, breaker trip/recover "
+                            "cycle (invariant-audited)")
+    p.add_argument("--scenario", default="mixed_flood",
+                   help="catalogue scenario to stream (default: "
+                        "mixed_flood)")
+    p.add_argument("--seeds", default="0,1,2")
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent client threads per cell")
+    p.add_argument("--wave", type=int, default=10,
+                   help="requests per client submission burst")
+    p.add_argument("--batch-size", type=int, default=8, dest="batch_size")
+    p.add_argument("--queue-capacity", type=int, default=256,
+                   dest="queue_capacity")
+    p.add_argument("--policy", default="fifo",
+                   choices=list(SCHEDULE_POLICIES))
+    p.add_argument("--delays", default="burst")
+    p.add_argument("--faults", default="stall=0.15,storms=3,storm_size=6",
+                   help="fault plan spec for the churn storm")
+    p.add_argument("--breaker-latency", type=float, default=300.0,
+                   dest="breaker_latency",
+                   help="simulated-clock latency that counts as a "
+                        "breaker failure")
+    p.add_argument("--breaker-failures", type=int, default=2,
+                   dest="breaker_failures")
+    p.add_argument("--breaker-cooldown", type=int, default=2,
+                   dest="breaker_cooldown")
+    p.add_argument("--breaker-probes", type=int, default=1,
+                   dest="breaker_probes")
+    p.add_argument("--scale", type=float, default=0.5,
+                   help="catalogue scenario scale factor")
+    p.add_argument("--stagger", type=float, default=0.25)
     p.add_argument("--out", **common_out)
 
     p = sub.add_parser("kernel",

@@ -17,6 +17,7 @@ layer's own tax against direct protocol calls.
 import dataclasses
 import gc
 import random
+import threading
 import time
 import zlib
 from typing import Any, Dict, List, Optional
@@ -28,9 +29,11 @@ from repro.core.requests import Request, RequestKind
 from repro.distributed.faults import parse_fault_spec
 from repro.errors import ConfigError, ProtocolError
 from repro.metrics.fitting import log_log_slope, observation_3_4_bound
+from repro.gateway import Gateway, GatewayConfig
 from repro.metrics.invariants import (
     CounterWatch,
     InvariantReport,
+    audit_gateway,
     tally_outcomes,
 )
 from repro.registry import CONTROLLER_FLAVORS, make_controller
@@ -1360,6 +1363,195 @@ def run_apps(apps: str = "all", sizes: Optional[List[int]] = None,
     return document
 
 
+# ----------------------------------------------------------------------
+# gateway — concurrent ingestion under churn (throughput + latency).
+# ----------------------------------------------------------------------
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_gateway(scenario: str = "mixed_flood", seeds: str = "0,1,2",
+                clients: int = 4, wave: int = 10,
+                batch_size: int = 8, queue_capacity: int = 256,
+                policy: str = "fifo", delays: str = "burst",
+                faults: str = "stall=0.15,storms=3,storm_size=6",
+                breaker_latency: float = 300.0,
+                breaker_failures: int = 2, breaker_cooldown: int = 2,
+                breaker_probes: int = 1,
+                scale: float = 0.5, stagger: float = 0.25) -> Dict:
+    """Sustained ingestion through the gateway under a churn storm.
+
+    Per seed: the catalogue scenario's pre-generated stream is split
+    round-robin across ``clients`` real threads, each submitting
+    chunked waves through a worker-pumped :class:`repro.gateway.
+    Gateway` over the event-driven engine with bursty delays, stall
+    faults, and churn storms — the fault regime the circuit breaker
+    exists for.  Clients retry shed requests (which is what supplies
+    HALF_OPEN with probes), so the breaker's full trip/recover cycle
+    runs under measurement.
+
+    Reported per cell: sustained engine throughput (settled requests
+    per wall second), wall-clock p50/p99 settlement latency in
+    milliseconds, simulated-clock p50/p99, the full
+    :class:`~repro.gateway.GatewayStats` snapshot (trips, recoveries,
+    sheds, probes), and the injector's fault tallies.  The grid then
+    *asserts*: every cell's full-stack audit is clean (gateway
+    conservation -> session envelopes -> controller invariants), no
+    ticket was dropped or double-settled, and the breaker both tripped
+    and recovered at least once across the grid — a bench run that
+    never exercised the breaker is a configuration bug, not a result.
+    Violations raise ``AssertionError`` with the JSON document
+    attached (the bench CLI prints it before failing).
+    """
+    spec = get_scenario(scenario)
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    seed_list = [int(part) for part in str(seeds).split(",") if part != ""]
+    fault_plan = parse_fault_spec(faults)
+    gateway_config = GatewayConfig(
+        queue_capacity=queue_capacity, batch_size=batch_size,
+        breaker_latency=breaker_latency,
+        breaker_failures=breaker_failures,
+        breaker_cooldown=breaker_cooldown,
+        breaker_probes=breaker_probes)
+    grid_report = InvariantReport()
+    cells: List[Dict] = []
+    total_trips = total_recoveries = 0
+
+    for seed in seed_list:
+        cell_seed = _cell_seed("gateway", spec.name, policy, seed)
+        stream_specs = _materialize(spec, seed)
+        tree, requests = _replay_requests(spec, seed, stream_specs)
+        span = len(requests) * stagger + 4 * spec.n
+        plan = dataclasses.replace(
+            fault_plan.resolved(span),
+            seed=int(fault_plan.seed) ^ cell_seed)
+        config = SessionConfig(
+            controller=ControllerSpec("distributed", m=spec.m, w=spec.w,
+                                      u=spec.u),
+            schedule_policy=policy, delay_model=delays, faults=plan,
+            seed=cell_seed, max_in_flight=1 << 20)
+        session = ControllerSession(config, tree=tree)
+        gateway = Gateway(session, gateway_config)
+        label = f"{spec.name}/{policy}/seed={seed}"
+        settled_verdicts: List[str] = []
+        client_errors: List[BaseException] = []
+
+        def serve_slice(idx: int, gateway: Gateway = gateway,
+                        requests: List[Request] = requests,
+                        sink: List[str] = settled_verdicts,
+                        errors: List[BaseException] = client_errors
+                        ) -> None:
+            try:
+                mine = requests[idx::clients]
+                for start in range(0, len(mine), wave):
+                    chunk = mine[start:start + wave]
+                    for _ in range(1000):  # shed-retry loop
+                        tickets = [gateway.submit(r, client=f"c{idx}")
+                                   for r in chunk]
+                        for ticket in tickets:
+                            ticket.result(timeout=120)
+                        sink.extend(t.verdict.value for t in tickets
+                                    if t.verdict.value != "shed")
+                        chunk = [t.request for t in tickets
+                                 if t.verdict.value == "shed"]
+                        if not chunk:
+                            break
+                        time.sleep(0.0005)
+            except BaseException as error:
+                errors.append(error)
+
+        gateway.start()
+        threads = [threading.Thread(target=serve_slice, args=(idx,))
+                   for idx in range(clients)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        drained = gateway.join(timeout=300)
+        wall = time.perf_counter() - start
+        gateway.stop()
+
+        grid_report.expect(
+            not client_errors and drained
+            and not any(t.is_alive() for t in threads),
+            "liveness",
+            f"{label}: clients hung or errored: {client_errors[:2]}",
+            scenario=spec.name, seed=seed)
+        stats = gateway.stats
+        grid_report.expect(
+            len(settled_verdicts) == len(requests), "liveness",
+            f"{label}: {len(requests) - len(settled_verdicts)} requests "
+            "never reached a non-shed settlement",
+            scenario=spec.name, seed=seed)
+        audit_gateway(gateway, grid_report)
+        total_trips += stats.breaker_trips
+        total_recoveries += stats.breaker_recoveries
+        lat_ms = [value * 1000.0 for value in gateway.latencies_wall]
+        cells.append({
+            "scenario": spec.name, "seed": seed, "policy": policy,
+            "requests": len(requests), "clients": clients,
+            "wall_s": round(wall, 4),
+            "req_per_s": round(stats.settled / wall, 1) if wall else 0.0,
+            "latency_wall_ms": {
+                "p50": round(_percentile(lat_ms, 0.50), 3),
+                "p99": round(_percentile(lat_ms, 0.99), 3),
+            },
+            "latency_sim": {
+                "p50": round(_percentile(gateway.latencies_session,
+                                         0.50), 3),
+                "p99": round(_percentile(gateway.latencies_session,
+                                         0.99), 3),
+            },
+            "stats": stats.snapshot(),
+            "fault_stats": dict(getattr(session.controller, "faults").stats
+                                if getattr(session.controller, "faults",
+                                           None) is not None else {}),
+            "simulated_time": round(session.now, 3),
+        })
+        session.close()
+
+    grid_report.expect(
+        total_trips >= 1 and total_recoveries >= 1, "breaker",
+        f"the grid never exercised the breaker (trips={total_trips}, "
+        f"recoveries={total_recoveries}); tighten breaker_latency or "
+        "the fault plan",
+        trips=total_trips, recoveries=total_recoveries)
+
+    document = {
+        "scenario": "gateway",
+        "workload": spec.params_json(),
+        "gateway_config": gateway_config.snapshot(),
+        "faults": fault_plan.snapshot(),
+        "cells": cells,
+        "throughput": {
+            "sustained_req_per_s": round(
+                sum(c["req_per_s"] for c in cells) / max(len(cells), 1),
+                1),
+            "breaker_trips": total_trips,
+            "breaker_recoveries": total_recoveries,
+        },
+        "invariants": grid_report.to_json(),
+        "checks_run": sum(grid_report.checks.values()),
+        "violations": len(grid_report.violations),
+        "passed": grid_report.passed,
+    }
+    if not grid_report.passed:
+        first = grid_report.violations[0]
+        error = AssertionError(
+            f"invariant violations in the gateway grid "
+            f"({len(grid_report.violations)} total); first: "
+            f"[{first.invariant}] {first.message}")
+        error.document = document
+        raise error
+    return document
+
+
 SCENARIOS = {
     "ancestry": run_ancestry,
     "move_complexity": run_move_complexity,
@@ -1370,4 +1562,5 @@ SCENARIOS = {
     "kernel": run_kernel,
     "session": run_session_overhead,
     "apps": run_apps,
+    "gateway": run_gateway,
 }

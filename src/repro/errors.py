@@ -58,3 +58,14 @@ class SimulationError(ReproError):
 
 class ProtocolError(ReproError):
     """A distributed protocol message or agent reached an impossible state."""
+
+
+class GatewayError(ReproError):
+    """The ingestion gateway was driven outside of its contract, or a
+    request was abandoned by a gateway shutdown.
+
+    Examples: submitting to a closed gateway, starting an already
+    started worker, or waiting on a ticket whose gateway aborted before
+    the request could settle (the ticket's ``result()`` re-raises the
+    abort reason instead of blocking forever).
+    """

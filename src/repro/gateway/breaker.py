@@ -1,0 +1,134 @@
+"""Per-session circuit breaker (the health half of admission).
+
+The classic three-state machine, driven entirely by deterministic
+inputs so tests can replay it tick for tick:
+
+* **CLOSED** — requests flow; every settled record feeds
+  :meth:`CircuitBreaker.record` (a failure is a stall-storm-shaped
+  settlement: latency above the configured threshold, or a ``PENDING``
+  verdict).  ``breaker_failures`` *consecutive* failures trip the
+  breaker.
+* **OPEN** — requests are shed at admission (verdict ``SHED``), the
+  backend gets room to recover.  The breaker's clock is the pump
+  cycle: after ``breaker_cooldown`` cycles it moves to HALF_OPEN.
+* **HALF_OPEN** — up to ``breaker_probes`` probe requests are admitted
+  (everything else is still shed).  All probes succeeding closes the
+  breaker (a *recovery*); any probe failing re-opens it (a new trip,
+  fresh cooldown).
+
+The machine never touches wall clocks or threads; the gateway calls
+:meth:`on_cycle` once per pump cycle, :meth:`admit` per submission, and
+:meth:`record` per settlement, all under the gateway's admission lock.
+"""
+
+from enum import Enum
+
+
+class BreakerState(Enum):
+    """Where the circuit breaker stands."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+#: Admission decisions (:meth:`CircuitBreaker.admit`).
+ADMIT = "admit"
+PROBE = "probe"
+SHED = "shed"
+
+
+class CircuitBreaker:
+    """The CLOSED/OPEN/HALF_OPEN machine (see module docstring).
+
+    ``failures=0``-style disabling is the caller's job (an unarmed
+    gateway simply never reports a failure, so the breaker never
+    trips); the machine itself is always live.
+    """
+
+    __slots__ = ("failure_threshold", "cooldown", "probe_quota",
+                 "state", "trips", "recoveries",
+                 "_consecutive_failures", "_cycles_open",
+                 "_probes_issued", "_probes_succeeded")
+
+    def __init__(self, failure_threshold: int, cooldown: int,
+                 probe_quota: int):
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.probe_quota = probe_quota
+        self.state = BreakerState.CLOSED
+        #: CLOSED -> OPEN transitions, including HALF_OPEN re-trips.
+        self.trips = 0
+        #: HALF_OPEN -> CLOSED transitions (all probes succeeded).
+        self.recoveries = 0
+        self._consecutive_failures = 0
+        self._cycles_open = 0
+        self._probes_issued = 0
+        self._probes_succeeded = 0
+
+    # ------------------------------------------------------------------
+    def _trip(self) -> None:
+        self.state = BreakerState.OPEN
+        self.trips += 1
+        self._cycles_open = 0
+        self._consecutive_failures = 0
+
+    def _close(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.recoveries += 1
+        self._consecutive_failures = 0
+
+    # ------------------------------------------------------------------
+    def admit(self) -> str:
+        """One admission decision: ``ADMIT``, ``PROBE``, or ``SHED``.
+
+        A ``PROBE`` answer consumes one unit of the half-open quota;
+        the caller must tag the request so its settlement comes back
+        through :meth:`record` with ``probe=True``.
+        """
+        if self.state is BreakerState.CLOSED:
+            return ADMIT
+        if self.state is BreakerState.HALF_OPEN:
+            if self._probes_issued < self.probe_quota:
+                self._probes_issued += 1
+                return PROBE
+            return SHED
+        return SHED
+
+    def on_cycle(self) -> None:
+        """One pump cycle elapsed (the breaker's only clock)."""
+        if self.state is BreakerState.OPEN:
+            self._cycles_open += 1
+            if self._cycles_open >= self.cooldown:
+                self.state = BreakerState.HALF_OPEN
+                self._probes_issued = 0
+                self._probes_succeeded = 0
+
+    def record(self, ok: bool, probe: bool = False) -> None:
+        """One settlement landed; feed the failure detector.
+
+        Probe settlements drive the HALF_OPEN resolution; regular
+        settlements (including stragglers admitted before a trip) only
+        matter in CLOSED, where they move the consecutive-failure
+        counter.
+        """
+        if probe and self.state is BreakerState.HALF_OPEN:
+            if ok:
+                self._probes_succeeded += 1
+                if self._probes_succeeded >= self.probe_quota:
+                    self._close()
+            else:
+                self._trip()
+            return
+        if self.state is not BreakerState.CLOSED:
+            return
+        if ok:
+            self._consecutive_failures = 0
+        else:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._trip()
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(state={self.state.value}, "
+                f"trips={self.trips}, recoveries={self.recoveries})")

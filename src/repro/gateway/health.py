@@ -1,0 +1,56 @@
+"""Health and heartbeat probes for the gateway.
+
+A :class:`HealthReport` is one liveness snapshot assembled from signals
+the stack already exposes — the circuit breaker's state, the leveling
+queue's depth, the engine scheduler's backlog
+(:meth:`repro.sim.scheduler.Scheduler.pending`), and the fault
+injector's running tallies (:attr:`repro.distributed.faults.
+FaultInjector.stats`) — plus the pump heartbeat (how long since a pump
+cycle last completed).  The report is a frozen value: probes are reads,
+never actions, so a health endpoint can poll from any thread without
+touching engine state.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """One point-in-time health probe of a gateway (see module doc).
+
+    ``healthy`` is the roll-up the heartbeat pattern prescribes: the
+    gateway is open for business (not closed), its breaker is not OPEN
+    (HALF_OPEN counts as healthy — it is accepting probes), and the
+    leveling queue is not saturated.
+    """
+
+    healthy: bool
+    closed: bool
+    breaker: str
+    queue_depth: int
+    queue_capacity: int
+    in_flight: int
+    scheduler_backlog: int
+    tokens: float
+    heartbeat_age: float
+    fault_stats: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def queue_saturated(self) -> bool:
+        return self.queue_depth >= self.queue_capacity
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable description of the probe."""
+        return {
+            "healthy": self.healthy,
+            "closed": self.closed,
+            "breaker": self.breaker,
+            "queue_depth": self.queue_depth,
+            "queue_capacity": self.queue_capacity,
+            "in_flight": self.in_flight,
+            "scheduler_backlog": self.scheduler_backlog,
+            "tokens": round(self.tokens, 3),
+            "heartbeat_age": round(self.heartbeat_age, 6),
+            "fault_stats": dict(self.fault_stats),
+        }

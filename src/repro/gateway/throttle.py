@@ -1,0 +1,63 @@
+"""Token-bucket throttling (the rate-limiting half of admission).
+
+The bucket is a pure state machine over an *explicit* clock: callers
+pass ``now`` into every operation, so the same code runs against
+``time.monotonic()`` in the threaded gateway and against a counter in
+the deterministic property tests.  Refill is continuous (``rate``
+tokens per clock unit, capped at ``burst``), the classic
+throttling/rate-limiting pattern: short bursts ride on the stored
+tokens, sustained overload is shed at exactly ``rate``.
+"""
+
+from typing import Optional
+
+
+class TokenBucket:
+    """A token bucket over an explicit clock.
+
+    ``rate <= 0`` builds an unlimited bucket: :meth:`try_take` always
+    succeeds and :meth:`available` reports ``burst``.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last")
+
+    def __init__(self, rate: float, burst: int):
+        self.rate = max(float(rate), 0.0)
+        self.burst = float(burst)
+        self._tokens = self.burst
+        self._last: Optional[float] = None
+
+    def _refill(self, now: float) -> None:
+        if self._last is None:
+            self._last = now
+            return
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.burst,
+                               self._tokens + elapsed * self.rate)
+            self._last = now
+
+    def available(self, now: float) -> float:
+        """Tokens on hand after refilling to ``now``."""
+        if self.rate == 0:
+            return self.burst
+        self._refill(now)
+        return self._tokens
+
+    def try_take(self, now: float, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens if the bucket holds them; else refuse.
+
+        Refusal does not partially drain the bucket — a shed request
+        costs the caller nothing and the bucket nothing.
+        """
+        if self.rate == 0:
+            return True
+        self._refill(now)
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (f"TokenBucket(rate={self.rate}, burst={self.burst}, "
+                f"tokens={self._tokens:.2f})")

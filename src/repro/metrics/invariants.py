@@ -336,6 +336,81 @@ def _audit_app_view(view: AppView, report: InvariantReport) -> None:
         audit_controller(live, report)
 
 
+def audit_gateway(gateway, report: Optional[InvariantReport] = None
+                  ) -> InvariantReport:
+    """Audit an ingestion gateway's conservation ledger, then recurse
+    into its backend session's own audit.
+
+    The gateway-level guarantees (duck-typed on
+    :class:`repro.gateway.gateway.Gateway`: ``stats``,
+    ``open_requests``, ``session``):
+
+    * **admission conservation**: every submission is accounted for —
+      ``submitted = accepted + shed_throttle + shed_breaker +
+      backpressured``;
+    * **settle exactly once**: every accepted envelope settles exactly
+      once — ``accepted = settled + aborted + open`` and the
+      ``double_settles`` counter (attempts to settle an
+      already-settled ticket) is zero;
+    * **verdict conservation**: the gateway's verdict tally matches
+      its ledger — engine verdicts sum to ``settled``, ``shed`` to the
+      two shed counters, ``backpressure`` to the queue refusals.
+
+    Then ``gateway.session.audit(report)`` folds in the whole stack
+    below (session envelope conservation, controller safety / waste /
+    conservation / package shape / lock discipline, app rollover
+    conservation — whatever the backend declares).
+    """
+    report = report if report is not None else InvariantReport()
+    stats = gateway.stats
+    label = "gateway"
+    admitted = (stats.accepted + stats.shed_throttle
+                + stats.shed_breaker + stats.backpressured)
+    report.expect(
+        stats.submitted == admitted, f"{label}:admission",
+        f"submitted {stats.submitted} != accepted {stats.accepted} + "
+        f"shed_throttle {stats.shed_throttle} + shed_breaker "
+        f"{stats.shed_breaker} + backpressured {stats.backpressured}",
+        submitted=stats.submitted, accepted=stats.accepted,
+        shed_throttle=stats.shed_throttle,
+        shed_breaker=stats.shed_breaker,
+        backpressured=stats.backpressured)
+    open_now = gateway.open_requests
+    settled_total = stats.settled + stats.aborted + open_now
+    report.expect(
+        stats.accepted == settled_total, f"{label}:settle-once",
+        f"accepted {stats.accepted} != settled {stats.settled} + "
+        f"aborted {stats.aborted} + open {open_now}",
+        accepted=stats.accepted, settled=stats.settled,
+        aborted=stats.aborted, open=open_now)
+    report.expect(
+        stats.double_settles == 0, f"{label}:settle-once",
+        f"{stats.double_settles} double-settle attempts recorded",
+        double_settles=stats.double_settles)
+    verdicts = stats.verdicts
+    engine_verdicts = sum(
+        count for verdict, count in verdicts.items()
+        if verdict not in ("shed", "backpressure"))
+    report.expect(
+        engine_verdicts == stats.settled, f"{label}:verdicts",
+        f"engine verdict tally {engine_verdicts} != settled "
+        f"{stats.settled}", verdicts=dict(verdicts),
+        settled=stats.settled)
+    report.expect(
+        verdicts.get("shed", 0) == stats.shed_throttle + stats.shed_breaker,
+        f"{label}:verdicts",
+        f"shed verdicts {verdicts.get('shed', 0)} != throttle "
+        f"{stats.shed_throttle} + breaker {stats.shed_breaker}",
+        verdicts=dict(verdicts))
+    report.expect(
+        verdicts.get("backpressure", 0) == stats.backpressured,
+        f"{label}:verdicts",
+        f"backpressure verdicts {verdicts.get('backpressure', 0)} != "
+        f"refusals {stats.backpressured}", verdicts=dict(verdicts))
+    gateway.session.audit(report)
+    return report
+
+
 # ----------------------------------------------------------------------
 # Outcome tallying and the tally audit (engine-agnostic).
 # ----------------------------------------------------------------------

@@ -20,9 +20,11 @@ becomes a first-class, traceable object instead of a loop variable:
 The verdict vocabulary deliberately distinguishes the paper's permit
 *reject* (the controller said no: the waste budget is charged, the
 liveness bound applies) from session *backpressure* (the engine never
-saw the request: the admission window was full).  Callers that retry on
-``BACKPRESSURE`` lose nothing; callers that retry on ``REJECTED`` are
-fighting the (M, W) contract itself.
+saw the request: the admission window was full) and from gateway
+*shed* (the request was refused even earlier, by the
+:mod:`repro.gateway` throttle or circuit breaker).  Callers that retry
+on ``BACKPRESSURE`` or ``SHED`` lose nothing; callers that retry on
+``REJECTED`` are fighting the (M, W) contract itself.
 """
 
 import operator
@@ -49,6 +51,13 @@ class SessionVerdict(Enum):
     #: request.  Distinct from REJECTED: no permit accounting happened,
     #: resubmitting later is always legal.
     BACKPRESSURE = "backpressure"
+    #: The gateway refused the request before the session's admission
+    #: window was even consulted: the token-bucket throttle was out of
+    #: tokens, or the circuit breaker was open.  Like ``BACKPRESSURE``,
+    #: no permit accounting happened and resubmitting later is always
+    #: legal; unlike it, the refusal is load-*policy* (rate or health),
+    #: not window occupancy (see :mod:`repro.gateway`).
+    SHED = "shed"
 
 
 _STATUS_TO_VERDICT = {
@@ -292,12 +301,17 @@ class Ticket:
         """The settled record, pumping the session until it exists."""
         record = self._record
         while record is None:
-            if not self._pump():
+            progressed = self._pump()
+            # Re-read *after* the pump call returns: a concurrent
+            # drain may have settled this ticket between our first
+            # look and the pump reporting an idle engine, and raising
+            # on that stale read would be a spurious ProtocolError.
+            record = self._record
+            if record is None and not progressed:
                 raise ProtocolError(
                     f"request {self.envelope.request.request_id} "
                     f"(envelope {self.envelope.envelope_id}) never "
                     "settled and the engine is idle")
-            record = self._record
         self.claimed = True
         return record
 

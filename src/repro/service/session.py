@@ -30,6 +30,7 @@ the shorthand).
 """
 
 import operator
+import threading
 from collections import Counter, deque
 from typing import (
     Any,
@@ -126,6 +127,15 @@ class ControllerSession:
 
         self._next_envelope = 0
         self._clock = 0
+        # One reentrant lock serializes admission, pumping, and the
+        # drain-side pops, so concurrent ``Ticket.result()`` /
+        # ``drain()`` callers (the gateway's client threads) can never
+        # double-handle a pending batch or double-settle a ticket.
+        # Reentrant because the event-driven pump fires settlement
+        # callbacks from inside ``scheduler.step()``.  Single-caller
+        # paths (``serve`` / ``serve_stream``) stay lock-free except
+        # where they delegate to ``_pump``.
+        self._lock = threading.RLock()
         self._in_flight: Dict[int, Ticket] = {}
         self._pending: Deque[Tuple[RequestEnvelope, Ticket]] = deque()
         self._ready: Deque[Tuple[OutcomeRecord, Optional[Ticket]]] = deque()
@@ -197,16 +207,17 @@ class ControllerSession:
         ``delay`` is the arrival offset in simulated time (event-driven
         engine only).
         """
-        if self._closed:
-            raise ControllerError("session is closed")
-        envelope, ticket = self._make_ticket(request)
-        if (len(self._in_flight) + len(self._pending)
-                >= self.config.max_in_flight):
-            self._settle(ticket, envelope, None,
-                         SessionVerdict.BACKPRESSURE)
+        with self._lock:
+            if self._closed:
+                raise ControllerError("session is closed")
+            envelope, ticket = self._make_ticket(request)
+            if (len(self._in_flight) + len(self._pending)
+                    >= self.config.max_in_flight):
+                self._settle(ticket, envelope, None,
+                             SessionVerdict.BACKPRESSURE)
+                return ticket
+            self._dispatch(envelope, ticket, delay)
             return ticket
-        self._dispatch(envelope, ticket, delay)
-        return ticket
 
     def _make_ticket(self, request: Request
                      ) -> Tuple[RequestEnvelope, Ticket]:
@@ -390,21 +401,28 @@ class ControllerSession:
         (settlement callbacks fire from inside the step).  A closed
         session refuses to pump — in-flight tickets of a closed
         session never settle, they raise here instead.
+
+        Serialized under the session lock: concurrent pumpers (a
+        ``drain()`` iterator racing ``Ticket.result()`` calls) each
+        take the whole critical section, so a pending batch is handed
+        to the engine exactly once and every ticket settles exactly
+        once.
         """
-        if self._closed:
-            raise ControllerError("session is closed")
-        if self._event_driven:
-            assert self.scheduler is not None
-            return self.scheduler.step()
-        if not self._pending:
-            return False
-        batch = list(self._pending)
-        self._pending.clear()
-        outcomes = self._handle_batch(
-            [envelope.request for envelope, _ in batch])
-        for (envelope, ticket), outcome in zip(batch, outcomes):
-            self._settle(ticket, envelope, outcome, verdict_of(outcome))
-        return True
+        with self._lock:
+            if self._closed:
+                raise ControllerError("session is closed")
+            if self._event_driven:
+                assert self.scheduler is not None
+                return self.scheduler.step()
+            if not self._pending:
+                return False
+            batch = list(self._pending)
+            self._pending.clear()
+            outcomes = self._handle_batch(
+                [envelope.request for envelope, _ in batch])
+            for (envelope, ticket), outcome in zip(batch, outcomes):
+                self._settle(ticket, envelope, outcome, verdict_of(outcome))
+            return True
 
     def drain(self) -> Iterator[OutcomeRecord]:
         """Pump the engine, yielding records in settlement order.
@@ -413,21 +431,35 @@ class ControllerSession:
         followed by another ``drain()``.  Delivery is exactly-once: a
         record whose ticket was already taken via ``Ticket.result()``
         is skipped here (the reverse also holds — a drained record
-        stays readable through its ticket, as a lookup).
+        stays readable through its ticket, as a lookup).  Concurrent
+        drains share one stream: each settled record is popped (and
+        yielded) by exactly one of them, and a drain racing other
+        pumpers re-checks the queue instead of mistaking their progress
+        for a stuck engine.
         """
         while True:
-            while self._ready:
-                record, ticket = self._ready.popleft()
-                if ticket is not None and ticket.claimed:
+            with self._lock:
+                record_ticket: Optional[
+                    Tuple[OutcomeRecord, Optional[Ticket]]] = None
+                while self._ready:
+                    head, ticket = self._ready.popleft()
+                    if ticket is not None and ticket.claimed:
+                        continue
+                    record_ticket = (head, ticket)
+                    break
+                if record_ticket is None:
+                    if self.in_flight == 0:
+                        self._quiesce()
+                        return
+                    # Pump inside the lock: the in-flight check and the
+                    # pump are atomic, so another thread settling the
+                    # remainder between them cannot fake an idle engine.
+                    if not self._pump():
+                        raise ProtocolError(
+                            f"{self.in_flight} requests in flight but "
+                            "the engine is idle (agent lost?)")
                     continue
-                yield record
-            if self.in_flight == 0:
-                self._quiesce()
-                return
-            if not self._pump():
-                raise ProtocolError(
-                    f"{self.in_flight} requests in flight but the "
-                    "engine is idle (agent lost?)")
+            yield record_ticket[0]
 
     def settle_all(self) -> List[OutcomeRecord]:
         """Drain to quiescence and return the settled records."""
@@ -458,11 +490,12 @@ class ControllerSession:
         Idempotent.  In-flight requests are abandoned (their tickets
         never settle), so callers normally drain first.
         """
-        if not self._closed:
-            self._closed = True
-            if not self._in_flight and not self._pending:
-                self._quiesce()  # settled work still owed its cleanup
-            self.controller.detach()
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                if not self._in_flight and not self._pending:
+                    self._quiesce()  # settled work still owed its cleanup
+                self.controller.detach()
 
     def __enter__(self) -> "ControllerSession":
         return self

@@ -1,0 +1,83 @@
+"""CircuitBreaker: the CLOSED/OPEN/HALF_OPEN machine, deterministically."""
+
+from repro.gateway import BreakerState, CircuitBreaker
+from repro.gateway.breaker import ADMIT, PROBE, SHED
+
+
+def _breaker(failures=3, cooldown=2, probes=2):
+    return CircuitBreaker(failure_threshold=failures, cooldown=cooldown,
+                          probe_quota=probes)
+
+
+def trip(breaker):
+    for _ in range(breaker.failure_threshold):
+        breaker.record(ok=False)
+    assert breaker.state is BreakerState.OPEN
+
+
+def test_closed_admits_and_successes_reset_the_streak():
+    breaker = _breaker(failures=3)
+    assert breaker.admit() == ADMIT
+    breaker.record(ok=False)
+    breaker.record(ok=False)
+    breaker.record(ok=True)  # streak broken
+    breaker.record(ok=False)
+    breaker.record(ok=False)
+    assert breaker.state is BreakerState.CLOSED
+    breaker.record(ok=False)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.trips == 1
+
+
+def test_open_sheds_until_cooldown_then_probes():
+    breaker = _breaker(cooldown=2, probes=2)
+    trip(breaker)
+    assert breaker.admit() == SHED
+    breaker.on_cycle()
+    assert breaker.state is BreakerState.OPEN
+    breaker.on_cycle()
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert breaker.admit() == PROBE
+    assert breaker.admit() == PROBE
+    # Quota exhausted: non-probe traffic still sheds.
+    assert breaker.admit() == SHED
+
+
+def test_all_probes_succeeding_closes_and_counts_a_recovery():
+    breaker = _breaker(cooldown=1, probes=2)
+    trip(breaker)
+    breaker.on_cycle()
+    assert breaker.admit() == PROBE and breaker.admit() == PROBE
+    breaker.record(ok=True, probe=True)
+    assert breaker.state is BreakerState.HALF_OPEN
+    breaker.record(ok=True, probe=True)
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.recoveries == 1 and breaker.trips == 1
+
+
+def test_probe_failure_re_trips_with_fresh_cooldown():
+    breaker = _breaker(cooldown=2, probes=2)
+    trip(breaker)
+    breaker.on_cycle(), breaker.on_cycle()
+    assert breaker.admit() == PROBE
+    breaker.record(ok=False, probe=True)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.trips == 2 and breaker.recoveries == 0
+    # The cooldown restarts: one cycle is not enough.
+    breaker.on_cycle()
+    assert breaker.state is BreakerState.OPEN
+
+
+def test_straggler_settlements_do_not_disturb_open_or_half_open():
+    breaker = _breaker(cooldown=1, probes=1)
+    trip(breaker)
+    # A request admitted before the trip settles late, as a failure:
+    # OPEN is unaffected (no double trip).
+    breaker.record(ok=False)
+    assert breaker.trips == 1
+    breaker.on_cycle()
+    assert breaker.state is BreakerState.HALF_OPEN
+    # Non-probe stragglers do not resolve HALF_OPEN either way.
+    breaker.record(ok=True)
+    breaker.record(ok=False)
+    assert breaker.state is BreakerState.HALF_OPEN

@@ -1,0 +1,147 @@
+"""Property test: N concurrent gateway clients == one serial session.
+
+The gateway's whole contract is that concurrency is *only* about
+admission and batching — it must never change what the engine decides.
+Hypothesis drives arbitrary client interleavings (which client submits
+next, when the pump runs) over catalogue streams; the property is that
+the gateway-served run produces **identical outcome tallies** (and,
+for the deterministic engines, the identical per-request verdict
+sequence) to a plain serial session fed the same requests in the
+gateway's admission order — plus **zero audit violations** on both
+sides.
+
+Request specs (``request_spec``/``TreeMirror``) make the comparison
+honest: the two runs use twin trees built identically, so node ids
+resolve the same way, and the serial replay consumes the *admission
+order* the drawn interleaving actually produced.
+"""
+
+from hypothesis import HealthCheck, example, given, settings
+from hypothesis import strategies as st
+
+from repro import ControllerSession, Gateway, GatewayConfig, SessionConfig
+from repro.workloads import TreeMirror, get_scenario, request_spec
+
+#: Small twins of two catalogue scenarios (speed: a property example
+#: builds four trees).  Module-level cache — streams are pure.
+_SCALE = 0.15
+_SPEC_CACHE = {}
+
+
+def _materialized(name):
+    if name not in _SPEC_CACHE:
+        spec = get_scenario(name).scaled(_SCALE)
+        tree = spec.build_tree(seed=11)
+        stream = [request_spec(r) for r in spec.stream(tree, seed=11)]
+        _SPEC_CACHE[name] = (spec, stream)
+    return _SPEC_CACHE[name]
+
+
+def _twin(spec, stream_specs, flavor, **knobs):
+    """A fresh session over a twin tree plus the mirrored requests."""
+    tree = spec.build_tree(seed=11)
+    mirror = TreeMirror(tree)
+    requests = [mirror.request(s) for s in stream_specs]
+    mirror.detach()
+    knobs.setdefault("max_in_flight", 1 << 20)
+    config = SessionConfig.of(flavor, m=spec.m, w=spec.w, u=spec.u, **knobs)
+    return ControllerSession(config, tree=tree), requests
+
+
+def _gateway_run(session, requests, n_clients, ops, batch_size):
+    """Drive the gateway under the drawn interleaving; returns the
+    settled tickets in admission (seq) order."""
+    gateway = Gateway(session, GatewayConfig(
+        queue_capacity=len(requests) + 1, batch_size=batch_size))
+    # Client i owns the round-robin slice requests[i::n_clients]; an op
+    # value of n_clients means "run one pump cycle now".
+    queues = [list(reversed(requests[i::n_clients]))
+              for i in range(n_clients)]
+    tickets = []
+    for op in ops:
+        if op == n_clients:
+            gateway.pump()
+            continue
+        if queues[op]:
+            tickets.append(gateway.submit(queues[op].pop(),
+                                          client=f"c{op}"))
+    # Whatever the interleaving left unsubmitted goes in round-robin.
+    while any(queues):
+        for client, queue in enumerate(queues):
+            if queue:
+                tickets.append(gateway.submit(queue.pop(),
+                                              client=f"c{client}"))
+    gateway.run_until_idle()
+    report = gateway.audit()
+    assert report.passed, [v.to_json() for v in report.violations]
+    assert all(t.done for t in tickets)
+    return gateway, sorted(tickets, key=lambda t: t.seq)
+
+
+def interleavings():
+    return st.tuples(
+        st.integers(min_value=2, max_value=4),
+        st.lists(st.integers(min_value=0, max_value=4),
+                 min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=16))
+
+
+# Regression seeds: the all-pump draw (empty batches between every
+# submission) and a lopsided draw that starves one client for a while.
+@example(scenario="hot_spot", flavor="iterated",
+         drawn=(2, [2, 2, 2, 0, 2, 1, 2], 1))
+@example(scenario="near_exhaustion", flavor="centralized",
+         drawn=(4, [4] * 5 + [0, 1, 2, 3] * 6 + [4], 3))
+@example(scenario="near_exhaustion", flavor="iterated",
+         drawn=(3, [0] * 30 + [3, 1, 2], 16))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scenario=st.sampled_from(["hot_spot", "near_exhaustion"]),
+       flavor=st.sampled_from(["iterated", "centralized"]),
+       drawn=interleavings())
+def test_concurrent_clients_match_serial_session(scenario, flavor, drawn):
+    n_clients, ops, batch_size = drawn
+    # op == n_clients means pump; clamp draws above the client count.
+    ops = [min(op, n_clients) for op in ops]
+    spec, stream = _materialized(scenario)
+
+    session_g, requests_g = _twin(spec, stream, flavor)
+    gateway, tickets = _gateway_run(session_g, requests_g,
+                                    n_clients, ops, batch_size)
+
+    # Serial replay in the gateway's admission order, on a fresh twin.
+    admitted = [request_spec(t.request) for t in tickets]
+    session_s, requests_s = _twin(spec, admitted, flavor)
+    serial_records = [session_s.serve(request) for request in requests_s]
+    assert session_s.audit().passed
+
+    assert gateway.tally() == session_s.tally()
+    gateway_verdicts = [t.verdict for t in tickets]
+    serial_verdicts = [r.verdict for r in serial_records]
+    assert gateway_verdicts == serial_verdicts
+    session_s.close(), session_g.close()
+
+
+@example(drawn=(2, [2, 0, 1] * 8, 4), policy="adversary", seed=0)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(drawn=interleavings(),
+       policy=st.sampled_from(["fifo", "random", "adversary"]),
+       seed=st.integers(min_value=0, max_value=3))
+def test_distributed_gateway_settles_everything_and_audits(drawn, policy,
+                                                           seed):
+    """The event-driven engine is timing-sensitive, so the property is
+    liveness + invariants, not tally equality: every admitted request
+    settles exactly once and the full-stack audit is clean under every
+    drawn interleaving x schedule policy."""
+    n_clients, ops, batch_size = drawn
+    ops = [min(op, n_clients) for op in ops]
+    spec, stream = _materialized("hot_spot")
+    session, requests = _twin(spec, stream, "distributed",
+                              schedule_policy=policy, seed=seed)
+    gateway, tickets = _gateway_run(session, requests,
+                                    n_clients, ops, batch_size)
+    assert len(tickets) == len(requests)
+    assert sum(gateway.tally().values()) == len(requests)
+    assert gateway.stats.settled == len(requests)
+    session.close()

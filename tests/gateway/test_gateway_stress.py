@@ -1,0 +1,139 @@
+"""Stress/soak: the gateway under stall storms and churn, with real
+threads — never deadlock, never drop, never double-settle.
+
+The regime the circuit breaker exists for: a distributed engine on
+bursty delays with stall faults (hops inflated 40x) and churn storms
+(topology mutated mid-run), fed by concurrent client threads that
+retry shed requests the way real clients do.  Assertions:
+
+* every client thread finishes (joins within its timeout — no
+  deadlock, no ticket that never settles);
+* every accepted envelope settles exactly once (``accepted ==
+  settled``, ``double_settles == 0``, nothing aborted);
+* the breaker actually cycled: at least one trip *and* one probe-driven
+  recovery, read off :class:`repro.gateway.GatewayStats`;
+* the full-stack audit (gateway conservation -> session envelopes ->
+  controller safety/waste/locks) is clean afterwards.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import ControllerSession, Gateway, GatewayConfig, SessionConfig
+from repro.distributed.faults import FaultPlan
+from repro.service.envelopes import SessionVerdict
+from repro.workloads import get_scenario
+
+pytestmark = pytest.mark.timeout(120)
+
+#: Per-wait timeout: far above anything the engine needs, far below the
+#: suite guard, so a hang fails fast with a usable message.
+WAIT = 60.0
+
+
+def _stressed_gateway(seed):
+    spec = get_scenario("mixed_flood").scaled(0.5)
+    tree = spec.build_tree(seed=seed)
+    requests = spec.stream(tree, seed=seed)
+    plan = FaultPlan(stall_prob=0.15, stall_factor=40.0,
+                     storms=3, storm_size=6, horizon=80_000.0, seed=seed)
+    config = SessionConfig.of("distributed", m=spec.m, w=spec.w, u=spec.u,
+                              schedule_policy="fifo", delay_model="burst",
+                              faults=plan, max_in_flight=1 << 20)
+    session = ControllerSession(config, tree=tree)
+    gateway = Gateway(session, GatewayConfig(
+        queue_capacity=256, batch_size=8).with_breaker(
+            latency=300.0, failures=2, cooldown=2, probes=1))
+    return gateway, requests
+
+
+def test_soak_under_stall_storms_trips_and_recovers():
+    gateway, requests = _stressed_gateway(seed=7)
+    gateway.start()
+    n_clients = 4
+    outcomes = []
+    failures = []
+
+    def client(idx):
+        # Chunked bursts: submit a wave of tickets, then wait on them
+        # all.  Bursts keep the pump's batches full, so a stall storm
+        # stalls *consecutive* settlements — the trip condition.
+        try:
+            mine = requests[idx::n_clients]
+            for start in range(0, len(mine), 10):
+                wave = mine[start:start + 10]
+                # Real-client retry loop: a SHED answer (throttle or
+                # open breaker) is retried after a beat, which is
+                # exactly what keeps HALF_OPEN supplied with probes.
+                for _ in range(500):
+                    tickets = [gateway.submit(request, client=f"c{idx}")
+                               for request in wave]
+                    for ticket in tickets:
+                        ticket.result(timeout=WAIT)
+                    outcomes.extend(
+                        t.verdict for t in tickets
+                        if t.verdict is not SessionVerdict.SHED)
+                    wave = [t.request for t in tickets
+                            if t.verdict is SessionVerdict.SHED]
+                    if not wave:
+                        break
+                    time.sleep(0.001)
+        except Exception as error:  # surfaced after the joins
+            failures.append(error)
+
+    threads = [threading.Thread(target=client, args=(idx,))
+               for idx in range(n_clients)]
+    start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=WAIT)
+    hung = [t for t in threads if t.is_alive()]
+    assert not hung, f"deadlocked client threads: {hung}"
+    assert not failures, failures
+    assert gateway.join(timeout=WAIT), "queue never drained"
+    gateway.stop()
+
+    stats = gateway.stats
+    # No drops: every request eventually got a non-shed settlement.
+    assert len(outcomes) == len(requests)
+    # Exactly once: accepted == settled, nothing aborted, no double
+    # settles ever attempted.
+    assert stats.accepted == stats.settled
+    assert stats.aborted == 0 and stats.double_settles == 0
+    # The breaker earned its keep: it tripped on the stall storm and
+    # recovered through probes (clients retried through the OPEN
+    # window, so sheds were observed too).
+    assert stats.breaker_trips >= 1, stats.snapshot()
+    assert stats.breaker_recoveries >= 1, stats.snapshot()
+    assert stats.shed_breaker >= 1
+    report = gateway.audit()
+    assert report.passed, [v.to_json() for v in report.violations]
+    # Soak sanity: the run actually exercised sustained load.
+    assert time.monotonic() - start < WAIT
+
+
+def test_close_mid_storm_aborts_cleanly_instead_of_hanging():
+    gateway, requests = _stressed_gateway(seed=9)
+    gateway.start()
+    tickets = [gateway.submit(request) for request in requests[:200]]
+    # Let the pump get some batches in flight, then slam the door.
+    deadline = time.monotonic() + WAIT
+    while gateway.stats.settled == 0 and time.monotonic() < deadline:
+        time.sleep(0.001)
+    gateway.close()
+    settled = aborted = 0
+    for ticket in tickets:
+        try:
+            ticket.result(timeout=WAIT)
+            settled += 1
+        except Exception:
+            aborted += 1
+    assert settled + aborted == len(tickets)
+    stats = gateway.stats
+    assert stats.settled == settled - stats.shed
+    assert stats.aborted == aborted
+    assert stats.double_settles == 0
+    assert gateway.audit().passed

@@ -1,0 +1,44 @@
+"""TokenBucket: explicit-clock refill, burst cap, shed-costs-nothing."""
+
+from repro.gateway import TokenBucket
+
+
+def test_burst_then_refusal():
+    bucket = TokenBucket(rate=1.0, burst=3)
+    assert all(bucket.try_take(0.0) for _ in range(3))
+    assert not bucket.try_take(0.0)
+
+
+def test_refill_is_continuous_and_capped():
+    bucket = TokenBucket(rate=2.0, burst=4)
+    for _ in range(4):
+        assert bucket.try_take(0.0)
+    assert not bucket.try_take(0.0)
+    # 0.5 clock units at rate 2 -> exactly one token back.
+    assert bucket.try_take(0.5)
+    assert not bucket.try_take(0.5)
+    # A long idle stretch refills to burst, never beyond.
+    assert bucket.available(1000.0) == 4.0
+
+
+def test_refusal_does_not_drain():
+    bucket = TokenBucket(rate=1.0, burst=1)
+    assert bucket.try_take(0.0)
+    for _ in range(5):
+        assert not bucket.try_take(0.1)
+    # The failed attempts cost nothing: the refill earned at 1.1 is
+    # still whole.
+    assert bucket.try_take(1.1)
+
+
+def test_zero_rate_is_unlimited():
+    bucket = TokenBucket(rate=0.0, burst=2)
+    assert all(bucket.try_take(0.0) for _ in range(100))
+    assert bucket.available(0.0) == 2.0
+
+
+def test_cost_parameter():
+    bucket = TokenBucket(rate=1.0, burst=10)
+    assert bucket.try_take(0.0, cost=7.0)
+    assert not bucket.try_take(0.0, cost=4.0)
+    assert bucket.try_take(0.0, cost=3.0)

@@ -20,7 +20,7 @@ def test_registry_names():
     assert set(SCENARIOS) == {"ancestry", "move_complexity", "batch",
                               "scenario", "scenario_grid",
                               "distributed_batch", "kernel", "session",
-                              "apps"}
+                              "apps", "gateway"}
 
 
 def test_ancestry_small_sweep_is_exact_and_json():
@@ -54,6 +54,28 @@ def test_distributed_batch_scenario():
     row = result["rows"][0]
     assert row["granted"] == row["requests"]
     json.dumps(result)
+
+
+def test_gateway_bench_shape_and_audit():
+    """A small ``gateway`` run: throughput + latency fields present,
+    the breaker cycled, and the full-stack audit is clean.  (Absolute
+    throughput is not asserted — the contract under test is shape +
+    conservation + the trip/recover cycle.)"""
+    from repro.bench import run_gateway
+    result = run_gateway(scenario="mixed_flood", seeds="0,1", clients=3,
+                         wave=8, batch_size=8, scale=0.4)
+    json.dumps(result)
+    assert result["passed"] and result["violations"] == 0
+    assert result["throughput"]["breaker_trips"] >= 1
+    assert result["throughput"]["breaker_recoveries"] >= 1
+    assert result["throughput"]["sustained_req_per_s"] > 0
+    for cell in result["cells"]:
+        stats = cell["stats"]
+        assert stats["double_settles"] == 0 and stats["aborted"] == 0
+        assert stats["accepted"] == stats["settled"]
+        assert cell["latency_wall_ms"]["p99"] >= \
+            cell["latency_wall_ms"]["p50"]
+        assert cell["fault_stats"].get("stalls", 0) > 0
 
 
 def test_session_overhead_rejects_eager_batch_flavors():
