@@ -8,6 +8,8 @@ One-liner reproduction of the perf trajectory::
     python -m repro.bench scenario --topology path --controller iterated --steps 1000
     python -m repro.bench distributed_batch --sizes 200
     python -m repro.bench kernel --out BENCH_kernel.json
+    python -m repro.bench profile --arms reference,fast
+    python -m repro.bench memory --fast-path
     python -m repro.bench session --out BENCH_session.json
     python -m repro.bench apps --out BENCH_apps.json
     python -m repro.bench gateway --out BENCH_gateway.json
@@ -28,7 +30,9 @@ from repro.bench.runner import (
     run_distributed_batch,
     run_gateway,
     run_kernel,
+    run_memory,
     run_move_complexity,
+    run_profile,
     run_scenario_bench,
     run_session_overhead,
 )
@@ -41,7 +45,9 @@ __all__ = [
     "run_distributed_batch",
     "run_gateway",
     "run_kernel",
+    "run_memory",
     "run_move_complexity",
+    "run_profile",
     "run_scenario_bench",
     "run_session_overhead",
 ]

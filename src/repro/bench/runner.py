@@ -14,8 +14,11 @@ docs §7); the ``session`` scenario additionally measures the session
 layer's own tax against direct protocol calls.
 """
 
+import cProfile
 import dataclasses
 import gc
+import math
+import pstats
 import random
 import threading
 import time
@@ -30,6 +33,7 @@ from repro.distributed.faults import parse_fault_spec
 from repro.errors import ConfigError, ProtocolError
 from repro.metrics.fitting import log_log_slope, observation_3_4_bound
 from repro.gateway import Gateway, GatewayConfig
+from repro.metrics.counters import MemoryAudit
 from repro.metrics.invariants import (
     CounterWatch,
     InvariantReport,
@@ -417,7 +421,8 @@ def run_scenario_grid(name: str = "all",
                       engines: str = "iterated,distributed",
                       delays: str = "uniform",
                       stagger: float = 0.25,
-                      scale: float = 1.0) -> Dict:
+                      scale: float = 1.0,
+                      fast_path: bool = False) -> Dict:
     """The adversarial grid: scenario x engine x schedule policy x seed.
 
     Every cell replays the *identical* pre-generated stream (recorded as
@@ -440,6 +445,13 @@ def run_scenario_grid(name: str = "all",
     window otherwise).  The run **raises** on any violation — a bench
     invocation doubles as a correctness gate — and the JSON document
     records the full per-cell evidence.
+
+    ``fast_path=True`` adds a fourth arm: every distributed FIFO cell
+    re-runs on the fast-path engine with the *same cell seed* (so the
+    delay draws are identical) and the grid asserts the two cells agree
+    on every tally field, the message cost, and the final simulated
+    clock — the trace-identical equivalence contract, checked across
+    the whole adversarial catalogue.
     """
     names = list(CATALOGUE) if name == "all" else [
         part.strip() for part in name.split(",") if part.strip()]
@@ -494,6 +506,13 @@ def run_scenario_grid(name: str = "all",
                     _cross_check(cell, spec, reference,
                                  stream_cancel_free, fault_plan, grid_report)
                     cells.append(cell)
+                    if fast_path and pol == "fifo":
+                        fast_cell = _run_distributed_cell(
+                            spec, seed, pol, stream_specs, fault_plan,
+                            delays, stagger, grid_report, fast=True)
+                        _check_fast_cell(fast_cell, cell, spec, seed,
+                                         grid_report)
+                        cells.append(fast_cell)
     wall_s = time.perf_counter() - start_all
 
     document = {
@@ -502,6 +521,7 @@ def run_scenario_grid(name: str = "all",
             "names": names, "policies": policies, "seeds": seed_list,
             "engines": engine_list, "faults": fault_plan.snapshot(),
             "delays": delays, "stagger": stagger, "scale": scale,
+            "fast_path": fast_path,
         },
         "cells": cells,
         "invariants": grid_report.to_json(),
@@ -513,6 +533,7 @@ def run_scenario_grid(name: str = "all",
             # streams) no differential check runs, and "passed" alone
             # would overstate what was certified.
             "differential_checks": grid_report.checks.get("differential", 0),
+            "fast_path_checks": grid_report.checks.get("fast_path", 0),
             "violations": len(grid_report.violations),
             "passed": grid_report.passed,
             "wall_s": round(wall_s, 3),
@@ -555,7 +576,10 @@ def _run_core_cell(spec, seed: int, engine: str, stream_specs,
 
 def _run_distributed_cell(spec, seed: int, policy: str, stream_specs,
                           fault_plan, delays: str, stagger: float,
-                          grid_report: InvariantReport) -> Dict:
+                          grid_report: InvariantReport,
+                          fast: bool = False) -> Dict:
+    # The fast arm reuses the reference cell's seed on purpose: same
+    # seed -> same delay draws -> the equivalence check is exact.
     cell_seed = _cell_seed(spec.name, seed, policy, "distributed")
     tree, requests = _replay_requests(spec, seed, stream_specs)
     plan = None
@@ -568,8 +592,9 @@ def _run_distributed_cell(spec, seed: int, policy: str, stream_specs,
             fault_plan.resolved(span),
             seed=int(fault_plan.seed) ^ cell_seed)
     config = SessionConfig(
-        controller=ControllerSpec("distributed", m=spec.m, w=spec.w,
-                                  u=spec.u),
+        controller=ControllerSpec(
+            "distributed", m=spec.m, w=spec.w, u=spec.u,
+            options={"fast_path": True} if fast else {}),
         schedule_policy=policy, delay_model=delays, faults=plan,
         seed=cell_seed, max_in_flight=max(len(requests), 1))
     session = ControllerSession(config, tree=tree)
@@ -599,11 +624,28 @@ def _run_distributed_cell(spec, seed: int, policy: str, stream_specs,
         "simulated_time": round(session.now, 3),
         "wall_ms": round(wall * 1000, 3),
     }
+    if fast:
+        cell["fast_path"] = True
     injector = getattr(session.controller, "faults", None)
     if injector is not None:
         cell["fault_stats"] = dict(injector.stats)
     cell.update(_tally(r.outcome for r in settled))
     return cell
+
+
+def _check_fast_cell(fast_cell: Dict, reference: Dict, spec, seed: int,
+                     grid_report: InvariantReport) -> None:
+    """Trace-identical equivalence: the fast-path FIFO cell must match
+    the reference FIFO cell (same stream, same cell seed) on every
+    behavioural field — only the wall clock may differ."""
+    label = f"{spec.name}/fifo/seed={seed}"
+    for field_name in ("granted", "rejected", "cancelled", "pending",
+                       "cost", "simulated_time"):
+        grid_report.expect(
+            fast_cell[field_name] == reference[field_name], "fast_path",
+            f"{label}: fast-path {field_name} diverged: "
+            f"{fast_cell[field_name]} != {reference[field_name]}",
+            scenario=spec.name, policy="fifo", seed=seed)
 
 
 def _cross_check(cell: Dict, spec, reference: Optional[Dict],
@@ -641,24 +683,37 @@ def _cross_check(cell: Dict, spec, reference: Optional[Dict],
 # ----------------------------------------------------------------------
 # kernel — distributed filler lookup, before/after the level index.
 # ----------------------------------------------------------------------
+#: The kernel bench's arms: the legacy linear board scan, the indexed
+#: reference engine, and the fast-path engine on top of the index.
+KERNEL_ARMS = (
+    ("scan", {"indexed_stores": False}),
+    ("indexed", {"indexed_stores": True}),
+    ("fast", {"indexed_stores": True, "fast_path": True}),
+)
+
+
 def run_kernel(scenario: str = "deep_burst", seeds: str = "0,1",
                repeats: int = 3, stagger: float = 0.25) -> Dict:
-    """Indexed vs linear filler lookup on the distributed hot path.
+    """The distributed hot path, three ways: scan / indexed / fast.
 
     Two measurements, both on the named catalogue scenario (deep_burst
     by default — deep paths, so agents climb far and whiteboards near
     the root accumulate parked packages):
 
     * **end-to-end**: the identical pre-generated stream is pushed
-      through ``submit_batch`` twice per seed, once with the kernel's
-      level-windowed lookup (``indexed``) and once with the legacy
-      linear board scan (``scan``); outcome tallies and message
-      counters are asserted identical — the lookup is a pure constant-
-      factor change — and the wall clocks (min over ``repeats``) are
-      compared;
+      through ``submit_batch`` three times per seed — the legacy
+      linear board scan (``scan``), the kernel's level-windowed lookup
+      (``indexed``), and the fast-path engine (``fast``: the
+      :class:`~repro.sim.fastsched.FastScheduler` record heap plus the
+      flattened hop loop, on top of the index); outcome tallies and
+      message counters are asserted identical across all three arms —
+      both optimizations are pure constant-factor changes — and the
+      wall clocks (min over ``repeats``) are compared.  The fast-path
+      acceptance headline is ``fast_speedup_min``: fast vs the indexed
+      reference, targeted at >= 3x on deep_burst;
     * **lookup microbench**: a store parked with one package per level
-      answers a sweep of window queries through both code paths, which
-      isolates the per-lookup cost from scheduler overhead.
+      answers a sweep of window queries through both lookup paths,
+      which isolates the per-lookup cost from scheduler overhead.
     """
     spec = get_scenario(scenario)
     seed_list = [int(part) for part in str(seeds).split(",") if part != ""]
@@ -667,13 +722,13 @@ def run_kernel(scenario: str = "deep_burst", seeds: str = "0,1",
         stream_specs = _materialize(spec, seed)
         timings: Dict[str, float] = {}
         checks: Dict[str, object] = {}
-        for label, indexed in (("scan", False), ("indexed", True)):
+        for label, options in KERNEL_ARMS:
             best: Optional[float] = None
             for _ in range(max(repeats, 1)):
                 tree, requests = _replay_requests(spec, seed, stream_specs)
                 session = _session(
                     "distributed", tree, m=spec.m, w=spec.w, u=spec.u,
-                    options={"indexed_stores": indexed})
+                    options=dict(options))
                 start = time.perf_counter()
                 records = replay_stream(session, requests,
                                         stagger=stagger)
@@ -685,17 +740,21 @@ def run_kernel(scenario: str = "deep_burst", seeds: str = "0,1",
                     session.controller.counters.total)
                 session.close()
             timings[label] = best or 0.0
-        if checks["scan"] != checks["indexed"]:
-            raise AssertionError(
-                f"indexed lookup diverged from the scan at seed={seed}: "
-                f"{checks['indexed']} != {checks['scan']}")
-        tally, messages = checks["indexed"]
+        for label, _options in KERNEL_ARMS[1:]:
+            if checks[label] != checks["scan"]:
+                raise AssertionError(
+                    f"{label} arm diverged from the scan at seed={seed}: "
+                    f"{checks[label]} != {checks['scan']}")
+        tally, messages = checks["fast"]
         cells.append({
             "scenario": spec.name, "seed": seed,
             "scan_ms": round(timings["scan"] * 1000, 3),
             "indexed_ms": round(timings["indexed"] * 1000, 3),
+            "fast_ms": round(timings["fast"] * 1000, 3),
             "speedup": round(timings["scan"] / timings["indexed"], 3)
             if timings["indexed"] > 0 else float("inf"),
+            "fast_speedup": round(timings["indexed"] / timings["fast"], 3)
+            if timings["fast"] > 0 else float("inf"),
             "messages": messages, "tally": dict(tally),
         })
 
@@ -733,6 +792,8 @@ def run_kernel(scenario: str = "deep_burst", seeds: str = "0,1",
         "cells": cells,
         "run_speedup_min": min(c["speedup"] for c in cells),
         "run_speedup_max": max(c["speedup"] for c in cells),
+        "fast_speedup_min": min(c["fast_speedup"] for c in cells),
+        "fast_speedup_max": max(c["fast_speedup"] for c in cells),
         "lookup": {
             "queries": queries,
             "parked_levels": params.max_level + 1,
@@ -743,6 +804,219 @@ def run_kernel(scenario: str = "deep_burst", seeds: str = "0,1",
         },
         "equivalent": True,
     }
+
+
+# ----------------------------------------------------------------------
+# profile — where the wall clock goes on the distributed hot path.
+# ----------------------------------------------------------------------
+#: The profile bench's arms (reference = indexed engine, fast = the
+#: fast-path engine); both run the identical stream.
+PROFILE_ARMS = {
+    "reference": {"indexed_stores": True},
+    "fast": {"indexed_stores": True, "fast_path": True},
+}
+
+#: Self-time in these is "scheduler machinery" for the profile split:
+#: the engines' own modules plus the heapq primitives they lean on.
+_SCHEDULER_FILES = ("sim/fastsched.py", "sim/scheduler.py")
+_SCHEDULER_BUILTINS = frozenset(["heappush", "heappop"])
+
+
+def _short_location(filename: str, lineno: int) -> str:
+    marker = "repro/"
+    index = filename.rfind(marker)
+    if index >= 0:
+        return f"{filename[index:]}:{lineno}"
+    if filename.startswith("~"):
+        return "builtin"
+    return f"{filename.rsplit('/', 1)[-1]}:{lineno}"
+
+
+def _is_scheduler_entry(filename: str, func: str) -> bool:
+    if any(filename.endswith(part) for part in _SCHEDULER_FILES):
+        return True
+    return filename.startswith("~") and func in _SCHEDULER_BUILTINS
+
+
+def run_profile(scenario: str = "deep_burst", seed: int = 0,
+                stagger: float = 0.25, top: int = 12,
+                arms: str = "reference,fast") -> Dict:
+    """cProfile the distributed replay and report the hotspot table.
+
+    Runs the named catalogue scenario once per arm under ``cProfile``
+    and reports, per arm, the top-``top`` functions by cumulative and
+    by self time plus ``scheduler_self_pct`` — the share of total self
+    time spent in scheduler machinery (the scheduler modules and the
+    ``heapq`` primitives).  The fast path's acceptance story lives in
+    that split: after the engine work the residual ``top_self`` entry
+    must be protocol work (the hop/lock handlers), not event dispatch.
+
+    Profiled numbers are for *attribution only* — the tracer inflates
+    every call, so wall-clock comparisons belong to ``run_kernel``.
+    """
+    spec = get_scenario(scenario)
+    arm_list = [part.strip() for part in arms.split(",") if part.strip()]
+    for arm in arm_list:
+        if arm not in PROFILE_ARMS:
+            raise ValueError(
+                f"unknown profile arm {arm!r}; known: "
+                f"{', '.join(PROFILE_ARMS)}")
+    stream_specs = _materialize(spec, seed)
+    arm_rows: List[Dict] = []
+    for arm in arm_list:
+        tree, requests = _replay_requests(spec, seed, stream_specs)
+        session = _session("distributed", tree, m=spec.m, w=spec.w,
+                           u=spec.u, options=dict(PROFILE_ARMS[arm]))
+        profile = cProfile.Profile()
+        start = time.perf_counter()
+        profile.enable()
+        records = replay_stream(session, requests, stagger=stagger)
+        profile.disable()
+        wall = time.perf_counter() - start
+        tally = _tally(r.outcome for r in records)
+        messages = session.controller.counters.total
+        session.close()
+
+        entries = []
+        scheduler_self = 0.0
+        total_self = 0.0
+        for (filename, lineno, func), (cc, nc, tt, ct, _callers) in (
+                pstats.Stats(profile).stats.items()):
+            total_self += tt
+            if _is_scheduler_entry(filename, func):
+                scheduler_self += tt
+            entries.append({
+                "function": func,
+                "location": _short_location(filename, lineno),
+                "ncalls": nc,
+                "tottime_ms": round(tt * 1000, 3),
+                "cumtime_ms": round(ct * 1000, 3),
+            })
+        by_self = sorted(entries, key=lambda e: e["tottime_ms"],
+                         reverse=True)
+        by_cumulative = sorted(entries, key=lambda e: e["cumtime_ms"],
+                               reverse=True)
+        top_self = next(
+            (e for e in by_self if e["location"].startswith("repro/")),
+            by_self[0] if by_self else None)
+        arm_rows.append({
+            "arm": arm,
+            "wall_ms": round(wall * 1000, 3),
+            "messages": messages,
+            "tally": tally,
+            "scheduler_self_pct": round(
+                scheduler_self / total_self * 100, 2) if total_self else 0.0,
+            "top_self": top_self,
+            "self_hotspots": by_self[:max(top, 1)],
+            "hotspots": by_cumulative[:max(top, 1)],
+        })
+    return {
+        "scenario": "profile",
+        "params": {"scenario": scenario, "seed": seed, "stagger": stagger,
+                   "top": top, "arms": arm_list,
+                   "m": spec.m, "w": spec.w, "u": spec.u, "n": spec.n},
+        "arms": arm_rows,
+    }
+
+
+# ----------------------------------------------------------------------
+# memory — Claim 4.8 node-state audit (the bench_e08 sweep).
+# ----------------------------------------------------------------------
+def _encoded_bits(board, log_n: float, log_u: float) -> float:
+    """Bits to encode one whiteboard per the Claim 4.8 representation:
+    per-level package counts, one merged static-pool integer, and one
+    O(log N) record per queued agent (plus the two boolean flags)."""
+    bits = 2.0  # lock flag + reject flag
+    levels = {package.level for package in board.store.mobile}
+    bits += len(levels) * log_u          # count per occupied level
+    if board.store.static_permits:
+        bits += 3 * log_n                # one O(log M) = O(log^3 N) integer
+    bits += len(board.queue) * log_n     # queued agent records
+    return bits
+
+
+def _audit_boards(controller, audit: MemoryAudit,
+                  log_n: float, log_u: float) -> None:
+    for node, board in controller.boards.items():
+        if node.alive:
+            audit.record(node.node_id, node.child_degree,
+                         _encoded_bits(board, log_n, log_u))
+
+
+def run_memory(sizes: Optional[List[int]] = None, stagger: float = 0.25,
+               fast_path: bool = False) -> Dict:
+    """Per-node memory vs the Claim 4.8 bound, audited at peak load.
+
+    Each size runs a concurrent distributed storm (``2n`` mixed-churn
+    requests staggered ``stagger`` apart) and audits every live node's
+    encoded whiteboard state — per-level package counts, the merged
+    static pool, the agent queue — against
+    ``deg(v) log N + log^3 N + log^2 U`` bits, once mid-flight (peak
+    queueing) and once at quiescence.  The run **raises** if any node
+    exceeds the bound or if the worst ratio grows with ``n`` (the bound
+    would then be mis-stated); the JSON document records the per-size
+    evidence.  ``fast_path`` runs the same audit over the fast-path
+    engine — node state is engine-independent, so the ratios must tell
+    the same story there.
+    """
+    sizes = sizes or [100, 400, 1600]
+    rows = []
+    for n in sizes:
+        tree = build_random_tree(n, seed=n)
+        u = 4 * n
+        session = _session("distributed", tree, m=6 * n, w=n, u=u,
+                           options={"fast_path": fast_path})
+        audit = MemoryAudit()
+        log_n, log_u = math.log2(2 * n), math.log2(u)
+        rng = random.Random(n + 3)
+        picker = NodePicker(tree)
+        requests = [random_request(tree, rng, picker=picker)
+                    for _ in range(2 * n)]
+        picker.detach()
+        start = time.perf_counter()
+        session.submit_many(requests, stagger=stagger)
+        # Audit mid-flight (peak queueing) and again at quiescence.
+        session.scheduler.run(until=len(requests) * stagger / 2)
+        _audit_boards(session.controller, audit, log_n, log_u)
+        settled = list(session.drain())
+        _audit_boards(session.controller, audit, log_n, log_u)
+        wall = time.perf_counter() - start
+        if len(settled) != len(requests):
+            raise AssertionError(
+                f"memory bench at n={n}: "
+                f"{len(requests) - len(settled)} requests never resolved")
+        worst = audit.worst_ratio(log_n, log_u)
+        row = {
+            "n": n, "u": u, "m": 6 * n, "w": n,
+            "requests": len(requests),
+            "samples": len(audit.samples),
+            "worst_ratio": round(worst, 4),
+            "within_bound": worst <= 1.0,
+            "wall_ms": round(wall * 1000, 3),
+        }
+        row.update(_tally(r.outcome for r in settled))
+        rows.append(row)
+        session.close()
+    ratios = [row["worst_ratio"] for row in rows]
+    growth_ok = ratios[-1] <= 2.0 * max(ratios[0], 1e-6)
+    document = {
+        "scenario": "memory",
+        "params": {"sizes": sizes, "stagger": stagger,
+                   "fast_path": fast_path},
+        "rows": rows,
+        "worst_ratio": max(ratios),
+        "within_bound": all(row["within_bound"] for row in rows),
+        "ratio_growth_ok": growth_ok,
+    }
+    if not document["within_bound"] or not growth_ok:
+        error = AssertionError(
+            "Claim 4.8 memory audit failed: "
+            + ("node state exceeded the bound"
+               if not document["within_bound"]
+               else "worst ratio grows with n"))
+        error.document = document
+        raise error
+    return document
 
 
 # ----------------------------------------------------------------------
@@ -1560,6 +1834,8 @@ SCENARIOS = {
     "scenario_grid": run_scenario_grid,
     "distributed_batch": run_distributed_batch,
     "kernel": run_kernel,
+    "profile": run_profile,
+    "memory": run_memory,
     "session": run_session_overhead,
     "apps": run_apps,
     "gateway": run_gateway,

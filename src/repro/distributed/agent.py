@@ -10,12 +10,17 @@ where the paper's pointer hand-over would re-point ports).
 
 The ``Bag`` of the paper (the level of the package being distributed)
 is the ``package`` field.
+
+``Agent`` is a ``__slots__`` class, not a dataclass: the distributed
+engine allocates one agent per request and touches its fields on every
+hop, so the per-instance ``__dict__`` (and the dataclass ``__init__``
+indirection) is measurable overhead on the message fast path.  The
+field list and defaults are identical to the historical dataclass.
 """
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.core.packages import MobilePackage
 from repro.core.requests import Outcome, Request
@@ -41,31 +46,54 @@ class AgentState(Enum):
     DONE = "done"
 
 
-@dataclass
 class Agent:
     """One request's mobile agent."""
 
-    request: Request
-    origin: TreeNode
-    callback: Optional[Callable[[Outcome], None]] = None
-    agent_id: int = field(default_factory=lambda: next(_agent_ids))
-    state: AgentState = AgentState.CLIMBING
-    # Locked path, origin first.  path[0] is always the origin (the only
-    # exception is transient: the origin is popped when the agent's own
-    # deletion request removes it).
-    path: List[TreeNode] = field(default_factory=list)
-    # Position index into ``path`` during downward/upward phases.
-    pos: int = 0
-    package: Optional[MobilePackage] = None
-    # Remaining ``Proc`` split schedule (kernel ``SplitStep``s, travel
-    # order) while distributing ``package`` down the locked path.
-    splits: Optional[List] = None
-    waiting_at: Optional[TreeNode] = None
-    # Outcome to deliver at the end of the unlock walk (grants deliver
-    # early, at grant time, per the paper's ordering).
-    final_outcome: Optional[Outcome] = None
-    place_rejects: bool = False
-    delivered: bool = False
+    __slots__ = (
+        "request",
+        "origin",
+        "callback",
+        "agent_id",
+        "state",
+        # Locked path, origin first.  path[0] is always the origin (the
+        # only exception is transient: the origin is popped when the
+        # agent's own deletion request removes it).
+        "path",
+        # Position index into ``path`` during downward/upward phases.
+        "pos",
+        "package",
+        # Remaining ``Proc`` split schedule (kernel ``SplitStep``s,
+        # travel order) while distributing ``package`` down the path.
+        "splits",
+        "waiting_at",
+        # Outcome to deliver at the end of the unlock walk (grants
+        # deliver early, at grant time, per the paper's ordering).
+        "final_outcome",
+        "place_rejects",
+        "delivered",
+        # Node at which a pending lock hand-off resumes this agent (set
+        # by the controller just before scheduling the resume event; an
+        # agent has at most one hand-off in flight, so one slot serves
+        # the phase-code dispatch without a per-event closure).
+        "resume_node",
+    )
+
+    def __init__(self, request: Request, origin: TreeNode,
+                 callback: Optional[Callable[[Outcome], None]] = None):
+        self.request = request
+        self.origin = origin
+        self.callback = callback
+        self.agent_id: int = next(_agent_ids)
+        self.state: AgentState = AgentState.CLIMBING
+        self.path: List[TreeNode] = []
+        self.pos: int = 0
+        self.package: Optional[MobilePackage] = None
+        self.splits: Optional[List[Any]] = None
+        self.waiting_at: Optional[TreeNode] = None
+        self.final_outcome: Optional[Outcome] = None
+        self.place_rejects: bool = False
+        self.delivered: bool = False
+        self.resume_node: Optional[TreeNode] = None
 
     @property
     def distance(self) -> int:

@@ -39,6 +39,7 @@ from repro.errors import ControllerError, ProtocolError
 from repro.metrics.counters import MessageCounters
 from repro.protocol import ControllerView
 from repro.sim.delays import DelayModel, UniformDelay
+from repro.sim.fastsched import FastScheduler, warn_fast_path_fallback
 from repro.sim.scheduler import Scheduler
 from repro.sim.tracing import Tracer
 from repro.tree.dynamic_tree import DynamicTree, TreeListener
@@ -56,6 +57,18 @@ from repro.core.requests import (
 )
 from repro.distributed.agent import Agent, AgentState
 from repro.distributed.whiteboard import WhiteboardMap
+
+# Hop phase codes: each in-flight message is (phase, agent); arrival
+# dispatches through a per-controller table of bound methods indexed by
+# these small ints (``_dispatch``), so the fast path schedules a hop
+# without allocating a closure per message.  The reference path uses
+# the same table (one closure per hop, as historically).
+_CLIMB = 0            # upward hop lands at path[-1].parent
+_DESCEND = 1          # distribution walk, next node down the path
+_RETURN = 2           # post-grant walk back up to the topmost lock
+_UNLOCK_ARRIVE = 3    # unlock walk, next node down the path
+_UNLOCK_HERE = 4      # unlock walk entered at the current position
+_RESUME = 5           # lock hand-off resume (at agent.resume_node)
 
 
 class DistributedController(TreeListener):
@@ -119,10 +132,16 @@ class DistributedController(TreeListener):
                  kernel_trace: Optional[KernelTrace] = None,
                  track_intervals: bool = False,
                  interval_base: int = 0,
-                 permit_flow_observer=None):
+                 permit_flow_observer=None,
+                 fast_path: bool = False):
         self.tree = tree
         self.params = ControllerParams(m=m, w=w, u=u)
-        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        if scheduler is None:
+            scheduler = FastScheduler() if fast_path else Scheduler()
+        elif fast_path and not isinstance(scheduler, FastScheduler):
+            warn_fast_path_fallback(
+                "an externally-wired reference scheduler is attached")
+        self.scheduler = scheduler
         self.delays = delays if delays is not None else UniformDelay(seed=0)
         self.counters = counters if counters is not None else MessageCounters()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
@@ -148,6 +167,29 @@ class DistributedController(TreeListener):
         self.outcomes: List[Outcome] = []
         self.active_agents = 0
         self._attached = True
+        # Hop dispatch: phase code -> bound arrival method, bound once
+        # (each ``self._method`` read allocates a fresh bound method, so
+        # the table is the only place that pays it).  ``_fast`` selects
+        # the allocation-free ``schedule_call`` path; hot collaborators
+        # (delay sampling, board lookup) are bound once for the same
+        # reason.
+        self._fast = isinstance(self.scheduler, FastScheduler)
+        self._dispatch = (self._climb_arrive, self._descend_arrive,
+                          self._return_arrive, self._unlock_arrive,
+                          self._unlock_current, self._resume_handoff)
+        self._schedule_call = (self.scheduler.schedule_call
+                               if self._fast else None)
+        self._sample = self.delays.sample
+        self._board_of = self.boards.get
+        self._perturb = (self.faults.perturb_hop
+                         if self.faults is not None else None)
+        # Uniform delays ignore the hop key, so the fast path may draw
+        # inline and skip the key extraction entirely (bit-identical
+        # draws — see UniformDelay.hot_sampler).  Exact-type check:
+        # a subclass may override sample() or start reading the key.
+        self._uniform = (self.delays.hot_sampler()
+                         if self._fast and type(self.delays) is UniformDelay
+                         else None)
         tree.add_listener(self)
 
     # ------------------------------------------------------------------
@@ -304,7 +346,7 @@ class DistributedController(TreeListener):
     def _after_lock(self, agent: Agent) -> None:
         """Agent just locked ``path[-1]``; decide what to do there."""
         node = agent.path[-1]
-        board = self.boards.get(node)
+        board = self._board_of(node)
         agent.state = AgentState.CLIMBING
         agent.waiting_at = None
 
@@ -328,7 +370,7 @@ class DistributedController(TreeListener):
             return
 
         # Keep climbing.
-        self._hop(agent, self._climb_arrive)
+        self._hop(agent, _CLIMB)
 
     def _take_filler(self, board, dist: int,
                      node: Optional[TreeNode] = None
@@ -359,7 +401,7 @@ class DistributedController(TreeListener):
         parent = agent.path[-1].parent
         if parent is None:
             raise ProtocolError(f"{agent} climbed past the root")
-        board = self.boards.get(parent)
+        board = self._board_of(parent)
         if board.store.has_reject:
             # Item 1b: walk home placing rejects.  One hop back onto the
             # locked path, then the unlock walk.
@@ -368,7 +410,7 @@ class DistributedController(TreeListener):
                                           agent.request)
             agent.state = AgentState.UNLOCKING
             agent.pos = len(agent.path) - 1
-            self._hop(agent, self._unlock_current)
+            self._hop(agent, _UNLOCK_HERE)
             return
         if board.locked_by is not None:
             agent.state = AgentState.WAITING
@@ -450,7 +492,7 @@ class DistributedController(TreeListener):
             self._package_reaches_origin(agent)
             return
         agent.state = AgentState.DESCENDING
-        self._hop(agent, self._descend_arrive)
+        self._hop(agent, _DESCEND)
 
     def _descend_arrive(self, agent: Agent) -> None:
         agent.pos -= 1
@@ -475,7 +517,7 @@ class DistributedController(TreeListener):
         if agent.pos == 0:
             self._package_reaches_origin(agent)
         else:
-            self._hop(agent, self._descend_arrive)
+            self._hop(agent, _DESCEND)
 
     def _package_reaches_origin(self, agent: Agent) -> None:
         """The level-0 package becomes the origin's static pool."""
@@ -527,7 +569,7 @@ class DistributedController(TreeListener):
             self._unlock_current(agent)
         else:
             agent.state = AgentState.RETURNING
-            self._hop(agent, self._return_arrive)
+            self._hop(agent, _RETURN)
 
     def _return_arrive(self, agent: Agent) -> None:
         agent.pos += 1
@@ -535,14 +577,14 @@ class DistributedController(TreeListener):
             agent.state = AgentState.UNLOCKING
             self._unlock_current(agent)
         else:
-            self._hop(agent, self._return_arrive)
+            self._hop(agent, _RETURN)
 
     # ------------------------------------------------------------------
     # The final unlock walk (and reject placement).
     # ------------------------------------------------------------------
     def _unlock_current(self, agent: Agent) -> None:
         node = agent.path[agent.pos]
-        board = self.boards.get(node)
+        board = self._board_of(node)
         if agent.place_rejects:
             board.store.has_reject = True
         if board.locked_by is agent:
@@ -550,7 +592,7 @@ class DistributedController(TreeListener):
         if agent.pos == 0:
             self._finish(agent)
         else:
-            self._hop(agent, self._unlock_arrive)
+            self._hop(agent, _UNLOCK_ARRIVE)
 
     def _unlock_arrive(self, agent: Agent) -> None:
         agent.pos -= 1
@@ -572,10 +614,7 @@ class DistributedController(TreeListener):
         if board.queue:
             waiter = board.queue.popleft()
             board.locked_by = waiter
-            # Local computation takes zero time (Section 4.3.1).
-            self.scheduler.schedule(
-                0.0, lambda: self._resumed_at(waiter, node)
-            )
+            self._schedule_resume(waiter, node)
 
     def _resumed_at(self, agent: Agent, node: TreeNode) -> None:
         """A dequeued agent resumes holding ``node``'s lock."""
@@ -601,21 +640,55 @@ class DistributedController(TreeListener):
     # ------------------------------------------------------------------
     # Hop primitive: one message per hop.
     # ------------------------------------------------------------------
-    def _hop(self, agent: Agent, arrive: Callable[[Agent], None]) -> None:
+    def _hop(self, agent: Agent, phase: int) -> None:
         self.counters.agent_hops += 1
-        # The delay key identifies the hop's departure node, so keyed
-        # delay models (per-edge jitter) can make specific links slow.
-        path = agent.path
-        if agent.state is AgentState.CLIMBING:
-            key = path[-1].node_id if path else agent.origin.node_id
-        elif path:
-            key = path[min(agent.pos, len(path) - 1)].node_id
+        uni = self._uniform
+        if uni is not None:
+            delay = uni[0] + uni[1] * uni[2]()
         else:
-            key = agent.origin.node_id
-        delay = self.delays.sample(key)
-        if self.faults is not None:
-            delay = self.faults.perturb_hop(self.scheduler.now, delay)
-        self.scheduler.schedule(delay, lambda: arrive(agent))
+            # The delay key identifies the hop's departure node, so
+            # keyed delay models (per-edge jitter) can make specific
+            # links slow.
+            path = agent.path
+            if agent.state is AgentState.CLIMBING:
+                key = path[-1].node_id if path else agent.origin.node_id
+            elif path:
+                key = path[min(agent.pos, len(path) - 1)].node_id
+            else:
+                key = agent.origin.node_id
+            delay = self._sample(key)
+        perturb = self._perturb
+        if perturb is not None:
+            delay = perturb(self.scheduler.now, delay)
+        schedule_call = self._schedule_call
+        if schedule_call is not None:
+            schedule_call(delay, self._dispatch[phase], agent)
+        else:
+            arrive = self._dispatch[phase]
+            self.scheduler.schedule(delay, lambda: arrive(agent))
+
+    def _resume_handoff(self, agent: Agent) -> None:
+        """Deferred lock hand-off: resume ``agent`` at ``resume_node``.
+
+        The node travels in the agent's ``resume_node`` slot rather
+        than a closure so the fast path can carry the hand-off as a
+        plain ``(method, agent)`` pair (an agent has at most one
+        hand-off in flight, so the single slot cannot be clobbered).
+        """
+        node = agent.resume_node
+        agent.resume_node = None
+        if node is None:
+            raise ProtocolError(f"{agent} resumed without a hand-off node")
+        self._resumed_at(agent, node)
+
+    def _schedule_resume(self, waiter: Agent, node: TreeNode) -> None:
+        # Local computation takes zero time (Section 4.3.1).
+        waiter.resume_node = node
+        schedule_call = self._schedule_call
+        if schedule_call is not None:
+            schedule_call(0.0, self._dispatch[_RESUME], waiter)
+        else:
+            self.scheduler.schedule(0.0, lambda: self._resume_handoff(waiter))
 
     # ------------------------------------------------------------------
     # Outcome bookkeeping.
@@ -724,9 +797,7 @@ class DistributedController(TreeListener):
         if parent_board.locked_by is None and parent_board.queue:
             waiter = parent_board.queue.popleft()
             parent_board.locked_by = waiter
-            self.scheduler.schedule(
-                0.0, lambda w=waiter: self._resumed_at(w, parent)
-            )
+            self._schedule_resume(waiter, parent)
 
     def _rehome_fresh_waiter(self, waiter: Agent, removed: TreeNode,
                              parent: TreeNode, parent_board) -> None:

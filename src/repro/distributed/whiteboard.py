@@ -9,24 +9,36 @@ through the controller's arrival handlers.
 """
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Deque, Dict, Optional
 
 from repro.core.packages import NodeStore
 
 
-@dataclass
 class Whiteboard:
-    """State stored at one node by the distributed controller."""
+    """State stored at one node by the distributed controller.
 
-    store: NodeStore = field(default_factory=NodeStore)
-    locked_by: Optional[object] = None  # the Agent holding the lock
-    queue: Deque[object] = field(default_factory=deque)
+    A ``__slots__`` class: whiteboards are probed on every agent hop
+    (lock check, filler check), so the per-instance ``__dict__`` is
+    dropped alongside the rest of the message fast path's allocations.
+    """
+
+    __slots__ = ("store", "locked_by", "queue")
+
+    def __init__(self, store: Optional[NodeStore] = None,
+                 locked_by: Optional[object] = None,
+                 queue: Optional[Deque[object]] = None):
+        self.store = store if store is not None else NodeStore()
+        self.locked_by = locked_by  # the Agent holding the lock
+        self.queue: Deque[object] = queue if queue is not None else deque()
 
     @property
     def is_empty(self) -> bool:
         return (self.store.is_empty and self.locked_by is None
                 and not self.queue)
+
+    def __repr__(self) -> str:
+        return (f"Whiteboard(store={self.store!r}, "
+                f"locked_by={self.locked_by!r}, queue={self.queue!r})")
 
 
 class WhiteboardMap:

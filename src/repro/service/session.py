@@ -41,6 +41,7 @@ from typing import (
     List,
     Optional,
     Tuple,
+    Union,
 )
 
 from repro.core.kernel import KernelTrace
@@ -65,6 +66,7 @@ from repro.service.envelopes import (
     verdict_of,
 )
 from repro.sim.delays import make_delay_model
+from repro.sim.fastsched import FastScheduler, warn_fast_path_fallback
 from repro.sim.policies import make_policy
 from repro.sim.scheduler import Scheduler
 from repro.tree.dynamic_tree import DynamicTree
@@ -105,13 +107,29 @@ class ControllerSession:
                 f"traced flavours: {', '.join(TRACED_FLAVORS)}")
 
         kwargs: Dict[str, Any] = dict(spec.options)
-        self.scheduler: Optional[Scheduler] = None
+        # ``fast_path`` is session-interpreted (it decides which engine
+        # the session wires), so it is popped here rather than passed
+        # through to the controller constructor alongside a scheduler.
+        fast_path = bool(kwargs.pop("fast_path", False))
+        self.scheduler: Optional[Union[Scheduler, FastScheduler]] = None
         if spec.flavor in SCHEDULED_FLAVORS:
-            self.scheduler = Scheduler(
-                policy=make_policy(config.schedule_policy, seed=config.seed))
+            if fast_path and config.schedule_policy == "fifo":
+                self.scheduler = FastScheduler()
+            else:
+                if fast_path:
+                    warn_fast_path_fallback(
+                        f"schedule policy {config.schedule_policy!r} "
+                        "requires the reference engine")
+                self.scheduler = Scheduler(
+                    policy=make_policy(config.schedule_policy,
+                                       seed=config.seed))
             kwargs["scheduler"] = self.scheduler
             kwargs["delays"] = make_delay_model(config.delay_model,
                                                 seed=config.seed)
+        elif fast_path:
+            raise ConfigError(
+                f"option 'fast_path' applies to the scheduled flavours "
+                f"({', '.join(SCHEDULED_FLAVORS)}), not {spec.flavor!r}")
         if spec.flavor == "distributed" and not config.fault_plan.is_noop:
             kwargs["faults"] = FaultInjector(config.fault_plan)
         self.trace: Optional[KernelTrace] = None
@@ -413,7 +431,10 @@ class ControllerSession:
                 raise ControllerError("session is closed")
             if self._event_driven:
                 assert self.scheduler is not None
-                return self.scheduler.step()
+                # One event per pump on the reference engine; the fast
+                # engine drains a batch per pump, amortizing this lock
+                # and the drain loop's frames across many events.
+                return self.scheduler.pump()
             if not self._pending:
                 return False
             batch = list(self._pending)

@@ -9,6 +9,12 @@ seed.
 """
 
 from repro.sim.scheduler import Event, Scheduler
+from repro.sim.fastsched import (
+    FastEvent,
+    FastPathFallbackWarning,
+    FastScheduler,
+    warn_fast_path_fallback,
+)
 from repro.sim.delays import (
     DELAY_MODELS,
     BurstStallDelay,
@@ -33,6 +39,10 @@ from repro.sim.tracing import TraceEvent, Tracer
 __all__ = [
     "Event",
     "Scheduler",
+    "FastEvent",
+    "FastPathFallbackWarning",
+    "FastScheduler",
+    "warn_fast_path_fallback",
     "DelayModel",
     "UnitDelay",
     "UniformDelay",

@@ -77,6 +77,11 @@ class Scheduler:
         self._max_events = max_events
         self._live = 0
         self.executed = 0
+        # The live-event bookkeeping hook handed to every event.  Bound
+        # once: reading ``self._on_cancel`` per schedule() would
+        # allocate a fresh bound-method object per event, pure waste on
+        # the hot path (events are rarely cancelled).
+        self._cancel_hook = self._on_cancel
 
     @property
     def now(self) -> float:
@@ -95,7 +100,7 @@ class Scheduler:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         event = Event(time=self._now + delay, seq=self._seq, fn=fn)
-        event._canceller = self._on_cancel
+        event._canceller = self._cancel_hook
         self._seq += 1
         self._live += 1
         self._policy.push(event)
@@ -134,6 +139,12 @@ class Scheduler:
             event.fn()
             return True
         return False
+
+    def pump(self) -> bool:
+        """Session pump hook: one event per pump on the reference
+        engine (:class:`repro.sim.fastsched.FastScheduler` overlays
+        this with batched draining)."""
+        return self.step()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains (or the next event is past ``until``)."""

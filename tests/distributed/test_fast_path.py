@@ -1,0 +1,191 @@
+"""Trace-identical equivalence of the fast-path engine.
+
+The fast path's contract (``repro.sim.fastsched``) is not "statistically
+similar" — it is *the same execution*: identical callback order means
+identical RNG consumption, so outcome tallies, message counters, the
+kernel trace's transition sequence, and the final simulated clock must
+all be bit-identical to the reference FIFO engine on any workload.
+These tests drive both engines over the adversarial catalogue and
+compare everything; the fallback tests pin the escape hatch (non-FIFO
+policies warn once and run on the reference scheduler, unchanged).
+"""
+
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import DistributedController
+from repro.distributed.adaptive import DistributedAdaptiveController
+from repro.distributed.iterated import DistributedIteratedController
+from repro.errors import ConfigError
+from repro.service import ControllerSession, ControllerSpec, SessionConfig
+from repro.sim import FastPathFallbackWarning, FastScheduler, Scheduler
+from repro.workloads import get_scenario
+from repro.workloads.catalogue import CATALOGUE
+from repro.workloads.scenarios import TreeMirror, request_spec
+
+
+def _materialize(spec, seed):
+    reference = spec.build_tree(seed=seed)
+    return [request_spec(r) for r in spec.stream(reference, seed=seed)]
+
+
+def _twin_requests(spec, seed, stream_specs):
+    tree = spec.build_tree(seed=seed)
+    mirror = TreeMirror(tree)
+    requests = [mirror.request(s) for s in stream_specs]
+    mirror.detach()
+    return tree, requests
+
+
+def _run_session_arm(spec, seed, stream_specs, *, fast, policy="fifo",
+                     expect_warning=False):
+    """One session-driven run; returns every behavioural artefact the
+    equivalence contract covers (plus the invariant audit verdict)."""
+    tree, requests = _twin_requests(spec, seed, stream_specs)
+    config = SessionConfig(
+        controller=ControllerSpec(
+            "distributed", m=spec.m, w=spec.w, u=spec.u,
+            options={"fast_path": fast}),
+        schedule_policy=policy, seed=seed,
+        max_in_flight=max(len(requests), 1), trace=True)
+    if expect_warning:
+        with pytest.warns(FastPathFallbackWarning):
+            session = ControllerSession(config, tree=tree)
+    else:
+        session = ControllerSession(config, tree=tree)
+    session.submit_many(requests, stagger=0.25)
+    records = list(session.drain())
+    report = session.audit()
+    assert report.passed, report.violations[:3]
+    verdicts = tuple(r.verdict.value for r in records)
+    counters = tuple(sorted(session.controller.counters.snapshot().items()))
+    trace_events = tuple(session.trace.events)
+    now = session.now
+    scheduler = session.scheduler
+    session.close()
+    return verdicts, counters, trace_events, now, scheduler
+
+
+@given(name=st.sampled_from(sorted(CATALOGUE)),
+       seed=st.integers(min_value=0, max_value=5))
+@settings(max_examples=10, deadline=None)
+def test_fast_path_is_trace_identical_on_the_catalogue(name, seed):
+    spec = get_scenario(name).scaled(0.25)
+    stream_specs = _materialize(spec, seed)
+    reference = _run_session_arm(spec, seed, stream_specs, fast=False)
+    fast = _run_session_arm(spec, seed, stream_specs, fast=True)
+    assert isinstance(reference[4], Scheduler)
+    assert isinstance(fast[4], FastScheduler)
+    # Per-request verdict sequence, counters, the full kernel-trace
+    # transition log, and the final simulated clock: all identical.
+    assert fast[:4] == reference[:4]
+
+
+def test_fast_path_kernel_trace_is_nonempty():
+    """The equivalence assertion must compare real evidence: deep_burst
+    at small scale still performs permit/package transitions."""
+    spec = get_scenario("deep_burst").scaled(0.2)
+    stream_specs = _materialize(spec, 0)
+    _verdicts, _counters, trace_events, _now, _sched = _run_session_arm(
+        spec, 0, stream_specs, fast=True)
+    assert len(trace_events) > 0
+
+
+# ----------------------------------------------------------------------
+# Fallback: non-FIFO policies stay on the reference engine, warned once.
+# ----------------------------------------------------------------------
+def test_non_fifo_policy_falls_back_with_warning():
+    spec = get_scenario("hot_spot").scaled(0.2)
+    stream_specs = _materialize(spec, 3)
+    plain = _run_session_arm(spec, 3, stream_specs, fast=False,
+                             policy="random")
+    fallback = _run_session_arm(spec, 3, stream_specs, fast=True,
+                                policy="random", expect_warning=True)
+    # The fallback session runs the reference scheduler and behaves
+    # exactly as if fast_path had never been requested.
+    assert isinstance(fallback[4], Scheduler)
+    assert not isinstance(fallback[4], FastScheduler)
+    assert fallback[:4] == plain[:4]
+
+
+def test_fallback_warns_once_per_location():
+    spec = get_scenario("hot_spot").scaled(0.1)
+    stream_specs = _materialize(spec, 0)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("default")
+        for _ in range(3):
+            tree, requests = _twin_requests(spec, 0, stream_specs)
+            config = SessionConfig(
+                controller=ControllerSpec(
+                    "distributed", m=spec.m, w=spec.w, u=spec.u,
+                    options={"fast_path": True}),
+                schedule_policy="lifo", seed=0,
+                max_in_flight=max(len(requests), 1))
+            ControllerSession(config, tree=tree).close()
+    fallbacks = [w for w in caught
+                 if issubclass(w.category, FastPathFallbackWarning)]
+    assert len(fallbacks) == 1  # the default filter dedups by location
+
+
+def test_fast_path_rejected_for_synchronous_flavours():
+    spec = get_scenario("hot_spot").scaled(0.1)
+    tree = spec.build_tree(seed=0)
+    config = SessionConfig(
+        controller=ControllerSpec("iterated", m=spec.m, w=spec.w,
+                                  u=spec.u, options={"fast_path": True}))
+    with pytest.raises(ConfigError, match="fast_path"):
+        ControllerSession(config, tree=tree)
+
+
+def test_externally_wired_reference_scheduler_warns():
+    spec = get_scenario("hot_spot").scaled(0.1)
+    tree = spec.build_tree(seed=0)
+    with pytest.warns(FastPathFallbackWarning):
+        DistributedController(tree, m=spec.m, w=spec.w, u=spec.u,
+                              scheduler=Scheduler(), fast_path=True)
+
+
+# ----------------------------------------------------------------------
+# Staged wrappers: the shared scheduler puts every stage on the fast path.
+# ----------------------------------------------------------------------
+def _drive_wrapper(make_controller, spec, seed, stream_specs):
+    tree, requests = _twin_requests(spec, seed, stream_specs)
+    controller = make_controller(tree)
+    outcomes = controller.process(requests)
+    verdicts = tuple(o.status.value for o in outcomes)
+    counters = tuple(sorted(controller.counters.snapshot().items()))
+    return verdicts, counters, type(controller.scheduler)
+
+
+@pytest.mark.parametrize("seed", [0, 2])
+def test_iterated_wrapper_fast_path_is_equivalent(seed):
+    spec = get_scenario("grow_shrink").scaled(0.25)
+    stream_specs = _materialize(spec, seed)
+    reference = _drive_wrapper(
+        lambda tree: DistributedIteratedController(
+            tree, m=spec.m, w=spec.w, u=spec.u),
+        spec, seed, stream_specs)
+    fast = _drive_wrapper(
+        lambda tree: DistributedIteratedController(
+            tree, m=spec.m, w=spec.w, u=spec.u, fast_path=True),
+        spec, seed, stream_specs)
+    assert reference[2] is Scheduler and fast[2] is FastScheduler
+    assert fast[:2] == reference[:2]
+
+
+@pytest.mark.parametrize("seed", [1])
+def test_adaptive_wrapper_fast_path_is_equivalent(seed):
+    spec = get_scenario("grow_shrink").scaled(0.25)
+    stream_specs = _materialize(spec, seed)
+    reference = _drive_wrapper(
+        lambda tree: DistributedAdaptiveController(
+            tree, m=spec.m, w=spec.w),
+        spec, seed, stream_specs)
+    fast = _drive_wrapper(
+        lambda tree: DistributedAdaptiveController(
+            tree, m=spec.m, w=spec.w, fast_path=True),
+        spec, seed, stream_specs)
+    assert reference[2] is Scheduler and fast[2] is FastScheduler
+    assert fast[:2] == reference[:2]

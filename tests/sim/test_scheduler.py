@@ -156,6 +156,37 @@ def test_cancel_after_execution_is_a_noop():
     assert sched.executed == 2
 
 
+def test_cancel_after_pop_does_not_double_decrement():
+    """Regression: an event that cancels *itself* from its own callback
+    has already been popped and counted as consumed — the late cancel
+    must not decrement the live counter a second time."""
+    sched = Scheduler()
+    holder = {}
+
+    def fire():
+        holder["event"].cancel()
+
+    holder["event"] = sched.schedule(1.0, fire)
+    sched.schedule(2.0, lambda: None)
+    sched.step()
+    assert sched.pending() == 1  # not driven to 0 by the self-cancel
+    sched.run()
+    assert sched.pending() == 0
+    assert sched.executed == 2
+
+
+def test_cancel_hook_is_shared_across_events():
+    """The live-event bookkeeping hook is bound once per scheduler, not
+    allocated per schedule() call — and stays correct for every event."""
+    sched = Scheduler()
+    first = sched.schedule(1.0, lambda: None)
+    second = sched.schedule(2.0, lambda: None)
+    assert first._canceller is second._canceller
+    first.cancel()
+    second.cancel()
+    assert sched.pending() == 0
+
+
 def test_pending_is_constant_time():
     """pending() must not scan the queue: cancelling from within a large
     backlog keeps the count exact without touching the heap."""

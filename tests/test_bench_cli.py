@@ -20,7 +20,7 @@ def test_registry_names():
     assert set(SCENARIOS) == {"ancestry", "move_complexity", "batch",
                               "scenario", "scenario_grid",
                               "distributed_batch", "kernel", "session",
-                              "apps", "gateway"}
+                              "apps", "gateway", "profile", "memory"}
 
 
 def test_ancestry_small_sweep_is_exact_and_json():
