@@ -8,9 +8,29 @@ without chasing absolute constants.
 """
 
 import os
-from typing import Iterable, List, Sequence
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.workloads import NodePicker, random_request
 
 _RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def drive(tree, handle, steps: int, seed: int = 0,
+          mix: Optional[Dict] = None,
+          stop_when: Optional[Callable[[], bool]] = None) -> None:
+    """Feed ``steps`` random feasible requests to a raw ``handle``
+    callable (one picker, one seeded RNG — the suite-wide stream
+    discipline; sessions go through ``repro.service.drive_scenario``)."""
+    rng = random.Random(seed)
+    picker = NodePicker(tree)
+    try:
+        for _ in range(steps):
+            handle(random_request(tree, rng, mix=mix, picker=picker))
+            if stop_when is not None and stop_when():
+                break
+    finally:
+        picker.detach()
 
 
 def format_table(title: str, headers: Sequence[str],

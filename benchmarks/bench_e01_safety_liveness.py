@@ -9,9 +9,9 @@ report granted/rejected totals with the two bounds checked.
 import pytest
 
 from repro import IteratedController
-from repro.workloads import build_random_tree, run_scenario
+from repro.workloads import build_random_tree
 
-from _util import emit, format_table
+from _util import drive, emit, format_table
 
 GRID = [(50, 1), (50, 10), (200, 5), (200, 50), (1000, 100)]
 
@@ -19,9 +19,9 @@ GRID = [(50, 1), (50, 10), (200, 5), (200, 50), (1000, 100)]
 def drive_to_reject(m, w, seed):
     tree = build_random_tree(20, seed=seed)
     controller = IteratedController(tree, m=m, w=w, u=20 + 4 * m)
-    result = run_scenario(tree, controller.handle, steps=6 * m, seed=seed,
-                          stop_when=lambda: controller.rejecting)
-    return controller, result
+    drive(tree, controller.handle, steps=6 * m, seed=seed,
+          stop_when=lambda: controller.rejecting)
+    return controller, None
 
 
 @pytest.mark.parametrize("m,w", GRID)

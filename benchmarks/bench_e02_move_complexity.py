@@ -10,9 +10,9 @@ polynomial).
 
 from repro import IteratedController
 from repro.metrics.fitting import log_log_slope, observation_3_4_bound
-from repro.workloads import build_path, run_scenario
+from repro.workloads import build_path
 
-from _util import emit, format_table
+from _util import drive, emit, format_table
 
 SIZES = [200, 400, 800, 1600, 3200]
 
@@ -22,7 +22,7 @@ def run_once(n):
     u = 2 * n
     m, w = 4 * n, n // 4
     controller = IteratedController(tree, m=m, w=w, u=u)
-    run_scenario(tree, controller.handle, steps=n, seed=n)
+    drive(tree, controller.handle, steps=n, seed=n)
     return controller.counters.total, u, m, w
 
 
@@ -58,7 +58,7 @@ def test_e02_log_factor_in_m_over_w(benchmark):
         for w in (600, 150, 30, 6, 1):
             tree = build_path(n)
             controller = IteratedController(tree, m=2400, w=w, u=2 * n)
-            run_scenario(tree, controller.handle, steps=n, seed=w)
+            drive(tree, controller.handle, steps=n, seed=w)
             rows.append([2400, w, controller.counters.total,
                          controller.stages_run])
             costs.append(controller.counters.total)

@@ -9,16 +9,15 @@ flat while epochs re-estimate U.
 
 from repro import AdaptiveController
 from repro.metrics.fitting import theorem_3_5_bound
-from repro.workloads import build_random_tree, grow_only_mix, run_scenario
+from repro.workloads import build_random_tree, grow_only_mix
 
-from _util import emit, format_table
+from _util import drive, emit, format_table
 
 
 def run_once(steps, seed, mix=None):
     tree = build_random_tree(50, seed=seed)
     controller = AdaptiveController(tree, m=10 * steps + 100, w=50)
-    run_scenario(tree, controller.handle, steps=steps, seed=seed + 1,
-                 mix=mix)
+    drive(tree, controller.handle, steps=steps, seed=seed + 1, mix=mix)
     bound = theorem_3_5_bound(
         50, tree.size_history, controller.m, controller.w)
     return controller, tree, bound
@@ -51,8 +50,8 @@ def test_e03_growth_epochs(benchmark):
     def run():
         tree = build_random_tree(10, seed=9)
         controller = AdaptiveController(tree, m=100_000, w=500)
-        run_scenario(tree, controller.handle, steps=4000, seed=10,
-                     mix=grow_only_mix())
+        drive(tree, controller.handle, steps=4000, seed=10,
+              mix=grow_only_mix())
         return controller, tree
     controller, tree = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(format_table(

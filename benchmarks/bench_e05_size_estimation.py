@@ -9,8 +9,7 @@ change flooding.
 import math
 import random
 
-from repro import DynamicTree, RequestKind
-from repro.apps import SizeEstimationProtocol
+from repro import AppSpec, DynamicTree, RequestKind, make_app
 from repro.baselines import FloodingSizeEstimator
 from repro.workloads import NodePicker, build_random_tree, random_request
 
@@ -24,14 +23,14 @@ TOPO_MIX = {
 }
 
 
-def churn_protocol(tree, protocol, steps, seed):
+def churn_app(tree, app, steps, seed):
     rng = random.Random(seed)
     picker = NodePicker(tree)
     worst = 1.0
     for _ in range(steps):
         request = random_request(tree, rng, mix=TOPO_MIX, picker=picker)
-        protocol.submit(request)
-        worst = max(worst, protocol.check_approximation())
+        app.serve(request)
+        worst = max(worst, app.check_approximation())
     picker.detach()
     return worst
 
@@ -42,9 +41,10 @@ def test_e05_estimator_vs_flooding(benchmark):
         for n in (100, 400, 1600):
             seed = n
             tree = build_random_tree(n, seed=seed)
-            protocol = SizeEstimationProtocol(tree, beta=2.0)
-            worst = churn_protocol(tree, protocol, steps=4 * n, seed=seed)
-            ours_per_change = (protocol.counters.total
+            app = make_app(AppSpec("size_estimation",
+                                   params={"beta": 2.0}), tree=tree)
+            worst = churn_app(tree, app, steps=4 * n, seed=seed)
+            ours_per_change = (app.counters.total
                                / tree.topology_changes)
 
             tree_f = build_random_tree(n, seed=seed)
@@ -82,21 +82,22 @@ def test_e05_growth_from_singleton(benchmark):
     """n0 = 1 extreme: iterations double; approximation never breaks."""
     def run():
         tree = DynamicTree()
-        protocol = SizeEstimationProtocol(tree, beta=2.0)
+        app = make_app(AppSpec("size_estimation", params={"beta": 2.0}),
+                       tree=tree)
         rng = random.Random(3)
         picker = NodePicker(tree)
         worst = 1.0
         for _ in range(3000):
             request = random_request(
                 tree, rng, mix={RequestKind.ADD_LEAF: 1.0}, picker=picker)
-            protocol.submit(request)
-            worst = max(worst, protocol.check_approximation())
+            app.serve(request)
+            worst = max(worst, app.check_approximation())
         picker.detach()
-        return tree, protocol, worst
-    tree, protocol, worst = benchmark.pedantic(run, rounds=1, iterations=1)
+        return tree, app, worst
+    tree, app, worst = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(format_table(
         "E5b growth from n0=1",
         ["final n", "iterations", "worst ratio", "msgs/change"],
-        [[tree.size, protocol.iterations_run, round(worst, 3),
-          round(protocol.counters.total / tree.topology_changes, 1)]]))
+        [[tree.size, app.iterations_run, round(worst, 3),
+          round(app.counters.total / tree.topology_changes, 1)]]))
     assert worst <= 2.0

@@ -9,8 +9,7 @@ amortized message cost.
 import math
 import random
 
-from repro import RequestKind
-from repro.apps import NameAssignmentProtocol
+from repro import AppSpec, RequestKind, make_app
 from repro.workloads import NodePicker, build_random_tree, random_request
 
 TOPO_MIX = {
@@ -28,21 +27,21 @@ def test_e06_name_assignment(benchmark):
     def sweep():
         for n in (100, 400, 1600):
             tree = build_random_tree(n, seed=n)
-            protocol = NameAssignmentProtocol(tree)
+            app = make_app(AppSpec("name_assignment"), tree=tree)
             rng = random.Random(n + 1)
             picker = NodePicker(tree)
             for _ in range(3 * n):
                 request = random_request(tree, rng, mix=TOPO_MIX,
                                          picker=picker)
-                protocol.submit(request)
-                protocol.check_invariants()
+                app.serve(request)
+                app.check_invariants()
             picker.detach()
-            max_id = max(protocol.id_of(v) for v in tree.nodes())
+            max_id = max(app.id_of(v) for v in tree.nodes())
             id_bits = max_id.bit_length()
-            rows.append([n, tree.size, protocol.iterations_run, max_id,
+            rows.append([n, tree.size, app.iterations_run, max_id,
                          round(max_id / tree.size, 2), id_bits,
                          math.ceil(math.log2(tree.size)) + 2,
-                         round(protocol.counters.total
+                         round(app.counters.total
                                / tree.topology_changes, 1)])
     benchmark.pedantic(sweep, rounds=1, iterations=1)
     emit(format_table(

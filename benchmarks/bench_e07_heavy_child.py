@@ -8,8 +8,7 @@ insertions and deletions of leaves and internal nodes.
 import math
 import random
 
-from repro import RequestKind
-from repro.apps import HeavyChildDecomposition
+from repro import AppSpec, RequestKind, make_app
 from repro.workloads import (
     NodePicker,
     build_caterpillar,
@@ -32,14 +31,14 @@ def test_e07_light_depth_scaling(benchmark):
     def sweep():
         for n in (100, 400, 1600):
             tree = build_random_tree(n, seed=n)
-            decomposition = HeavyChildDecomposition(tree)
+            decomposition = make_app(AppSpec("heavy_child"), tree=tree)
             rng = random.Random(n + 2)
             picker = NodePicker(tree)
             worst = 0
             for step in range(2 * n):
                 request = random_request(tree, rng, mix=TOPO_MIX,
                                          picker=picker)
-                decomposition.submit(request)
+                decomposition.serve(request)
                 if step % max(n // 8, 1) == 0:
                     worst = max(worst, decomposition.max_light_depth())
             worst = max(worst, decomposition.max_light_depth())
@@ -63,13 +62,13 @@ def test_e07_adversarial_caterpillar(benchmark):
     must keep it logarithmic anyway."""
     def run():
         tree = build_caterpillar(400, legs_per_node=3)
-        decomposition = HeavyChildDecomposition(tree)
+        decomposition = make_app(AppSpec("heavy_child"), tree=tree)
         rng = random.Random(5)
         picker = NodePicker(tree)
         for _ in range(600):
             request = random_request(
                 tree, rng, mix={RequestKind.ADD_LEAF: 1.0}, picker=picker)
-            decomposition.submit(request)
+            decomposition.serve(request)
         picker.detach()
         return tree, decomposition.max_light_depth()
     tree, worst = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -8,15 +8,16 @@ per membership change).
 
 import random
 
-from repro import DynamicTree
-from repro.apps import MajorityCommitProtocol
+from repro import AppSpec, DynamicTree, make_app
 
 from _util import emit, format_table
 
 
 def wake_up_scenario(total, leavers, seed):
     tree = DynamicTree()
-    protocol = MajorityCommitProtocol(tree, total=total, beta=1.5)
+    protocol = make_app(
+        AppSpec("majority_commit", params={"total": total, "beta": 1.5}),
+        tree=tree)
     rng = random.Random(seed)
     nodes = [tree.root]
     commit_at = None

@@ -45,14 +45,23 @@ probes and a machine-audited settle-exactly-once ledger
 (:func:`repro.metrics.invariants.audit_gateway`).  ``Gateway`` serves
 threads, ``AsyncGateway`` serves asyncio.
 
+For scale-out, :mod:`repro.fleet` runs N sessions over a forest behind
+a :class:`FleetRouter` that speaks the same session surface: a global
+``(M_total, W_total)`` contract is carved into per-shard budgets by
+:class:`FleetConfig`, rebalanced across shards through an explicit
+:class:`BudgetTransfer` ledger, and machine-checked end to end by
+:func:`repro.metrics.invariants.audit_fleet` (clients are only rejected
+once the *global* budget is spent).
+
 Below the session sits the controller registry: every flavour built by
 :func:`make_controller` implements
 :class:`repro.protocol.ControllerProtocol` — ``handle``,
 ``handle_batch``, ``unused_permits``, ``detach`` (idempotent), and
 ``introspect()`` for the protocol-based invariant auditor.  Direct
-``handle`` wiring remains supported for library embedders; the legacy
-``run_scenario`` callable driver is deprecated (see
-``docs/architecture.md`` §7 for the timeline).
+``handle`` wiring remains supported for library embedders; scenario
+driving goes through :func:`repro.service.drive_scenario` (the legacy
+``run_scenario`` callable driver was removed in 2.0, see
+``docs/architecture.md`` §7).
 """
 
 from repro.errors import (
@@ -114,6 +123,12 @@ from repro.service import (
     Ticket,
 )
 from repro.apps import AppSession, make_app
+from repro.fleet import (
+    BudgetTransfer,
+    FleetConfig,
+    FleetRouter,
+    ShardSpec,
+)
 
 __version__ = "1.5.0"
 
@@ -136,6 +151,11 @@ __all__ = [
     "GatewayTicket",
     "BreakerState",
     "HealthReport",
+    # The fleet layer — N sessions over a forest behind one router.
+    "FleetRouter",
+    "FleetConfig",
+    "ShardSpec",
+    "BudgetTransfer",
     # The application layer — the Section 5 apps behind one spec.
     "AppSpec",
     "AppSession",

@@ -29,34 +29,20 @@ plan):
 * :class:`MajorityCommitApp` — majority commitment via size
   estimation (Section 1.3).
 
-**The legacy constructors (deprecated, removed in 2.0).**  The
-hand-wired ``*Protocol`` classes (and ``SubtreeEstimator`` /
-``HeavyChildDecomposition``) remain as ``DeprecationWarning`` shims;
-the per-seed equivalence of the two paths — identical ids, estimates,
-and outcome tallies — is property-tested.  ``AncestryLabeling`` and
-``RoutingLabeling`` are the (still supported) listener-layer label
-structures the corresponding apps compose with the size estimator.
+``AncestryLabeling`` and ``RoutingLabeling`` are the listener-layer
+label structures the corresponding apps compose with the size
+estimator.  The legacy hand-wired ``*Protocol`` constructors (and
+``SubtreeEstimator`` / ``HeavyChildDecomposition``), deprecated since
+1.4, were removed in 2.0 — ``make_app`` is the only construction path.
 """
 
 from repro.apps.base import AppSession
-from repro.apps.size_estimation import (
-    SizeEstimationApp,
-    SizeEstimationProtocol,
-)
-from repro.apps.name_assignment import (
-    NameAssignmentApp,
-    NameAssignmentProtocol,
-)
-from repro.apps.subtree_estimator import (
-    SubtreeEstimator,
-    SubtreeEstimatorApp,
-)
-from repro.apps.heavy_child import HeavyChildApp, HeavyChildDecomposition
+from repro.apps.size_estimation import SizeEstimationApp
+from repro.apps.name_assignment import NameAssignmentApp
+from repro.apps.subtree_estimator import SubtreeEstimatorApp
+from repro.apps.heavy_child import HeavyChildApp
 from repro.apps.ancestry_labels import AncestryLabeling, AncestryLabelsApp
-from repro.apps.majority_commit import (
-    MajorityCommitApp,
-    MajorityCommitProtocol,
-)
+from repro.apps.majority_commit import MajorityCommitApp
 from repro.apps.routing_labels import RoutingLabeling, RoutingLabelsApp
 from repro.apps.registry import APP_REGISTRY, app_names, make_app
 
@@ -76,10 +62,4 @@ __all__ = [
     # Listener-layer label structures (composed by the apps).
     "AncestryLabeling",
     "RoutingLabeling",
-    # Deprecated legacy constructors (removed in 2.0).
-    "SizeEstimationProtocol",
-    "NameAssignmentProtocol",
-    "SubtreeEstimator",
-    "HeavyChildDecomposition",
-    "MajorityCommitProtocol",
 ]

@@ -14,23 +14,18 @@ light-depth.
 """
 
 import math
-import warnings
 from typing import ClassVar, Dict, List, Optional
 
-from repro.metrics.counters import MoveCounters
 from repro.service.appspec import AppSpec
 from repro.tree.dynamic_tree import DynamicTree, TreeListener
 from repro.tree.node import TreeNode
-from repro.apps.subtree_estimator import (
-    SubtreeEstimator,
-    SubtreeEstimatorApp,
-)
+from repro.apps.subtree_estimator import SubtreeEstimatorApp
 
 
 class HeavyChildApp(SubtreeEstimatorApp):
     """Heavy-child decomposition behind the app-session API.
 
-    The session-era form of :class:`HeavyChildDecomposition` (Theorem
+    Heavy-child decomposition (Theorem
     5.4): the subtree estimator runs underneath with
     ``beta = sqrt(3)`` (inherited, the Section 5.3 constant), every
     estimate change notifies the node's parent (one message), and each
@@ -157,134 +152,3 @@ class HeavyChildApp(SubtreeEstimatorApp):
         self._mu.pop(node, None)
         if self._mu.get(parent) is node or self._mu.get(parent) is None:
             self._recompute_mu(parent)
-
-
-class HeavyChildDecomposition(TreeListener):
-    """Maintains mu-pointers over a :class:`SubtreeEstimator`."""
-
-    def __init__(self, tree: DynamicTree,
-                 counters: Optional[MoveCounters] = None):
-        warnings.warn(
-            "HeavyChildDecomposition is deprecated; build the app "
-            "through repro.apps.make_app(AppSpec('heavy_child')) (same "
-            "mu pointers and tallies, property-tested).  The legacy "
-            "constructor will be removed in 2.0.",
-            DeprecationWarning, stacklevel=2)
-        self.tree = tree
-        self.counters = counters if counters is not None else MoveCounters()
-        self.estimator = SubtreeEstimator(
-            tree, beta=math.sqrt(3), counters=self.counters,
-        )
-        # Wrap the estimator's flow observer so estimate changes also
-        # trigger the parent notifications.
-        inner_observer = self.estimator._on_permits_pass
-        def observe(node: TreeNode, permits: int) -> None:
-            inner_observer(node, permits)
-            self._estimate_changed(node)
-        self.estimator.size_protocol.permit_flow_observer = observe
-        controller = self.estimator.size_protocol._controller
-        if controller is not None:
-            controller.inner.permit_flow_observer = observe
-        # At each iteration boundary the estimates reset to fresh
-        # omega_0 values; refresh every mu pointer (piggybacks on the
-        # iteration's counting upcast — one extra message per node).
-        inner_iteration = self.estimator.size_protocol.on_iteration
-        def on_iteration(n_i: int) -> None:
-            inner_iteration(n_i)
-            self.counters.reset_moves += self.tree.size
-            self._rebuild_all()
-        self.estimator.size_protocol.on_iteration = on_iteration
-        self._mu: Dict[TreeNode, TreeNode] = {}
-        tree.add_listener(self)
-        self._rebuild_all()
-
-    # ------------------------------------------------------------------
-    def submit(self, request):
-        return self.estimator.submit(request)
-
-    def heavy_child(self, node: TreeNode) -> Optional[TreeNode]:
-        """``mu(node)``: the heavy child, or None for leaves."""
-        return self._mu.get(node)
-
-    def is_light(self, node: TreeNode) -> bool:
-        """A non-root node is light iff its parent points elsewhere."""
-        if node.parent is None:
-            return False
-        return self._mu.get(node.parent) is not node
-
-    def light_ancestors(self, node: TreeNode) -> int:
-        """Number of light ancestors of ``node`` — the O(log n) figure."""
-        count = 0
-        current: Optional[TreeNode] = node
-        while current is not None:
-            if self.is_light(current):
-                count += 1
-            current = current.parent
-        return count
-
-    def max_light_depth(self) -> int:
-        """max over nodes of light_ancestors (scan; test/bench helper)."""
-        return max(self.light_ancestors(n) for n in self.tree.nodes())
-
-    # ------------------------------------------------------------------
-    def _estimate_changed(self, node: TreeNode) -> None:
-        """``node``'s estimate changed: notify the parent (1 message)."""
-        parent = node.parent
-        if parent is None:
-            return
-        self.counters.package_moves += 1
-        self._reconsider(parent, node)
-
-    def _reconsider(self, parent: TreeNode, child: TreeNode) -> None:
-        """Parent remembers only the largest child estimate (Section 5.3)."""
-        current = self._mu.get(parent)
-        if current is None or current.parent is not parent:
-            self._recompute_mu(parent)
-            return
-        if child is current:
-            return
-        if self.estimator.estimate(child) > self.estimator.estimate(current):
-            self._mu[parent] = child
-
-    def _recompute_mu(self, node: TreeNode) -> None:
-        if not node.children:
-            self._mu.pop(node, None)
-            return
-        self._mu[node] = max(node.children, key=self.estimator.estimate)
-
-    def _rebuild_all(self) -> None:
-        for node in self.tree.nodes():
-            self._recompute_mu(node)
-
-    # ------------------------------------------------------------------
-    # Topology events: keep mu pointers well-formed.
-    # ------------------------------------------------------------------
-    def on_add_leaf(self, node: TreeNode) -> None:
-        parent = node.parent
-        if parent is not None and parent not in self._mu:
-            self._mu[parent] = node
-        self._estimate_changed(node)
-
-    def on_add_internal(self, node: TreeNode, parent: TreeNode,
-                        child: TreeNode) -> None:
-        # The new node adopts the child as its (only) heavy child; the
-        # parent's pointer is refreshed if it pointed at the child.
-        self._mu[node] = child
-        if self._mu.get(parent) is child:
-            self._mu[parent] = node
-        self._estimate_changed(node)
-
-    def on_remove_leaf(self, node: TreeNode, parent: TreeNode) -> None:
-        self._mu.pop(node, None)
-        if self._mu.get(parent) is node:
-            self._recompute_mu(parent)
-
-    def on_remove_internal(self, node: TreeNode, parent: TreeNode,
-                           children) -> None:
-        self._mu.pop(node, None)
-        if self._mu.get(parent) is node or self._mu.get(parent) is None:
-            self._recompute_mu(parent)
-
-    def detach(self) -> None:
-        self.tree.remove_listener(self)
-        self.estimator.detach()

@@ -9,7 +9,7 @@ estimator generalizes the protocol to trees that also shrink (nodes
 leaving) and gain internal nodes.
 
 This implementation layers directly on
-:class:`~repro.apps.size_estimation.SizeEstimationProtocol`:
+:class:`~repro.apps.size_estimation.SizeEstimationApp`:
 
 * the participant tree evolves through :meth:`join` / :meth:`leave`,
   each guarded by the estimator's controller;
@@ -22,26 +22,21 @@ This implementation layers directly on
   protocol.
 """
 
-import warnings
 from typing import ClassVar, Optional
 
 from repro.errors import ControllerError
-from repro.metrics.counters import MoveCounters
 from repro.service.appspec import AppSpec
 from repro.service.envelopes import OutcomeRecord
 from repro.tree.dynamic_tree import DynamicTree
 from repro.tree.node import TreeNode
-from repro.core.requests import Outcome, Request, RequestKind
-from repro.apps.size_estimation import (
-    SizeEstimationApp,
-    SizeEstimationProtocol,
-)
+from repro.core.requests import Request, RequestKind
+from repro.apps.size_estimation import SizeEstimationApp
 
 
 class MajorityCommitApp(SizeEstimationApp):
     """Majority commitment behind the app-session API.
 
-    The session-era form of :class:`MajorityCommitProtocol` (Section
+    Majority commitment (Section
     1.3): the size-estimation iterations run underneath (inherited),
     the participant tree evolves through :meth:`join` / :meth:`leave`
     (each a guarded request), and ``n_tilde / beta`` certifies the
@@ -89,65 +84,6 @@ class MajorityCommitApp(SizeEstimationApp):
     def certified_participants(self) -> float:
         """A lower bound on the participant count from the estimate."""
         return self.estimate / self.beta
-
-    def can_commit(self) -> bool:
-        """True only when the estimate *certifies* a strict majority."""
-        if self.committed:
-            return True
-        return self.certified_participants() > self.total / 2
-
-    def commit_exact(self) -> bool:
-        """Exact counting round (one upcast): decide at the boundary."""
-        self.counters.reset_moves += max(self.tree.size - 1, 0)
-        if self.tree.size > self.total / 2:
-            self.committed = True
-        return self.committed
-
-
-class MajorityCommitProtocol:
-    """Commit once a majority of ``total`` processors participates."""
-
-    def __init__(self, tree: DynamicTree, total: int, beta: float = 1.5,
-                 counters: Optional[MoveCounters] = None):
-        warnings.warn(
-            "MajorityCommitProtocol is deprecated; build the app through "
-            "repro.apps.make_app(AppSpec('majority_commit', "
-            "params={'total': ..., 'beta': ...})) (same decisions and "
-            "tallies, property-tested).  The legacy constructor will be "
-            "removed in 2.0.", DeprecationWarning, stacklevel=2)
-        if total < 1:
-            raise ControllerError("total must be positive")
-        if tree.size > total:
-            raise ControllerError("tree already exceeds the universe size")
-        self.tree = tree
-        self.total = total
-        self.beta = beta
-        self.counters = counters if counters is not None else MoveCounters()
-        self.estimator = SizeEstimationProtocol(
-            tree, beta=beta, counters=self.counters,
-        )
-        self.committed = False
-
-    # ------------------------------------------------------------------
-    def join(self, parent: TreeNode) -> Optional[TreeNode]:
-        """A processor wakes up and joins below ``parent``."""
-        if self.tree.size >= self.total:
-            raise ControllerError("all processors are already awake")
-        outcome = self.estimator.submit(
-            Request(RequestKind.ADD_LEAF, parent)
-        )
-        return outcome.new_node if outcome.granted else None
-
-    def leave(self, node: TreeNode) -> Outcome:
-        """A processor leaves (leaf or internal — the generalization)."""
-        kind = (RequestKind.REMOVE_LEAF if not node.children
-                else RequestKind.REMOVE_INTERNAL)
-        return self.estimator.submit(Request(kind, node))
-
-    # ------------------------------------------------------------------
-    def certified_participants(self) -> float:
-        """A lower bound on the participant count from the estimate."""
-        return self.estimator.estimate / self.beta
 
     def can_commit(self) -> bool:
         """True only when the estimate *certifies* a strict majority."""

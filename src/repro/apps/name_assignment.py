@@ -21,30 +21,22 @@ The iteration ends when the controller terminates; since at most
 ids within ``[1, 4n]`` throughout.
 """
 
-import warnings
 from dataclasses import replace
 from typing import Any, ClassVar, Dict, Optional, Tuple
 
 from repro.apps.base import AppSession
 from repro.errors import ControllerError, InvariantViolation
-from repro.metrics.counters import MoveCounters
 from repro.protocol import AppView
 from repro.service.appspec import AppSpec
 from repro.tree.dynamic_tree import DynamicTree
 from repro.tree.node import TreeNode
-from repro.core.requests import (
-    Outcome,
-    OutcomeStatus,
-    Request,
-    RequestKind,
-)
-from repro.core.terminating import TerminatingController
+from repro.core.requests import Outcome
 
 
 class NameAssignmentApp(AppSession):
     """Unique ids in ``[1, 4n]`` behind the app-session API.
 
-    The session-era form of :class:`NameAssignmentProtocol` (Theorem
+    Name assignment (Theorem
     5.2): per iteration, the two-stage DFS relabel detours through the
     temporary range, and an ``(N_i/2, N_i/4)``-terminating controller
     runs in *interval mode* — the engine (synchronous or distributed;
@@ -135,109 +127,3 @@ class NameAssignmentApp(AppSession):
             super().app_view(),
             ids=tuple(self.ids[node] for node in self.tree.nodes()
                       if node in self.ids))
-
-
-class NameAssignmentProtocol:
-    """Unique ids in ``[1, 4n]`` on a dynamic tree."""
-
-    def __init__(self, tree: DynamicTree,
-                 counters: Optional[MoveCounters] = None):
-        warnings.warn(
-            "NameAssignmentProtocol is deprecated; build the app through "
-            "repro.apps.make_app(AppSpec('name_assignment')) (same ids "
-            "and tallies, property-tested).  The legacy constructor "
-            "will be removed in 2.0.", DeprecationWarning, stacklevel=2)
-        self.tree = tree
-        self.counters = counters if counters is not None else MoveCounters()
-        self.ids: Dict[TreeNode, int] = {}
-        self.iterations_run = 0
-        self._controller: Optional[TerminatingController] = None
-        # The initial identities are assumed to be [1, n_0] (Section
-        # 5.2); a DFS assignment realizes that assumption.
-        for index, node in enumerate(self.tree.nodes(), start=1):
-            self.ids[node] = index
-        self._start_iteration(first=True)
-
-    # ------------------------------------------------------------------
-    # Public API.
-    # ------------------------------------------------------------------
-    def id_of(self, node: TreeNode) -> int:
-        return self.ids[node]
-
-    def submit(self, request: Request) -> Outcome:
-        """Guard a topological request; additions receive their id."""
-        while True:
-            outcome = self._controller.submit(request)
-            if outcome.status is OutcomeStatus.PENDING:
-                self._roll_iteration()
-                continue
-            if outcome.granted and outcome.new_node is not None:
-                if outcome.serial is None:
-                    raise ControllerError(
-                        "interval-mode controller returned no serial"
-                    )
-                self.ids[outcome.new_node] = outcome.serial
-            if outcome.granted and request.kind.is_removal:
-                self.ids.pop(request.node, None)
-            return outcome
-
-    def check_invariants(self) -> None:
-        """Ids unique and within [1, 4n] — the Theorem 5.2 guarantee."""
-        seen = set()
-        n = self.tree.size
-        for node in self.tree.nodes():
-            node_id = self.ids.get(node)
-            if node_id is None:
-                raise InvariantViolation(f"{node} has no id")
-            if node_id in seen:
-                raise InvariantViolation(f"duplicate id {node_id}")
-            seen.add(node_id)
-            if not 1 <= node_id <= 4 * n:
-                raise InvariantViolation(
-                    f"id {node_id} outside [1, {4 * n}] (n={n})"
-                )
-
-    # ------------------------------------------------------------------
-    # Iterations.
-    # ------------------------------------------------------------------
-    def _start_iteration(self, first: bool = False) -> None:
-        self.iterations_run += 1
-        n_i = self.tree.size
-        # Count N_i (upcast + broadcast).
-        self.counters.reset_moves += 2 * max(n_i - 1, 0)
-        if not first:
-            self._two_stage_relabel(n_i)
-        m_i = max(n_i // 2, 1)
-        w_i = max(n_i // 4, 1)
-        u_i = max(2 * n_i, 2)
-        self._controller = TerminatingController(
-            self.tree, m=m_i, w=w_i, u=u_i, counters=self.counters,
-            track_intervals=True, interval_base=n_i,
-        )
-
-    def _two_stage_relabel(self, n_i: int) -> None:
-        """The two DFS traversals of Section 5.2.
-
-        Both traversals must see the same DFS order; each costs one
-        full traversal (2(n-1) messages).
-        """
-        self.counters.reset_moves += 4 * max(n_i - 1, 0)
-        order = list(self.tree.nodes())
-        # Stage 1: move everyone into the temporary range (3N_i, 4N_i].
-        for index, node in enumerate(order, start=1):
-            self.ids[node] = 3 * n_i + index
-        # Stage 2: settle into [1, N_i].
-        for index, node in enumerate(order, start=1):
-            self.ids[node] = index
-
-    def _roll_iteration(self) -> None:
-        # The request that hit termination is resubmitted by the submit
-        # loop itself (the protocol serializes requests, so the
-        # Observation 2.1 queue never holds more than that one request).
-        self._controller.detach()
-        self._start_iteration()
-
-    def detach(self) -> None:
-        if self._controller is not None:
-            self._controller.detach()
-            self._controller = None

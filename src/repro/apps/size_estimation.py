@@ -20,31 +20,25 @@ The protocol exposes ``submit`` for topological requests; requests that
 arrive while an iteration rolls over are transparently resubmitted to
 the next iteration (the queue of Observation 2.1).
 
-Two forms live here: :class:`SizeEstimationApp` (the session-era app,
-built via ``repro.apps.make_app``) and the deprecated
-:class:`SizeEstimationProtocol` (the legacy hand-wired constructor,
-kept as the differential reference until 2.0).
+The app is built via ``repro.apps.make_app`` (the legacy hand-wired
+``SizeEstimationProtocol`` constructor was removed in 2.0).
 """
 
-import warnings
 from dataclasses import replace
-from typing import Any, Callable, ClassVar, Dict, List, Optional, Tuple
+from typing import Any, ClassVar, Dict, Optional, Tuple
 
 from repro.apps.base import AppSession
 from repro.errors import ControllerError
-from repro.metrics.counters import MoveCounters
 from repro.protocol import AppView
 from repro.service.appspec import AppSpec
 from repro.tree.dynamic_tree import DynamicTree
 from repro.tree.node import TreeNode
-from repro.core.requests import Outcome, OutcomeStatus, Request
-from repro.core.terminating import TerminatingController
 
 
 class SizeEstimationApp(AppSession):
     """β-approximate size estimation behind the app-session API.
 
-    The session-era form of :class:`SizeEstimationProtocol` (Theorem
+    Size estimation (Theorem
     5.1): the same iteration discipline — count and broadcast ``N_i``,
     guard the iteration with an ``(alpha*N_i, alpha*N_i/2)``-terminating
     controller, roll on exhaustion — but the per-iteration controller
@@ -104,102 +98,3 @@ class SizeEstimationApp(AppSession):
     def app_view(self) -> AppView:
         return replace(super().app_view(),
                        beta=self.beta, estimate=self.estimate)
-
-
-class SizeEstimationProtocol:
-    """β-approximate size estimation on a dynamic tree.
-
-    Parameters
-    ----------
-    beta:
-        Approximation factor (> 1).  Theorem 5.1 holds for any constant.
-    permit_flow_observer:
-        Forwarded to each iteration's inner controller; the subtree
-        estimator of Lemma 5.3 plugs in here.
-    on_iteration:
-        Callback invoked at each iteration start with the fresh ``N_i``
-        (after the broadcast) — used by the layered applications.
-    """
-
-    def __init__(self, tree: DynamicTree, beta: float = 2.0,
-                 counters: Optional[MoveCounters] = None,
-                 permit_flow_observer: Optional[
-                     Callable[[TreeNode, int], None]] = None,
-                 on_iteration: Optional[Callable[[int], None]] = None):
-        warnings.warn(
-            "SizeEstimationProtocol is deprecated; build the app through "
-            "repro.apps.make_app(AppSpec('size_estimation', "
-            "params={'beta': ...})) (same estimates and tallies, "
-            "property-tested).  The legacy constructor will be removed "
-            "in 2.0.", DeprecationWarning, stacklevel=2)
-        if beta <= 1.0:
-            raise ControllerError(f"beta must exceed 1, got {beta}")
-        self.tree = tree
-        self.beta = beta
-        self.alpha = 1.0 - 1.0 / beta
-        self.counters = counters if counters is not None else MoveCounters()
-        self.permit_flow_observer = permit_flow_observer
-        self.on_iteration = on_iteration
-        self.iterations_run = 0
-        self.estimate = 0
-        self._controller: Optional[TerminatingController] = None
-        self._start_iteration()
-
-    # ------------------------------------------------------------------
-    # Public queries.
-    # ------------------------------------------------------------------
-    def estimate_at(self, node: TreeNode) -> int:
-        """The estimate ``n_tilde(v)`` held at ``node``.
-
-        Every node holds the same iteration-start value (the broadcast
-        delivered it); the per-node signature documents the distributed
-        reading of the guarantee.
-        """
-        return self.estimate
-
-    def check_approximation(self) -> float:
-        """Current ratio max(n_tilde/n, n/n_tilde); must stay <= beta."""
-        n = self.tree.size
-        if n == 0 or self.estimate == 0:
-            raise ControllerError("degenerate size")
-        return max(self.estimate / n, n / self.estimate)
-
-    # ------------------------------------------------------------------
-    # Request path.
-    # ------------------------------------------------------------------
-    def submit(self, request: Request) -> Outcome:
-        """Guard one topological request with the current controller."""
-        while True:
-            outcome = self._controller.submit(request)
-            if outcome.status is not OutcomeStatus.PENDING:
-                return outcome
-            self._roll_iteration()
-
-    # ------------------------------------------------------------------
-    # Iterations.
-    # ------------------------------------------------------------------
-    def _start_iteration(self) -> None:
-        self.iterations_run += 1
-        n_i = self.tree.size
-        self.estimate = n_i
-        # Count and broadcast N_i: upcast + broadcast.
-        self.counters.reset_moves += 2 * max(n_i - 1, 0)
-        m_i = max(int(self.alpha * n_i), 1)
-        w_i = max(m_i // 2, 1)
-        u_i = max(2 * n_i, 2)
-        self._controller = TerminatingController(
-            self.tree, m=m_i, w=w_i, u=u_i, counters=self.counters,
-        )
-        # Give the layered estimator its monitoring hook.
-        self._controller.inner.permit_flow_observer = self.permit_flow_observer
-        if self.on_iteration is not None:
-            self.on_iteration(n_i)
-
-    def _roll_iteration(self) -> None:
-        self._controller.detach()
-        self._start_iteration()
-
-    def detach(self) -> None:
-        if self._controller is not None:
-            self._controller.detach()
-            self._controller = None

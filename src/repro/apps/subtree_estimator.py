@@ -18,24 +18,18 @@ the parent-notification messages of the heavy-child layer are counted
 there.
 """
 
-import warnings
 from typing import Any, ClassVar, Dict, List, Optional, Tuple
 
-from repro.errors import ControllerError
-from repro.metrics.counters import MoveCounters
 from repro.service.appspec import AppSpec
 from repro.tree.dynamic_tree import DynamicTree, TreeListener
 from repro.tree.node import TreeNode
-from repro.apps.size_estimation import (
-    SizeEstimationApp,
-    SizeEstimationProtocol,
-)
+from repro.apps.size_estimation import SizeEstimationApp
 
 
 class SubtreeEstimatorApp(SizeEstimationApp, TreeListener):
     """β-approximate super-weights behind the app-session API.
 
-    The session-era form of :class:`SubtreeEstimator` (Lemma 5.3): the
+    Subtree super-weight estimation (Lemma 5.3): the
     size-estimation iterations run underneath (inherited), and the app
     taps every iteration controller's ``permit_flow_observer`` hook —
     on the synchronous engine *and* on the distributed engine, whose
@@ -114,7 +108,7 @@ class SubtreeEstimatorApp(SizeEstimationApp, TreeListener):
 
     def on_add_internal(self, node: TreeNode, parent: TreeNode,
                         child: TreeNode) -> None:
-        # See SubtreeEstimator.on_add_internal: the new node inherits
+        # The new node inherits
         # only the child's counted history, going forward.
         self._true_sw[node] = 1 + self._true_sw.get(child, 1)
         self._bump_ancestors(parent)
@@ -134,112 +128,3 @@ class SubtreeEstimatorApp(SizeEstimationApp, TreeListener):
         semantics, so a second close/detach is a no-op."""
         self.tree.remove_listener(self)
         super().close()
-
-
-class SubtreeEstimator(TreeListener):
-    """β-approximate super-weights on a dynamic tree.
-
-    Construct it *instead of* a bare :class:`SizeEstimationProtocol`:
-    it instantiates the size protocol internally and wires itself into
-    the permit flow.  Submit topological requests through
-    :meth:`submit`.
-    """
-
-    def __init__(self, tree: DynamicTree, beta: float = 2.0,
-                 counters: Optional[MoveCounters] = None):
-        warnings.warn(
-            "SubtreeEstimator is deprecated; build the app through "
-            "repro.apps.make_app(AppSpec('subtree_estimator', "
-            "params={'beta': ...})) (same estimates and tallies, "
-            "property-tested).  The legacy constructor will be removed "
-            "in 2.0.", DeprecationWarning, stacklevel=2)
-        self.tree = tree
-        self.beta = beta
-        self.counters = counters if counters is not None else MoveCounters()
-        self._omega0: Dict[TreeNode, int] = {}
-        self._passed: Dict[TreeNode, int] = {}
-        # Ground truth for tests: descendants ever existing this
-        # iteration, maintained exactly (analysis-only, costs nothing).
-        self._true_sw: Dict[TreeNode, int] = {}
-        self.size_protocol = SizeEstimationProtocol(
-            tree, beta=beta, counters=self.counters,
-            permit_flow_observer=self._on_permits_pass,
-            on_iteration=self._on_iteration,
-        )
-        tree.add_listener(self)
-        self._on_iteration(tree.size)
-
-    # ------------------------------------------------------------------
-    # Public API.
-    # ------------------------------------------------------------------
-    def submit(self, request):
-        return self.size_protocol.submit(request)
-
-    def estimate(self, node: TreeNode) -> int:
-        """``omega_tilde(node)``: the node's super-weight estimate."""
-        return self._omega0.get(node, 1) + self._passed.get(node, 0)
-
-    def true_super_weight(self, node: TreeNode) -> int:
-        """Exact SW (test oracle; not available to the protocol)."""
-        return self._true_sw.get(node, 1)
-
-    # ------------------------------------------------------------------
-    # Iteration reset: recompute omega_0 everywhere.
-    # ------------------------------------------------------------------
-    def _on_iteration(self, n_i: int) -> None:
-        # One broadcast + upcast delivers every node its exact subtree
-        # count at iteration start.
-        self.counters.reset_moves += 2 * max(self.tree.size - 1, 0)
-        self._omega0.clear()
-        self._passed.clear()
-        self._true_sw.clear()
-        self._compute_subtree_sizes()
-
-    def _compute_subtree_sizes(self) -> None:
-        # Post-order accumulation without recursion (deep paths).
-        order = list(self.tree.nodes())
-        for node in reversed(order):
-            total = 1 + sum(self._omega0.get(c, 0) for c in node.children)
-            self._omega0[node] = total
-            self._true_sw[node] = total
-
-    # ------------------------------------------------------------------
-    # Permit-flow monitoring.
-    # ------------------------------------------------------------------
-    def _on_permits_pass(self, node: TreeNode, permits: int) -> None:
-        self._passed[node] = self._passed.get(node, 0) + permits
-
-    # ------------------------------------------------------------------
-    # Ground-truth maintenance (test oracle only).
-    # ------------------------------------------------------------------
-    def _bump_ancestors(self, start: Optional[TreeNode]) -> None:
-        current = start
-        while current is not None:
-            self._true_sw[current] = self._true_sw.get(current, 1) + 1
-            current = current.parent
-
-    def on_add_leaf(self, node: TreeNode) -> None:
-        self._true_sw[node] = 1
-        self._bump_ancestors(node.parent)
-
-    def on_add_internal(self, node: TreeNode, parent: TreeNode,
-                        child: TreeNode) -> None:
-        # The new node's own SW starts at 1 + descendants ever counted
-        # below it this iteration (it inherits child's history going
-        # forward only; per the definition, descendants that existed
-        # before it did are not its descendants-ever — they existed
-        # while not below it.  New descendants will be counted as they
-        # appear).
-        self._true_sw[node] = 1 + self._true_sw.get(child, 1)
-        self._bump_ancestors(parent)
-
-    def on_remove_leaf(self, node: TreeNode, parent: TreeNode) -> None:
-        self._true_sw.pop(node, None)
-
-    def on_remove_internal(self, node: TreeNode, parent: TreeNode,
-                           children) -> None:
-        self._true_sw.pop(node, None)
-
-    def detach(self) -> None:
-        self.tree.remove_listener(self)
-        self.size_protocol.detach()

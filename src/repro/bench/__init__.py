@@ -13,6 +13,7 @@ One-liner reproduction of the perf trajectory::
     python -m repro.bench session --out BENCH_session.json
     python -m repro.bench apps --out BENCH_apps.json
     python -m repro.bench gateway --out BENCH_gateway.json
+    python -m repro.bench fleet --out BENCH_fleet.json
 
 Every scenario returns (and prints) a JSON document: the parameters it
 ran with, one row per configuration, and the derived headline numbers,
@@ -28,6 +29,7 @@ from repro.bench.runner import (
     run_apps,
     run_batch,
     run_distributed_batch,
+    run_fleet,
     run_gateway,
     run_kernel,
     run_memory,
@@ -43,6 +45,7 @@ __all__ = [
     "run_apps",
     "run_batch",
     "run_distributed_batch",
+    "run_fleet",
     "run_gateway",
     "run_kernel",
     "run_memory",

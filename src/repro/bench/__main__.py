@@ -13,6 +13,7 @@ Examples::
     python -m repro.bench session --out BENCH_session.json
     python -m repro.bench apps --out BENCH_apps.json
     python -m repro.bench apps --apps name_assignment --policies adversary
+    python -m repro.bench fleet --out BENCH_fleet.json
     python -m repro.bench profile --scenario deep_burst --arms fast
     python -m repro.bench memory --sizes 100,400 --fast-path
 """
@@ -146,10 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", **common_out)
 
     p = sub.add_parser("apps",
-                       help="Section 5 application layer: old-vs-new "
-                            "overhead (<= 5%% target), msgs/change "
-                            "polylog fits, event-driven policy x fault "
-                            "grid (invariant-audited)")
+                       help="Section 5 application layer: serve vs "
+                            "serve_stream overhead (<= 5%% target), "
+                            "msgs/change polylog fits, event-driven "
+                            "policy x fault grid (invariant-audited)")
     p.add_argument("--apps", default="all",
                    help="app name(s), comma-separated, or 'all'")
     p.add_argument("--sizes", type=_int_list, default=None,
@@ -208,6 +209,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.5,
                    help="catalogue scenario scale factor")
     p.add_argument("--stagger", type=float, default=0.25)
+    p.add_argument("--out", **common_out)
+
+    p = sub.add_parser("fleet",
+                       help="sharded controller fleet: simulated "
+                            "sustained req/s + scaling efficiency at "
+                            "each shard count, 1-shard bit-for-bit "
+                            "equivalence vs the plain session, forced "
+                            "cross-shard transfers + the global reject "
+                            "wave (invariant-audited)")
+    p.add_argument("--shards", default="1,2,4,8",
+                   help="comma-separated shard counts for the scaling "
+                        "cells")
+    p.add_argument("--steps", type=int, default=2000,
+                   help="requests per scaling cell")
+    p.add_argument("--clients", type=int, default=256,
+                   help="distinct sticky client origins per cell")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="catalogue scale for the equivalence cell")
     p.add_argument("--out", **common_out)
 
     p = sub.add_parser("kernel",

@@ -1215,33 +1215,6 @@ APP_BENCH_MIX = {
     RequestKind.REMOVE_INTERNAL: 0.20,
 }
 
-#: Apps with a legacy constructor to pair against (the deprecated
-#: ``*Protocol`` path); the label apps compose a still-supported
-#: structure and have no second implementation to diff.
-APP_LEGACY_FACTORIES: Dict[str, Any] = {}
-
-
-def _app_legacy_factories() -> Dict[str, Any]:
-    """Deferred import + warning suppression: the bench constructs the
-    deprecated classes on purpose (they are its differential baseline)."""
-    if not APP_LEGACY_FACTORIES:
-        from repro.apps import (
-            HeavyChildDecomposition,
-            NameAssignmentProtocol,
-            SizeEstimationProtocol,
-            SubtreeEstimator,
-        )
-        APP_LEGACY_FACTORIES.update({
-            "size_estimation": lambda tree: SizeEstimationProtocol(
-                tree, beta=2.0),
-            "name_assignment": NameAssignmentProtocol,
-            "subtree_estimator": lambda tree: SubtreeEstimator(
-                tree, beta=2.0),
-            "heavy_child": HeavyChildDecomposition,
-        })
-    return APP_LEGACY_FACTORIES
-
-
 def _app_spec_for(name: str, **knobs: Any):
     from repro.service import AppSpec
     params: Dict[str, Any] = {}
@@ -1271,71 +1244,48 @@ def _app_state(name: str, app: Any, tree) -> Any:
 
 def _drive_app_overhead(name: str, n: int, steps: int, batch_size: int,
                         seed: int, repeats: int) -> Dict:
-    """Old path vs new path on identical churn, chunk-paired.
+    """Per-request ``serve`` vs chunked ``serve_stream`` on identical
+    churn, chunk-paired.
 
     The stream is recorded once (tree-independent specs) against a
-    scratch legacy run, then replayed through two twin trees — the
-    deprecated hand-wired protocol and ``make_app``'s session-era app —
-    chunk against chunk in alternating order, exactly the
+    scratch run of the app, then replayed through two twin trees —
+    the per-request path and the chunked streaming path — chunk
+    against chunk in alternating order, exactly the
     ``run_session_overhead`` pairing discipline (per-chunk minima over
     ``repeats``).  Outcome sequences and the app-level state
     (estimates / ids / mu pointers) must match; the headline is the
-    amortized wall-clock tax of the new path.
+    amortized per-request tax the streaming path removes.
     """
-    import warnings as _warnings
-
     from repro.apps import make_app
 
-    factory = _app_legacy_factories()[name]
-
-    def build_legacy(tree):
-        with _warnings.catch_warnings():
-            _warnings.simplefilter("ignore", DeprecationWarning)
-            return factory(tree)
-
-    # Record the stream once against a scratch legacy run.
+    # Record the stream once against a scratch run of the app itself.
     scratch = build_random_tree(n, seed=seed)
-    with _warnings.catch_warnings():
-        _warnings.simplefilter("ignore", DeprecationWarning)
-        recorder = build_legacy(scratch)
-        rng = random.Random(seed + 1)
-        picker = NodePicker(scratch)
-        specs = []
-        for _ in range(steps):
-            request = random_request(scratch, rng, mix=APP_BENCH_MIX,
-                                     picker=picker)
-            specs.append(request_spec(request))
-            recorder.submit(request)
-        picker.detach()
-        recorder.detach()
+    recorder = make_app(_app_spec_for(name), tree=scratch)
+    rng = random.Random(seed + 1)
+    picker = NodePicker(scratch)
+    specs = []
+    for _ in range(steps):
+        request = random_request(scratch, rng, mix=APP_BENCH_MIX,
+                                 picker=picker)
+        specs.append(request_spec(request))
+        recorder.serve(request)
+    picker.detach()
+    recorder.close()
 
     def paired_replay():
-        """Three arms on twin trees, timed chunk-against-chunk in
-        rotating order: the deprecated sequential protocol (baseline),
-        the app's per-request ``serve``, and the app's chunked
-        ``serve_stream`` (the <= 5% target arm, mirroring the session
-        bench's batched comparison)."""
-        trees = [build_random_tree(n, seed=seed) for _ in range(3)]
+        """Two arms on twin trees, timed chunk-against-chunk in
+        alternating order: the app's per-request ``serve`` (baseline)
+        and the app's chunked ``serve_stream`` (the <= 5% target arm,
+        mirroring the session bench's batched comparison)."""
+        trees = [build_random_tree(n, seed=seed) for _ in range(2)]
         mirrors = [TreeMirror(tree) for tree in trees]
-        legacy = build_legacy(trees[0])
-        app_seq = make_app(_app_spec_for(name), tree=trees[1])
-        app_batch = make_app(_app_spec_for(name), tree=trees[2])
-        statuses: Dict[str, List[str]] = {
-            "legacy": [], "seq": [], "batch": []}
-        chunk_times: Dict[str, List[float]] = {
-            "legacy": [], "seq": [], "batch": []}
-
-        def run_legacy(chunk) -> float:
-            mirror = mirrors[0]
-            t0 = time.perf_counter()
-            outcomes = [legacy.submit(mirror.request(spec))
-                        for spec in chunk]
-            elapsed = time.perf_counter() - t0
-            statuses["legacy"].extend(o.status.value for o in outcomes)
-            return elapsed
+        app_seq = make_app(_app_spec_for(name), tree=trees[0])
+        app_batch = make_app(_app_spec_for(name), tree=trees[1])
+        statuses: Dict[str, List[str]] = {"seq": [], "batch": []}
+        chunk_times: Dict[str, List[float]] = {"seq": [], "batch": []}
 
         def run_seq(chunk) -> float:
-            mirror = mirrors[1]
+            mirror = mirrors[0]
             t0 = time.perf_counter()
             records = [app_seq.serve(mirror.request(spec))
                        for spec in chunk]
@@ -1345,7 +1295,7 @@ def _drive_app_overhead(name: str, n: int, steps: int, batch_size: int,
             return elapsed
 
         def run_batch(chunk) -> float:
-            mirror = mirrors[2]
+            mirror = mirrors[1]
             t0 = time.perf_counter()
             records = app_batch.serve_stream(mirror.requests(chunk))
             elapsed = time.perf_counter() - t0
@@ -1353,12 +1303,11 @@ def _drive_app_overhead(name: str, n: int, steps: int, batch_size: int,
                 r.outcome.status.value for r in records)
             return elapsed
 
-        arms = (("legacy", run_legacy), ("seq", run_seq),
-                ("batch", run_batch))
+        arms = (("seq", run_seq), ("batch", run_batch))
         for index, base in enumerate(range(0, len(specs), batch_size)):
             chunk = specs[base:base + batch_size]
-            for offset in range(3):  # rotate the arm order per chunk
-                label, runner = arms[(index + offset) % 3]
+            for offset in range(2):  # alternate the arm order per chunk
+                label, runner = arms[(index + offset) % 2]
                 chunk_times[label].append(runner(chunk))
         for mirror in mirrors:
             mirror.detach()
@@ -1369,13 +1318,10 @@ def _drive_app_overhead(name: str, n: int, steps: int, batch_size: int,
                     f"app {name}: invariant audit failed in overhead "
                     f"bench: {report.violations[0].message}")
         evidence = {
-            "legacy": (statuses["legacy"],
-                       _app_state(name, legacy, trees[0])),
-            "seq": (statuses["seq"], _app_state(name, app_seq, trees[1])),
+            "seq": (statuses["seq"], _app_state(name, app_seq, trees[0])),
             "batch": (statuses["batch"],
-                      _app_state(name, app_batch, trees[2])),
+                      _app_state(name, app_batch, trees[1])),
         }
-        legacy.detach()
         app_seq.close()
         app_batch.close()
         return chunk_times, evidence
@@ -1395,28 +1341,24 @@ def _drive_app_overhead(name: str, n: int, steps: int, batch_size: int,
     finally:
         if gc_was_enabled:
             gc.enable()
-    for label in ("seq", "batch"):
-        if evidence[label] != evidence["legacy"]:
-            raise AssertionError(
-                f"app {name}: {label} path diverged from legacy "
-                "(outcomes or app state differ)")
+    if evidence["batch"] != evidence["seq"]:
+        raise AssertionError(
+            f"app {name}: batch path diverged from seq "
+            "(outcomes or app state differ)")
     timings = {label: sum(times) for label, times in best.items()}
-
-    def overhead(arm: str) -> float:
-        baseline = timings["legacy"]
-        return (round((timings[arm] - baseline) / baseline * 100, 2)
-                if baseline else 0.0)
+    baseline = timings["seq"]
+    overhead_batch = (round((timings["batch"] - baseline) / baseline
+                            * 100, 2) if baseline else 0.0)
 
     return {
         "app": name,
-        "legacy_ms": round(timings["legacy"] * 1000, 3),
         "app_seq_ms": round(timings["seq"] * 1000, 3),
         "app_batch_ms": round(timings["batch"] * 1000, 3),
-        "overhead_seq_pct": overhead("seq"),
-        "overhead_batch_pct": overhead("batch"),
+        "overhead_batch_pct": overhead_batch,
         "equivalent": True,
-        **_tally_statuses(list(evidence["legacy"][0])),
+        **_tally_statuses(list(evidence["seq"][0])),
     }
+
 
 
 def _drive_app_complexity(name: str, sizes: List[int],
@@ -1549,10 +1491,10 @@ def run_apps(apps: str = "all", sizes: Optional[List[int]] = None,
 
     Three sections, one JSON document (``BENCH_apps.json``):
 
-    * **overhead** — the session-era app path vs the deprecated
-      hand-wired protocol path on identical churn (chunk-paired,
+    * **overhead** — the app's chunked ``serve_stream`` path vs its
+      per-request ``serve`` path on identical churn (chunk-paired,
       per-chunk minima, equivalence-asserted); target <= 5% amortized
-      over the apps that have a legacy twin;
+      across the apps;
     * **complexity** — the bench_e05/e06/e07 sweeps on the new path:
       messages per topological change against the ``12 log^2 n``
       polylog envelope, plus log-log fits of the totals
@@ -1583,11 +1525,11 @@ def run_apps(apps: str = "all", sizes: Optional[List[int]] = None,
     overhead_rows = [
         _drive_app_overhead(name, overhead_n, overhead_steps, batch_size,
                             seed, repeats)
-        for name in names if name in _app_legacy_factories()]
-    legacy_total = sum(r["legacy_ms"] for r in overhead_rows)
-    app_total = sum(r["app_batch_ms"] for r in overhead_rows)
-    amortized = (round((app_total - legacy_total) / legacy_total * 100, 2)
-                 if legacy_total else 0.0)
+        for name in names]
+    seq_total = sum(r["app_seq_ms"] for r in overhead_rows)
+    batch_total = sum(r["app_batch_ms"] for r in overhead_rows)
+    amortized = (round((batch_total - seq_total) / seq_total * 100, 2)
+                 if seq_total else 0.0)
 
     complexity = [_drive_app_complexity(name, sizes, steps_per_node, seed)
                   for name in names]
@@ -1826,6 +1768,237 @@ def run_gateway(scenario: str = "mixed_flood", seeds: str = "0,1,2",
     return document
 
 
+# ----------------------------------------------------------------------
+# fleet — the sharded controller fleet (scale-out acceptance bench).
+# ----------------------------------------------------------------------
+def _drive_fleet_cell(shard_count: int, steps: int, clients: int,
+                      seed: int, grid_report: "InvariantReport") -> Dict:
+    """One scaling cell: mixed default-mix churn over ``shard_count``
+    shards, ``clients`` sticky origins, budget sized to grant the whole
+    stream (throughput is measured, not exhaustion).
+
+    Throughput is *simulated*: each shard's busy time is its message
+    moves plus one tick of per-request engine overhead (1 tick = 1 us);
+    shards run in parallel, so the fleet's makespan is the busiest
+    shard's total and sustained req/s = steps / makespan.  That makes
+    the scaling number a property of the workload and the router —
+    independent of host load — while wall clock is reported alongside.
+    """
+    from repro.fleet import FleetConfig, FleetRouter
+
+    label = f"shards={shard_count}"
+    config = FleetConfig.of(
+        shards=shard_count, m_total=2 * steps + shard_count,
+        w_total=2 * shard_count, u=4 * steps,
+        seed=_cell_seed("fleet", shard_count, seed))
+    fleet = FleetRouter(config)
+    rng = random.Random(seed)
+    mix = default_mix()
+    pickers = [NodePicker(shard.tree) for shard in fleet.shards]
+    start = time.perf_counter()
+    for _ in range(steps):
+        client = f"client-{rng.randrange(clients)}"
+        index = fleet.place(client)
+        request = random_request(fleet.shards[index].tree, rng, mix=mix,
+                                 picker=pickers[index])
+        fleet.serve(request, origin=client)
+    wall = time.perf_counter() - start
+    for picker in pickers:
+        picker.detach()
+
+    busy = [shard.served + shard.counters.total for shard in fleet.shards]
+    makespan = max(busy)
+    report = fleet.audit()
+    grid_report.expect(report.passed, "fleet_audit",
+                       f"{label}: {report.violations[:2]}",
+                       shards=shard_count)
+    tally = fleet.tally()
+    grid_report.expect(tally.get("rejected", 0) == 0, "budget_sizing",
+                       f"{label}: scaling cell hit the reject wave "
+                       "(budget under-sized; timings would mix regimes)",
+                       shards=shard_count)
+    cell = {
+        "shards": shard_count, "steps": steps, "clients": clients,
+        "busy_ticks": busy, "makespan_ticks": makespan,
+        "total_ticks": sum(busy),
+        "sustained_req_per_s": round(steps * 1e6 / makespan, 1),
+        "wall_s": round(wall, 4),
+        "tally": tally,
+        "transfers": len(fleet.ledger),
+        "granted_total": fleet.granted_total,
+        "audit_passed": report.passed,
+    }
+    fleet.close()
+    return cell
+
+
+def run_fleet(shards: str = "1,2,4,8", steps: int = 2000,
+              clients: int = 256, seed: int = 7,
+              scale: float = 0.25) -> Dict:
+    """The fleet acceptance bench (``BENCH_fleet.json``).
+
+    Three sections, every one invariant-audited:
+
+    * **scaling** — mixed default-mix churn at each shard count;
+      simulated sustained req/s (see :func:`_drive_fleet_cell`),
+      speedup vs the 1-shard cell, and scaling efficiency
+      (speedup / shards).  Asserts >= 3x sustained req/s at 4 shards.
+    * **equivalence** — the 1-shard fleet replays the mixed_flood
+      catalogue stream against a plain terminating
+      :class:`~repro.service.session.ControllerSession` twin:
+      tallies, move counters, and the verdict sequence must be
+      bit-for-bit identical.
+    * **stress** — skewed-weight fleets driven through exhaustion:
+      must produce >= 1 cross-shard ``BudgetTransfer`` (including a
+      live-session ``reclaim``), end in a global reject wave with
+      fleet-level waste zero (granted == m_total before any client
+      reject), and audit clean.
+
+    Violations raise ``AssertionError`` with the JSON document
+    attached (the bench CLI prints it before failing).
+    """
+    from repro.fleet import FleetConfig, FleetRouter
+
+    shard_counts = [int(part) for part in str(shards).split(",")
+                    if part != ""]
+    grid_report = InvariantReport()
+    cells = [_drive_fleet_cell(count, steps, clients, seed, grid_report)
+             for count in shard_counts]
+
+    baseline = next((c for c in cells if c["shards"] == 1), cells[0])
+    scaling = []
+    for cell in cells:
+        speedup = (baseline["makespan_ticks"] / cell["makespan_ticks"]
+                   if cell["makespan_ticks"] else 0.0)
+        scaling.append({
+            "shards": cell["shards"],
+            "sustained_req_per_s": cell["sustained_req_per_s"],
+            "speedup": round(speedup, 3),
+            "efficiency": round(speedup / cell["shards"], 3),
+        })
+    four = next((s for s in scaling if s["shards"] == 4), None)
+    if four is not None:
+        grid_report.expect(
+            four["speedup"] >= 3.0, "scaling",
+            f"4-shard speedup {four['speedup']} below the 3x bar",
+            speedup=four["speedup"])
+
+    # Equivalence: 1-shard fleet == plain terminating session.
+    spec = get_scenario("mixed_flood").scaled(scale)
+    fleet_tree = spec.build_tree(seed=seed)
+    stream_specs = [request_spec(r)
+                    for r in spec.stream(fleet_tree, seed=seed + 1)]
+    fleet = FleetRouter(
+        FleetConfig.of(shards=1, m_total=spec.m, w_total=spec.w,
+                       u=spec.u),
+        trees=[fleet_tree])
+    fleet_records = fleet.serve_stream(
+        TreeMirror(fleet_tree).requests(stream_specs))
+
+    plain_tree = spec.build_tree(seed=seed)
+    plain = ControllerSession(
+        SessionConfig(controller=ControllerSpec(
+            "terminating", m=spec.m, w=spec.w, u=spec.u)),
+        tree=plain_tree)
+    plain_records = [plain.serve(r)
+                     for r in TreeMirror(plain_tree).requests(stream_specs)]
+
+    equivalent = (
+        fleet.tally() == plain.tally()
+        and fleet.shards[0].counters.snapshot()
+        == plain.controller.counters.snapshot()
+        and [r.outcome.status for r in fleet_records]
+        == [r.outcome.status for r in plain_records])
+    grid_report.expect(
+        equivalent, "equivalence",
+        "1-shard fleet diverged from the plain session on "
+        f"{spec.name} (tallies {fleet.tally()} vs {plain.tally()})")
+    audit_report = fleet.audit()
+    grid_report.expect(audit_report.passed, "fleet_audit",
+                       f"equivalence cell: {audit_report.violations[:2]}")
+    equivalence = {
+        "scenario": spec.name, "requests": len(stream_specs),
+        "tally": fleet.tally(), "equivalent": equivalent,
+    }
+    fleet.close(), plain.close()
+
+    # Stress: forced transfers, live reclaim, and the reject wave.
+    stress = FleetRouter(FleetConfig.of(
+        shards=2, m_total=60, w_total=8, u=2048, tranche=10,
+        weights=[3, 1], seed=seed))
+    rng = random.Random(seed)
+    for _ in range(4 * 60):
+        client = f"client-{rng.randrange(8)}"
+        tree = stress.tree_of(client)
+        node = rng.choice(list(tree.nodes()))
+        stress.serve(Request(RequestKind.ADD_LEAF, node), origin=client)
+    stress_tally = stress.tally()
+    stress_report = stress.audit()
+    grid_report.expect(stress_report.passed, "fleet_audit",
+                       f"stress cell: {stress_report.violations[:2]}")
+    grid_report.expect(
+        len(stress.ledger) >= 1, "transfers",
+        "the skewed stress cell produced no cross-shard transfer")
+    grid_report.expect(
+        stress.reject_wave
+        and stress.granted_total == stress.config.m_total, "reject_wave",
+        f"stress cell: granted {stress.granted_total} of "
+        f"{stress.config.m_total} at the wave (fleet waste must be 0)")
+
+    reclaim = FleetRouter(FleetConfig.of(
+        shards=2, m_total=40, w_total=4, u=2048, weights=[39, 1],
+        seed=seed))
+    starved = reclaim.shards[1]
+    for _ in range(10):
+        reclaim.serve(Request(RequestKind.ADD_LEAF, starved.tree.root))
+    reclaim_kinds = sorted({entry.kind
+                            for entry in reclaim.ledger.entries})
+    reclaim_report = reclaim.audit()
+    grid_report.expect(reclaim_report.passed, "fleet_audit",
+                       f"reclaim cell: {reclaim_report.violations[:2]}")
+    grid_report.expect(
+        "reclaim" in reclaim_kinds, "transfers",
+        f"no live-session reclaim flowed (kinds: {reclaim_kinds})")
+
+    stress_section = {
+        "tranche_cell": {
+            "tally": stress_tally,
+            "transfers": [e.snapshot() for e in stress.ledger.entries],
+            "reject_wave": stress.reject_wave,
+            "granted_total": stress.granted_total,
+            "m_total": stress.config.m_total,
+        },
+        "reclaim_cell": {
+            "transfer_kinds": reclaim_kinds,
+            "transfers": [e.snapshot() for e in reclaim.ledger.entries],
+        },
+    }
+    stress.close(), reclaim.close()
+
+    document = {
+        "scenario": "fleet",
+        "tick_model": "1 tick = 1 us; busy = served + moves; "
+                      "makespan = busiest shard",
+        "cells": cells,
+        "scaling": scaling,
+        "equivalence": equivalence,
+        "stress": stress_section,
+        "invariants": grid_report.to_json(),
+        "checks_run": sum(grid_report.checks.values()),
+        "violations": len(grid_report.violations),
+        "passed": grid_report.passed,
+    }
+    if not grid_report.passed:
+        first = grid_report.violations[0]
+        error = AssertionError(
+            f"invariant violations in the fleet bench "
+            f"({len(grid_report.violations)} total); first: "
+            f"[{first.invariant}] {first.message}")
+        error.document = document
+        raise error
+    return document
+
+
 SCENARIOS = {
     "ancestry": run_ancestry,
     "move_complexity": run_move_complexity,
@@ -1839,4 +2012,5 @@ SCENARIOS = {
     "session": run_session_overhead,
     "apps": run_apps,
     "gateway": run_gateway,
+    "fleet": run_fleet,
 }

@@ -60,6 +60,16 @@ class ProtocolError(ReproError):
     """A distributed protocol message or agent reached an impossible state."""
 
 
+class FleetError(ReproError):
+    """The fleet router was driven outside of its contract.
+
+    Examples: submitting a request whose node is not owned by any
+    shard tree, or routing by an origin whose placement disagrees with
+    the targeted node's owning shard (a client must build its requests
+    on ``tree_of(origin)``).
+    """
+
+
 class GatewayError(ReproError):
     """The ingestion gateway was driven outside of its contract, or a
     request was abandoned by a gateway shutdown.

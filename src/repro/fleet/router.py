@@ -1,0 +1,664 @@
+"""The fleet router: N controller shards behind one session surface.
+
+A :class:`FleetRouter` runs one :class:`~repro.service.session.ControllerSession`
+per shard — each on its own tree — and exposes the *same* typed-envelope
+surface as a single session (``submit`` / ``submit_many`` / ``drain`` /
+``serve`` / ``serve_stream`` / ``tally`` / ``audit``), so the ingestion
+gateway sits in front of a fleet unchanged.
+
+**Placement.**  Requests route by *origin* (any hashable client key)
+over a consistent-hash ring of shard virtual nodes, or — when no origin
+is given — by *node ownership*: every node that ever lived on a shard
+tree is registered (tree listeners keep the map live; node ids are
+never reused, so entries for removed nodes stay valid tombstones and
+dead-node requests still reach the right engine to be CANCELLED).  The
+``sticky`` policy pins an origin to its first ring answer for the
+fleet's lifetime — the locality contract that keeps one client's
+requests on one shard — and every placement is recorded so
+:func:`~repro.metrics.invariants.audit_fleet` can replay the ring and
+prove determinism.
+
+**Budget lifecycle.**  Each shard spawns terminating-flavour sessions
+(exhaustion surfaces as a PENDING the router intercepts, never as a
+client-visible reject) against its carved slice of ``M_total``.  When a
+session terminates, the shard *banks* its grants and recovers the
+leftover into its reserve — the exact stage-rollover algebra of
+:class:`~repro.core.iterated.IteratedController` — then refills from
+its own reserve, or borrows from siblings through the
+:class:`~repro.fleet.rebalancer.TransferLedger` (reserve first, then
+*reclaiming* spare locked in a sibling's live session by gracefully
+draining it).  Only when no permit remains unspent anywhere does the
+fleet enter its **reject wave**: the mop-up ``trivial`` sessions answer
+exact (M, 0) rejects, so at the first client-visible REJECTED the fleet
+has granted its entire global budget — fleet-level waste is zero, well
+inside the ``W_total`` bound the auditor checks.
+"""
+
+import threading
+from bisect import bisect_left
+from collections import deque
+from typing import (Any, Deque, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
+from zlib import crc32
+
+from repro.core.requests import Outcome, OutcomeStatus, Request
+from repro.errors import ConfigError, ControllerError, FleetError, ProtocolError
+from repro.fleet.config import FleetConfig, ShardSpec
+from repro.fleet.rebalancer import REBALANCERS, TransferLedger
+from repro.metrics.counters import MoveCounters
+from repro.metrics.invariants import InvariantReport, audit_fleet
+from repro.protocol import BudgetSplit
+from repro.service.config import ControllerSpec, SessionConfig
+from repro.service.envelopes import (OutcomeRecord, RequestEnvelope,
+                                     SessionVerdict, Ticket, verdict_of)
+from repro.service.session import ControllerSession
+from repro.tree.dynamic_tree import DynamicTree, TreeListener
+from repro.tree.node import TreeNode
+
+__all__ = ["FleetRouter", "Shard"]
+
+
+class _OwnershipListener(TreeListener):
+    """Registers every node added to a shard tree in the fleet map.
+
+    Keyed by object identity (``node_id`` counters are per-tree, so
+    twin trees collide on them); the map holds the node itself, which
+    keeps ``id()`` stable for the fleet's lifetime.  Removals keep
+    their entries as tombstones: a late request for a dead node still
+    routes to the engine that can answer CANCELLED for it.
+    """
+
+    def __init__(self, owned: Dict[int, Tuple[int, TreeNode]],
+                 index: int) -> None:
+        self._owned = owned
+        self._index = index
+
+    def on_add_leaf(self, node: TreeNode) -> None:
+        self._owned[id(node)] = (self._index, node)
+
+    def on_add_internal(self, node: TreeNode, parent: TreeNode,
+                        child: TreeNode) -> None:
+        self._owned[id(node)] = (self._index, node)
+
+
+class Shard:
+    """One member of the fleet: a tree, a live session, and the books.
+
+    The books are double-entry against the transfer ledger:
+    ``entitlement`` (= allocation + inbound - outbound) always equals
+    ``banked_granted + live budget + reserve``, which
+    :func:`~repro.metrics.invariants.audit_fleet` re-checks through the
+    :class:`~repro.protocol.BudgetSplit` contract (:attr:`budget`).
+    """
+
+    def __init__(self, index: int, spec: ShardSpec, allocation: int,
+                 waste: int, *, tranche: int, seed: int,
+                 tree: Optional[DynamicTree] = None) -> None:
+        self.index = index
+        self.spec = spec
+        self.name = spec.name
+        self.tree = tree if tree is not None else DynamicTree()
+        #: One counter object threads through every session this shard
+        #: spawns (and takes the rebalancing charges), so move totals
+        #: are cumulative across rollovers.
+        self.counters = MoveCounters()
+        self.allocation = allocation
+        self.waste = waste
+        self.reserve = allocation
+        self.banked_granted = 0
+        self.banked_rejected = 0
+        self.inbound = 0
+        self.outbound = 0
+        self.served = 0
+        self.sessions_spawned = 0
+        self.live_m = 0
+        #: Grants of the most recently closed session; -1 = none yet.
+        self.last_granted = -1
+        self._seed = seed
+        self.session: Optional[ControllerSession] = None
+        first = allocation if tranche == 0 else min(tranche, allocation)
+        self.spawn_terminating(first)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def entitlement(self) -> int:
+        """Budget this shard currently answers for."""
+        return self.allocation + self.inbound - self.outbound
+
+    @property
+    def live_granted(self) -> int:
+        return (self.session.controller.introspect().granted
+                if self.session is not None else 0)
+
+    @property
+    def live_unused(self) -> int:
+        """Unspent permits locked in the live session (reclaimable)."""
+        return (self.session.controller.unused_permits()
+                if self.session is not None else 0)
+
+    @property
+    def granted(self) -> int:
+        return self.banked_granted + self.live_granted
+
+    @property
+    def rejected(self) -> int:
+        view = (self.session.controller.introspect()
+                if self.session is not None else None)
+        return self.banked_rejected + (view.rejected if view else 0)
+
+    @property
+    def budget(self) -> BudgetSplit:
+        """The Observation 3.4 split: banked grants vs. unspent budget."""
+        return BudgetSplit(prior_grants=self.banked_granted,
+                           live_budget=self.live_m + self.reserve)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable books (bench artifacts)."""
+        return {
+            "name": self.name, "allocation": self.allocation,
+            "waste": self.waste, "reserve": self.reserve,
+            "granted": self.granted, "rejected": self.rejected,
+            "inbound": self.inbound, "outbound": self.outbound,
+            "served": self.served,
+            "sessions_spawned": self.sessions_spawned,
+            "tree_size": self.tree.size,
+            "moves": self.counters.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # Session lifecycle (driven by the router).
+    # ------------------------------------------------------------------
+    def spawn_terminating(self, m_live: int) -> None:
+        """Issue ``m_live`` permits from reserve into a fresh session."""
+        template = self.spec.session_template(m_live, self.waste)
+        options = dict(template.options)
+        options["counters"] = self.counters
+        self._spawn(ControllerSpec(template.flavor, m=template.m,
+                                   w=template.w, u=template.u,
+                                   options=options), m_live)
+
+    def spawn_trivial(self, m_live: int) -> None:
+        """Mop-up mode: an exact (M, 0) engine over the whole reserve.
+
+        Spawned when packaged sessions can no longer make progress (the
+        previous session granted nothing, or the pool is too small to
+        fill a package): the trivial engine grants permit-by-permit
+        until the pool is empty and only then rejects — so a reject is
+        a proof the budget is spent, not a packaging artifact.
+        """
+        self._spawn(ControllerSpec("trivial", m=m_live, w=0, u=0,
+                                   options={"counters": self.counters}),
+                    m_live)
+
+    def _spawn(self, spec: ControllerSpec, m_live: int) -> None:
+        assert self.session is None, "spawn over a live session"
+        assert 0 <= m_live <= self.reserve
+        self.reserve -= m_live
+        self.live_m = m_live
+        config = SessionConfig(controller=spec, seed=self._seed)
+        self.session = ControllerSession(config, tree=self.tree)
+        self.sessions_spawned += 1
+
+    def bank(self) -> None:
+        """Close the live session, banking its grants (stage rollover).
+
+        The Observation 3.4 move: grants accumulate into the shard's
+        prior-grants ledger, the unspent leftover returns to reserve —
+        no permit is minted or lost.
+        """
+        session = self.session
+        assert session is not None, "no live session to bank"
+        view = session.controller.introspect()
+        leftover = session.controller.unused_permits()
+        self.banked_granted += view.granted
+        self.banked_rejected += view.rejected
+        self.reserve += leftover
+        self.last_granted = view.granted
+        self.live_m = 0
+        self.session = None
+        session.close()
+
+    def reclaim(self) -> None:
+        """Gracefully drain the live session so siblings can borrow.
+
+        Charged as a shard-wide broadcast (one reset move per tree
+        node): recovering permits parked across a live tree costs a
+        collection wave, the same price the terminating engine pays on
+        its own termination.
+        """
+        self.counters.reset_moves += self.tree.size
+        self.bank()
+
+
+class FleetRouter:
+    """Route requests over the shards; rebalance budget between them.
+
+    Mirrors the :class:`~repro.service.session.ControllerSession`
+    surface (it satisfies :class:`repro.gateway.gateway.IngestionBackend`),
+    with one addition: ``submit``/``serve`` accept an ``origin=`` —
+    any hashable client key — that routes via the consistent-hash ring
+    instead of node ownership.  Thread-safe the same way a session is:
+    one reentrant lock serializes admission, serving, and settlement.
+    """
+
+    def __init__(self, config: FleetConfig,
+                 trees: Optional[Sequence[DynamicTree]] = None) -> None:
+        self.config = config
+        if trees is not None and len(trees) != len(config.shards):
+            raise ConfigError(
+                f"got {len(trees)} trees for {len(config.shards)} shards")
+        m_shares = config.budget_shares()
+        w_shares = config.waste_shares()
+        self.shards: List[Shard] = [
+            Shard(index, spec, m_shares[index], w_shares[index],
+                  tranche=config.tranche, seed=config.seed,
+                  tree=None if trees is None else trees[index])
+            for index, spec in enumerate(config.shards)]
+        self._by_name = {shard.name: shard for shard in self.shards}
+        self.ledger = TransferLedger()
+        self._rebalance = REBALANCERS[config.rebalance]
+
+        # Consistent-hash ring: ``ring_replicas`` virtual nodes per
+        # unit of shard weight, CRC32-placed (stable across processes,
+        # unlike ``hash()``), ties broken by shard index.
+        self._ring: List[Tuple[int, int]] = sorted(
+            (crc32(f"{spec.name}#{vnode}".encode("utf-8")), index)
+            for index, spec in enumerate(config.shards)
+            for vnode in range(config.ring_replicas * spec.weight))
+        #: Every origin ever placed -> shard index (the sticky table;
+        #: also the auditor's replay record under the hash policy).
+        self.placements: Dict[str, int] = {}
+
+        # Node ownership: every node that ever lived on a shard tree
+        # (identity-keyed; see _OwnershipListener).
+        self._owned: Dict[int, Tuple[int, TreeNode]] = {}
+        self._listeners: List[_OwnershipListener] = []
+        for shard in self.shards:
+            for node in shard.tree.nodes():
+                self._owned[id(node)] = (shard.index, node)
+            listener = _OwnershipListener(self._owned, shard.index)
+            shard.tree.add_listener(listener)
+            self._listeners.append(listener)
+
+        # Envelope machinery (mirrors the synchronous session).
+        self._next_envelope = 0
+        self._clock = 0
+        self._lock = threading.RLock()
+        self._pending: Deque[Tuple[RequestEnvelope, Ticket, int]] = deque()
+        self._ready: Deque[Tuple[OutcomeRecord, Optional[Ticket]]] = deque()
+        self._compact_limit = 64
+        self._closed = False
+        self._reject_wave = False
+        self.verdicts: Dict[str, int] = {v.value: 0 for v in SessionVerdict}
+
+    # ------------------------------------------------------------------
+    # Placement.
+    # ------------------------------------------------------------------
+    def ring_place(self, origin: Any) -> int:
+        """The pure ring answer for ``origin`` (stateless, auditable)."""
+        point = crc32(str(origin).encode("utf-8"))
+        position = bisect_left(self._ring, (point, -1))
+        if position == len(self._ring):
+            position = 0
+        return self._ring[position][1]
+
+    def place(self, origin: Any) -> int:
+        """Shard index for ``origin`` under the configured policy.
+
+        ``sticky`` pins the first answer for the fleet's lifetime;
+        ``hash`` recomputes every time (identical under a fixed ring).
+        Either way the placement is recorded for the determinism audit.
+        """
+        key = str(origin)
+        with self._lock:
+            pinned = self.placements.get(key)
+            if pinned is not None and self.config.placement == "sticky":
+                return pinned
+            index = self.ring_place(key)
+            if pinned is None:
+                self.placements[key] = index
+            return index
+
+    def tree_of(self, origin: Any) -> DynamicTree:
+        """The tree a client keyed ``origin`` should build requests on."""
+        return self.shards[self.place(origin)].tree
+
+    def owner_of(self, node: TreeNode) -> Optional[int]:
+        """Shard index owning ``node``, or None if it never lived on a
+        shard tree (tombstones for removed nodes included)."""
+        entry = self._owned.get(id(node))
+        return entry[0] if entry is not None else None
+
+    def _route(self, request: Request, origin: Optional[Any]) -> int:
+        owner = self.owner_of(request.node)
+        if origin is not None:
+            index = self.place(origin)
+            if owner is not None and owner != index:
+                raise FleetError(
+                    f"origin {origin!r} places on shard "
+                    f"{self.shards[index].name!r} but the request targets "
+                    f"a node owned by shard {self.shards[owner].name!r}; "
+                    "build a client's requests on its tree_of(origin)")
+            return index
+        if owner is None:
+            raise FleetError(
+                "request node is not owned by any shard tree; pass "
+                "origin= or build requests against a shard tree "
+                "(tree_of / shards[i].tree)")
+        return owner
+
+    # ------------------------------------------------------------------
+    # Budget rebalancing.
+    # ------------------------------------------------------------------
+    def _availability(self, requester: Shard) -> int:
+        """Permits obtainable for ``requester`` right now."""
+        total = 0
+        for shard in self.shards:
+            total += shard.reserve
+            if shard is not requester and shard.session is not None:
+                total += shard.live_unused
+        return total
+
+    def _transfer(self, donor: Shard, receiver: Shard, permits: int,
+                  kind: str) -> None:
+        assert 0 < permits <= donor.reserve
+        donor.reserve -= permits
+        receiver.reserve += permits
+        donor.outbound += permits
+        receiver.inbound += permits
+        self.ledger.record(donor.name, receiver.name, permits, kind)
+        # The permit batch rides root-to-root through the coordinator:
+        # one hop out of the donor, one into the receiver.
+        donor.counters.package_moves += 1
+        receiver.counters.package_moves += 1
+
+    def _borrow(self, shard: Shard, need: int) -> None:
+        """Pull up to ``need`` permits from siblings into ``shard``.
+
+        Reserve donations first (no live engine touched); if need
+        remains, spare is *reclaimed* from sibling live sessions by
+        gracefully draining them (their grants bank, their leftover
+        becomes lendable reserve).  The configured policy plans both
+        phases.
+        """
+        donors = [(s.name, s.reserve)
+                  for s in self.shards if s is not shard and s.reserve > 0]
+        for name, take in self._rebalance(need, donors):
+            self._transfer(self._by_name[name], shard, take, "reserve")
+            need -= take
+        if need <= 0:
+            return
+        locked = [(s.name, s.live_unused)
+                  for s in self.shards
+                  if s is not shard and s.session is not None
+                  and s.live_unused > 0]
+        for name, take in self._rebalance(need, locked):
+            donor = self._by_name[name]
+            donor.reclaim()
+            take = min(take, donor.reserve)
+            if take > 0:
+                self._transfer(donor, shard, take, "reclaim")
+                need -= take
+
+    def _refill(self, shard: Shard) -> None:
+        """Give ``shard`` a fresh session from whatever budget remains."""
+        target = max(self.config.tranche or shard.allocation, 1)
+        if shard.reserve < target:
+            self._borrow(shard, target - shard.reserve)
+        if shard.reserve == 0:
+            # Global budget spent: an empty mop-up engine still answers
+            # CANCELLED/REJECTED with exact semantics.
+            shard.spawn_trivial(0)
+        elif shard.last_granted == 0:
+            # The previous packaged session made no progress (tranche
+            # below the needed package size) — grant the rest exactly.
+            shard.spawn_trivial(shard.reserve)
+        else:
+            shard.spawn_terminating(min(target, shard.reserve))
+
+    def _rollover(self, shard: Shard) -> None:
+        shard.bank()
+        self._refill(shard)
+
+    def _serve_on(self, index: int, request: Request) -> Outcome:
+        """Serve one request on a shard, rebalancing across rollovers.
+
+        Terminating PENDINGs are intercepted and retried on a refilled
+        session; a REJECTED is let through only once nothing remains
+        borrowable anywhere — the global reject wave.
+        """
+        shard = self.shards[index]
+        shard.served += 1
+        while True:
+            session = shard.session
+            if session is None:  # clawed back by a sibling
+                self._refill(shard)
+                session = shard.session
+                assert session is not None
+            record = session.serve(request)
+            outcome: Outcome = record.outcome
+            status = outcome.status
+            if status is OutcomeStatus.PENDING:
+                self._rollover(shard)
+                continue
+            if status is OutcomeStatus.REJECTED and not self._reject_wave:
+                if self._availability(shard) > 0:
+                    self._rollover(shard)
+                    continue
+                self._reject_wave = True
+            return outcome
+
+    # ------------------------------------------------------------------
+    # Clock and introspection.
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The fleet clock: a submit/settle operation counter."""
+        return float(self._clock)
+
+    @property
+    def in_flight(self) -> int:
+        # Every shard flavour is synchronous, so admitted-but-unsettled
+        # is exactly the pending queue (no event-driven callback leg).
+        return len(self._pending)
+
+    @property
+    def backpressured(self) -> int:
+        return self.verdicts[SessionVerdict.BACKPRESSURE.value]
+
+    @property
+    def undelivered(self) -> int:
+        return sum(1 for _record, ticket in self._ready
+                   if ticket is None or not ticket.claimed)
+
+    @property
+    def reject_wave(self) -> bool:
+        """True once a reject reached a client (global budget spent)."""
+        return self._reject_wave
+
+    @property
+    def granted_total(self) -> int:
+        return sum(shard.granted for shard in self.shards)
+
+    def tally(self) -> Dict[str, int]:
+        """Verdict counts over every settled record."""
+        return dict(self.verdicts)
+
+    def audit(self, report: Optional[InvariantReport] = None
+              ) -> InvariantReport:
+        """Run the fleet auditor (per-shard engines + global books)."""
+        return audit_fleet(self, report)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable fleet books (bench artifacts)."""
+        return {
+            "config": self.config.snapshot(),
+            "shards": [shard.snapshot() for shard in self.shards],
+            "transfers": [entry.snapshot() for entry in self.ledger.entries],
+            "granted_total": self.granted_total,
+            "reject_wave": self._reject_wave,
+            "verdicts": dict(self.verdicts),
+        }
+
+    # ------------------------------------------------------------------
+    # Submission (the ControllerSession surface).
+    # ------------------------------------------------------------------
+    def submit(self, request: Request, delay: Optional[float] = None,
+               origin: Optional[Any] = None) -> Ticket:
+        """Admit one request; non-blocking (see session ``submit``).
+
+        ``delay`` is accepted for surface parity and ignored — every
+        shard flavour is synchronous.  ``origin`` routes by placement
+        instead of node ownership.
+        """
+        with self._lock:
+            if self._closed:
+                raise ControllerError("fleet is closed")
+            index = self._route(request, origin)
+            tick = float(self._clock)
+            envelope = RequestEnvelope(envelope_id=self._next_envelope,
+                                       request=request, submit_tick=tick)
+            self._next_envelope += 1
+            self._clock += 1
+            ticket = Ticket(envelope, pump=self._pump)
+            if len(self._pending) >= self.config.max_in_flight:
+                self._settle(ticket, envelope, None,
+                             SessionVerdict.BACKPRESSURE)
+                return ticket
+            self._pending.append((envelope, ticket, index))
+            return ticket
+
+    def submit_many(self, requests: Iterable[Request],
+                    stagger: Optional[float] = None,
+                    origin: Optional[Any] = None) -> List[Ticket]:
+        """Admit a batch (``stagger`` accepted for parity, ignored)."""
+        return [self.submit(request, origin=origin)
+                for request in requests]
+
+    def serve(self, request: Request,
+              origin: Optional[Any] = None) -> OutcomeRecord:
+        """Serve one request to completion, synchronously.
+
+        Never queued: admission control does not apply and the record
+        is not re-yielded by :meth:`drain` (session ``serve`` contract).
+        """
+        with self._lock:
+            if self._closed:
+                raise ControllerError("fleet is closed")
+            index = self._route(request, origin)
+            if self._pending:
+                self._pump()  # keep settlement order = submission order
+            clock = self._clock
+            envelope_id = self._next_envelope
+            self._next_envelope = envelope_id + 1
+            outcome = self._serve_on(index, request)
+            self._clock = clock + 2
+            self.verdicts[outcome.status.value] += 1
+            return OutcomeRecord((request, envelope_id, float(clock),
+                                  outcome, float(clock + 1), None))
+
+    def serve_stream(self, requests: Iterable[Request],
+                     origin: Optional[Any] = None) -> List[OutcomeRecord]:
+        """Serve a lazily-resolved stream in order (session contract:
+        each request binds only after the previous one was applied)."""
+        return [self.serve(request, origin=origin) for request in requests]
+
+    # ------------------------------------------------------------------
+    # Settlement (mirrors the synchronous session).
+    # ------------------------------------------------------------------
+    def _settle(self, ticket: Ticket, envelope: RequestEnvelope,
+                outcome: Optional[Outcome],
+                verdict: SessionVerdict) -> None:
+        self._clock += 1
+        record = OutcomeRecord((envelope.request, envelope.envelope_id,
+                                envelope.submit_tick, outcome, self.now,
+                                None))
+        self.verdicts[verdict.value] += 1
+        ticket._settle(record)
+        ready = self._ready
+        while ready:
+            head_ticket = ready[0][1]
+            if head_ticket is None or not head_ticket.claimed:
+                break
+            ready.popleft()
+        ready.append((record, ticket))
+        if len(ready) >= self._compact_limit:
+            retained = [pair for pair in ready
+                        if pair[1] is None or not pair[1].claimed]
+            ready.clear()
+            ready.extend(retained)
+            self._compact_limit = max(64, 2 * len(retained))
+
+    def _pump(self) -> bool:
+        """Serve the whole pending queue; False when idle."""
+        with self._lock:
+            if self._closed:
+                raise ControllerError("fleet is closed")
+            if not self._pending:
+                return False
+            batch = list(self._pending)
+            self._pending.clear()
+            for envelope, ticket, index in batch:
+                outcome = self._serve_on(index, envelope.request)
+                self._settle(ticket, envelope, outcome, verdict_of(outcome))
+            return True
+
+    def drain(self) -> Iterator[OutcomeRecord]:
+        """Pump, yielding records in settlement order (exactly-once)."""
+        while True:
+            with self._lock:
+                record_ticket: Optional[
+                    Tuple[OutcomeRecord, Optional[Ticket]]] = None
+                while self._ready:
+                    head, ticket = self._ready.popleft()
+                    if ticket is not None and ticket.claimed:
+                        continue
+                    record_ticket = (head, ticket)
+                    break
+                if record_ticket is None:
+                    if self.in_flight == 0:
+                        return
+                    if not self._pump():
+                        raise ProtocolError(
+                            f"{self.in_flight} requests in flight but "
+                            "the fleet is idle")
+                    continue
+            yield record_ticket[0]
+
+    def settle_all(self) -> List[OutcomeRecord]:
+        """Drain to quiescence and return the settled records."""
+        return list(self.drain())
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close every shard session and detach the ownership
+        listeners.  Idempotent; in-flight requests are abandoned."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for shard, listener in zip(self.shards, self._listeners):
+                shard.tree.remove_listener(listener)
+                if shard.session is not None:
+                    shard.session.close()
+
+    def __enter__(self) -> "FleetRouter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"FleetRouter(shards={len(self.shards)}, "
+                f"m_total={self.config.m_total}, "
+                f"granted={self.granted_total}, "
+                f"transfers={len(self.ledger)}, "
+                f"reject_wave={self._reject_wave})")

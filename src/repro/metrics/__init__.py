@@ -7,6 +7,7 @@ from repro.metrics.invariants import (
     InvariantReport,
     Violation,
     audit_controller,
+    audit_fleet,
     audit_outcomes,
     audit_tallies,
     tally_outcomes,
@@ -17,6 +18,7 @@ __all__ = [
     "InvariantReport",
     "Violation",
     "audit_controller",
+    "audit_fleet",
     "audit_outcomes",
     "audit_tallies",
     "tally_outcomes",

@@ -411,6 +411,131 @@ def audit_gateway(gateway, report: Optional[InvariantReport] = None
     return report
 
 
+def audit_fleet(fleet, report: Optional[InvariantReport] = None
+                ) -> InvariantReport:
+    """Audit a sharded fleet: global contract, ledger, router, shards.
+
+    Duck-typed on :class:`repro.fleet.router.FleetRouter` (``config``,
+    ``shards``, ``ledger``, ``placements``, ``ring_place``,
+    ``verdicts``).  Fleet-level guarantees:
+
+    * **fleet safety**: Σ granted across shards (banked + live) never
+      exceeds ``m_total``;
+    * **carve conservation**: per-shard allocations sum to exactly
+      ``m_total`` and carved waste allowances stay within ``w_total``
+      (budget is carved, never minted);
+    * **ledger conservation**: every borrowed permit is debited exactly
+      once — each shard's recorded ``inbound``/``outbound`` match the
+      ledger column sums, entries are well-formed (positive, between
+      distinct existing shards, serials dense), and each shard's
+      :class:`~repro.protocol.BudgetSplit` balances its entitlement:
+      ``banked grants + live budget + reserve ==
+      allocation + inbound - outbound``;
+    * **router determinism**: every recorded placement equals the ring
+      answer recomputed now (same origin → same shard under a fixed
+      ring), and every live tree node is owned by exactly its shard;
+    * **fleet waste**: once any client-visible reject happened, at
+      least ``m_total - w_total`` permits were granted globally (the
+      reject wave may only start when the global budget is spent).
+
+    Then every live shard engine is audited recursively via
+    :func:`audit_controller` (safety/waste/conservation/package shape
+    per shard).
+    """
+    report = report if report is not None else InvariantReport()
+    config = fleet.config
+    shards = list(fleet.shards)
+    label = "fleet"
+
+    granted_total = sum(shard.granted for shard in shards)
+    report.expect(
+        granted_total <= config.m_total, f"{label}:safety",
+        f"granted {granted_total} exceeds M_total {config.m_total}",
+        granted=granted_total, m_total=config.m_total)
+
+    allocations = sum(shard.allocation for shard in shards)
+    report.expect(
+        allocations == config.m_total, f"{label}:carve",
+        f"shard allocations sum to {allocations}, not M_total "
+        f"{config.m_total}",
+        allocations=[shard.allocation for shard in shards],
+        m_total=config.m_total)
+    waste_carved = sum(shard.waste for shard in shards)
+    report.expect(
+        waste_carved <= config.w_total, f"{label}:carve",
+        f"carved waste {waste_carved} exceeds W_total {config.w_total}",
+        waste=[shard.waste for shard in shards], w_total=config.w_total)
+
+    # Transfer-ledger integrity and double-entry conservation.
+    names = {shard.name for shard in shards}
+    entries = fleet.ledger.entries
+    for position, entry in enumerate(entries):
+        report.expect(
+            entry.serial == position and entry.permits > 0
+            and entry.donor != entry.receiver
+            and entry.donor in names and entry.receiver in names,
+            f"{label}:ledger",
+            f"malformed transfer {entry!r} at position {position}",
+            entry=entry.snapshot())
+    for shard in shards:
+        ledger_in = fleet.ledger.inbound(shard.name)
+        ledger_out = fleet.ledger.outbound(shard.name)
+        report.expect(
+            shard.inbound == ledger_in and shard.outbound == ledger_out,
+            f"{label}:ledger",
+            f"shard {shard.name!r} books (in {shard.inbound}, out "
+            f"{shard.outbound}) disagree with ledger (in {ledger_in}, "
+            f"out {ledger_out})",
+            shard=shard.name, inbound=shard.inbound,
+            outbound=shard.outbound, ledger_inbound=ledger_in,
+            ledger_outbound=ledger_out)
+        split = shard.budget
+        report.expect(
+            split.total == shard.entitlement,
+            f"{label}:conservation",
+            f"shard {shard.name!r}: banked grants {split.prior_grants} "
+            f"+ live budget {split.live_budget} != entitlement "
+            f"{shard.entitlement} (allocation {shard.allocation} + "
+            f"inbound {shard.inbound} - outbound {shard.outbound})",
+            shard=shard.name, prior_grants=split.prior_grants,
+            live_budget=split.live_budget,
+            entitlement=shard.entitlement)
+
+    # Router determinism: recorded placements replay identically, and
+    # node ownership matches the trees.
+    for origin, index in fleet.placements.items():
+        report.expect(
+            fleet.ring_place(origin) == index, f"{label}:routing",
+            f"origin {origin!r} recorded on shard {index} but the ring "
+            f"now answers {fleet.ring_place(origin)}",
+            origin=origin, recorded=index)
+    for shard in shards:
+        for node in shard.tree.nodes():
+            owner = fleet.owner_of(node)
+            report.expect(
+                owner == shard.index, f"{label}:routing",
+                f"node {node.node_id} lives on shard {shard.index} but "
+                f"is registered to {owner}",
+                node=node.node_id, shard=shard.index, owner=owner)
+
+    rejected = fleet.verdicts.get("rejected", 0)
+    if rejected:
+        floor = config.m_total - config.w_total
+        report.expect(
+            granted_total >= floor, f"{label}:waste",
+            f"reject wave with only {granted_total} granted; the "
+            f"global contract requires >= {floor} "
+            f"(M_total {config.m_total} - W_total {config.w_total})",
+            granted=granted_total, floor=floor, rejected=rejected)
+    else:
+        report.count(f"{label}:waste")
+
+    for shard in shards:
+        if shard.session is not None:
+            audit_controller(shard.session.controller, report)
+    return report
+
+
 # ----------------------------------------------------------------------
 # Outcome tallying and the tally audit (engine-agnostic).
 # ----------------------------------------------------------------------

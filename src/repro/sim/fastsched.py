@@ -115,7 +115,7 @@ class FastEvent:
         if self.cancelled or self._consumed:
             return
         self.cancelled = True
-        self._sched._live -= 1
+        self._sched._tombstones += 1
 
     def __repr__(self) -> str:
         state = ("cancelled" if self.cancelled
@@ -134,12 +134,12 @@ class FastScheduler:
     reference scheduler.
     """
 
-    __slots__ = ("_now", "_live", "executed", "_max_events", "_seq",
+    __slots__ = ("_now", "_tombstones", "executed", "_max_events", "_seq",
                  "_heap")
 
     def __init__(self, max_events: int = 50_000_000) -> None:
         self._now = 0.0
-        self._live = 0
+        self._tombstones = 0
         self.executed = 0
         self._max_events = max_events
         self._seq = 0
@@ -157,8 +157,16 @@ class FastScheduler:
         return self._now
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued (O(1))."""
-        return self._live
+        """Number of not-yet-cancelled events still queued (O(1)).
+
+        Exact at every instant, including from a callback running
+        inside :meth:`step_batch`: the count is derived as heap length
+        minus live tombstones, both of which update record-by-record
+        at C speed — there is no batched write-back to flush.  (The
+        event being executed right now is not pending, matching the
+        reference scheduler, whose queue also pops before the call.)
+        """
+        return len(self._heap) - self._tombstones
 
     # ------------------------------------------------------------------
     # Scheduling.
@@ -178,7 +186,6 @@ class FastScheduler:
         seq = self._seq
         self._seq = seq + 1
         heappush(self._heap, (self._now + delay, seq, fn, arg))
-        self._live += 1
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> FastEvent:
         """Reference-compatible path: returns a cancellable handle."""
@@ -190,7 +197,6 @@ class FastScheduler:
         seq = self._seq
         self._seq = seq + 1
         heappush(self._heap, (time, seq, None, event))
-        self._live += 1
         return event
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> FastEvent:
@@ -209,11 +215,12 @@ class FastScheduler:
         The tight loop of the whole engine: one heap pop, one unpack
         and one call per event, tombstones skipped in place.  ``_now``
         is updated per event (callbacks compute their stamps from it);
-        ``executed`` and ``_live`` are settled at batch boundaries —
-        written back in ``finally`` even when a callback raises, so the
-        caller can keep pumping the remainder.  (``pending()`` readers
-        are cross-thread health probes; a batch-stale backlog count is
-        within their tolerance.)
+        ``executed`` is settled at the batch boundary — written back in
+        ``finally`` even when a callback raises, so the caller can keep
+        pumping the remainder.  ``pending()`` needs no write-back at
+        all: it derives from the heap length and the tombstone count,
+        which this loop maintains exactly, so any reader — a
+        same-thread callback mid-batch included — sees exact counts.
         """
         heap = self._heap
         pop = heappop
@@ -225,6 +232,7 @@ class FastScheduler:
                 time, _seq, fn, arg = pop(heap)
                 if fn is None:
                     if arg.cancelled:
+                        self._tombstones -= 1
                         continue
                     arg._consumed = True
                     self._now = time
@@ -246,7 +254,6 @@ class FastScheduler:
                     fn(arg)
         finally:
             self.executed = executed
-            self._live -= ran
         return ran
 
     def step(self) -> bool:
@@ -280,11 +287,11 @@ class FastScheduler:
             if fn is None:
                 event = record[3]
                 if event.cancelled:
+                    self._tombstones -= 1
                     continue
                 event._consumed = True
                 fn = event.fn
                 self._now = record[0]
-                self._live -= 1
                 self.executed += 1
                 if self.executed > max_events:
                     raise SimulationError(
@@ -293,7 +300,6 @@ class FastScheduler:
                 fn()
             else:
                 self._now = record[0]
-                self._live -= 1
                 self.executed += 1
                 if self.executed > max_events:
                     raise SimulationError(

@@ -18,7 +18,6 @@ from repro.workloads.scenarios import (
     grow_only_mix,
     random_request,
     request_spec,
-    run_scenario,
 )
 
 __all__ = [
@@ -37,5 +36,4 @@ __all__ = [
     "grow_only_mix",
     "random_request",
     "request_spec",
-    "run_scenario",
 ]

@@ -16,9 +16,8 @@ and caterpillars (high degree — deletion hand-over stress).
 """
 
 import random
-import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.tree.dynamic_tree import DynamicTree, TreeListener
 from repro.tree.node import TreeNode
@@ -278,82 +277,3 @@ class ScenarioResult:
             self.outcomes.append(outcome)
 
 
-def run_scenario(tree: DynamicTree,
-                 submit: Callable[[Request], Outcome],
-                 steps: int,
-                 seed: int = 0,
-                 mix: Optional[Dict[RequestKind, float]] = None,
-                 keep_outcomes: bool = False,
-                 on_step: Optional[Callable[[int, Outcome], None]] = None,
-                 stop_when: Optional[Callable[[], bool]] = None,
-                 batch_size: int = 1,
-                 submit_batch: Optional[
-                     Callable[[List[Request]], List[Outcome]]] = None
-                 ) -> ScenarioResult:
-    """Generate ``steps`` random requests and feed them to ``submit``.
-
-    .. deprecated:: 1.3
-        This is the legacy callable-wiring driver, kept as a thin shim
-        (identical tallies, property-tested) for one minor release.
-        New code should build a
-        :class:`repro.service.session.ControllerSession` and use
-        :func:`repro.service.drive_scenario`, which drives the same
-        stream through the session layer (typed envelopes, admission
-        control, streaming settlement).
-
-    ``on_step`` (if given) runs after every request — property tests hook
-    invariant checks there.  ``stop_when`` ends the scenario early (e.g.
-    once the controller starts rejecting).
-
-    Batched mode: with ``batch_size > 1``, requests are generated
-    ``batch_size`` at a time against the tree state at batch start and
-    fed to ``submit_batch`` (a controller's ``handle_batch`` /
-    ``submit_batch``; defaults to a loop over ``submit``).  This is the
-    usual batching contract: a request whose target vanishes under an
-    earlier in-batch grant resolves CANCELLED, exactly as the
-    controller's own meaning check prescribes.  With ``batch_size=1``
-    behaviour is bit-for-bit the historical sequential driver.
-    """
-    warnings.warn(
-        "run_scenario(tree, submit, ...) is deprecated; build a "
-        "repro.service.ControllerSession and drive it with "
-        "repro.service.drive_scenario (same tallies, typed envelopes). "
-        "The callable-wiring shim will be removed in 2.0.",
-        DeprecationWarning, stacklevel=2)
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    rng = random.Random(seed)
-    picker = NodePicker(tree)
-    result = ScenarioResult()
-    if submit_batch is None:
-        def submit_batch(batch):
-            return [submit(request) for request in batch]
-    try:
-        step = 0
-        while step < steps:
-            if batch_size == 1:
-                batch = [random_request(tree, rng, mix=mix, picker=picker)]
-            else:
-                batch = [random_request(tree, rng, mix=mix, picker=picker)
-                         for _ in range(min(batch_size, steps - step))]
-            outcomes = submit_batch(batch)
-            stop = False
-            for outcome in outcomes:
-                # Every outcome of a submitted batch is recorded, even
-                # past a stop_when trigger — the controller already
-                # served those requests, so dropping them would leave
-                # the tallies disagreeing with the move counters.  The
-                # scenario then ends at the batch boundary (with
-                # batch_size=1 this is exactly the historical
-                # stop-after-the-request behaviour).
-                result.record(outcome, keep_outcomes)
-                if on_step is not None:
-                    on_step(step, outcome)
-                step += 1
-                if stop_when is not None and stop_when():
-                    stop = True
-            if stop:
-                break
-    finally:
-        picker.detach()
-    return result

@@ -1,27 +1,18 @@
-"""New-path == legacy-path equivalence for every Section 5 app.
+"""Differential equivalence for every Section 5 app.
 
-The deprecated hand-wired constructors are kept (until 2.0) precisely
-to serve as the differential reference: on identical catalogue streams
-the session-era apps must produce identical outcome tallies and
-identical app-level state — estimates, ids, mu pointers, labels —
-across multiple iteration rollovers, and the invariant auditor must
-come back clean.  The event-driven half runs every app on the
-distributed engine under >= 2 schedule policies and audits it.
+With the legacy hand-wired constructors removed in 2.0, the
+differential reference is the app's own per-request ``serve`` loop: on
+identical catalogue streams the chunked ``serve_stream`` path must
+produce identical outcome tallies and identical app-level state —
+estimates, ids, mu pointers, labels — across multiple iteration
+rollovers, and the invariant auditor must come back clean.  The
+event-driven half runs every app on the distributed engine under >= 2
+schedule policies and audits it.
 """
-
-import warnings
 
 import pytest
 
 from repro import AppSpec, make_app
-from repro.apps import (
-    AncestryLabeling,
-    HeavyChildDecomposition,
-    NameAssignmentProtocol,
-    RoutingLabeling,
-    SizeEstimationProtocol,
-    SubtreeEstimator,
-)
 from repro.service.envelopes import IterationRecord, OutcomeRecord
 from repro.workloads import TreeMirror, request_spec
 from repro.workloads.catalogue import get_scenario
@@ -38,48 +29,6 @@ APP_SPECS = {
     "routing_labels": {},
     "majority_commit": {"total": 1 << 16, "beta": 1.5},
 }
-
-
-def _legacy_build(name, tree):
-    """The deprecated path for ``name`` on ``tree``: (submit, state)."""
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        if name == "size_estimation":
-            obj = SizeEstimationProtocol(tree, beta=2.0)
-            return obj.submit, lambda: ("est", obj.estimate,
-                                        obj.iterations_run)
-        if name == "name_assignment":
-            obj = NameAssignmentProtocol(tree)
-            return obj.submit, lambda: ("ids", sorted(
-                (n.node_id, obj.ids[n]) for n in tree.nodes()))
-        if name == "subtree_estimator":
-            obj = SubtreeEstimator(tree, beta=2.0)
-            return obj.submit, lambda: ("sw", sorted(
-                (n.node_id, obj.estimate(n)) for n in tree.nodes()))
-        if name == "heavy_child":
-            obj = HeavyChildDecomposition(tree)
-            return obj.submit, lambda: ("mu", sorted(
-                (k.node_id, v.node_id) for k, v in obj._mu.items()))
-        if name == "ancestry_labels":
-            guard = SizeEstimationProtocol(tree, beta=2.0)
-            labels = AncestryLabeling(tree, slack=4)
-            return guard.submit, lambda: ("labels", sorted(
-                (n.node_id, labels.labels[n]) for n in tree.nodes()),
-                labels.relabels)
-        if name == "routing_labels":
-            guard = SizeEstimationProtocol(tree, beta=2.0)
-            labels = RoutingLabeling(tree)
-            return guard.submit, lambda: ("routes", sorted(
-                (n.node_id, labels.labels[n]) for n in tree.nodes()),
-                labels.relabels)
-        if name == "majority_commit":
-            # The legacy class exposes join/leave; its estimator is the
-            # submit surface the app inherits.
-            from repro.apps import MajorityCommitProtocol
-            obj = MajorityCommitProtocol(tree, total=1 << 16, beta=1.5)
-            return obj.estimator.submit, lambda: (
-                "maj", obj.estimator.estimate, obj.can_commit())
-    raise AssertionError(name)
 
 
 def _app_state(name, app, tree):
@@ -113,31 +62,34 @@ def _scenario_stream(scenario, seed):
 
 @pytest.mark.parametrize("scenario", SCENARIOS)
 @pytest.mark.parametrize("name", sorted(APP_SPECS))
-def test_legacy_and_app_paths_agree(name, scenario):
+def test_serve_and_stream_paths_agree(name, scenario):
     seed = 11
     spec, stream = _scenario_stream(scenario, seed)
 
-    tree_l = spec.build_tree(seed=seed)
-    mirror_l = TreeMirror(tree_l)
-    submit, legacy_state = _legacy_build(name, tree_l)
-    statuses_l = [submit(mirror_l.request(s)).status for s in stream]
-    mirror_l.detach()
+    tree_s = spec.build_tree(seed=seed)
+    mirror_s = TreeMirror(tree_s)
+    app_s = make_app(AppSpec(name, params=APP_SPECS[name]), tree=tree_s)
+    statuses_s = [app_s.serve(mirror_s.request(s)).outcome.status
+                  for s in stream]
+    mirror_s.detach()
 
-    tree_a = spec.build_tree(seed=seed)
-    mirror_a = TreeMirror(tree_a)
-    app = make_app(AppSpec(name, params=APP_SPECS[name]), tree=tree_a)
-    records = app.serve_stream(mirror_a.requests(stream))
-    mirror_a.detach()
-    statuses_a = [r.outcome.status for r in records]
+    tree_b = spec.build_tree(seed=seed)
+    mirror_b = TreeMirror(tree_b)
+    app_b = make_app(AppSpec(name, params=APP_SPECS[name]), tree=tree_b)
+    records = app_b.serve_stream(mirror_b.requests(stream))
+    mirror_b.detach()
+    statuses_b = [r.outcome.status for r in records]
 
-    assert statuses_l == statuses_a
-    assert legacy_state() == _app_state(name, app, tree_a)
-    assert tree_l.size == tree_a.size
+    assert statuses_s == statuses_b
+    assert _app_state(name, app_s, tree_s) == _app_state(name, app_b,
+                                                         tree_b)
+    assert tree_s.size == tree_b.size
     # The stream must have exercised the Observation 2.1 rollover.
-    assert app.iterations_run >= 2
-    report = app.audit()
-    assert report.passed, report.violations
-    app.close()
+    assert app_b.iterations_run >= 2
+    for app in (app_s, app_b):
+        report = app.audit()
+        assert report.passed, report.violations
+        app.close()
 
 
 @pytest.mark.parametrize("policy", ["random", "adversary"])

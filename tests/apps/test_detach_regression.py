@@ -6,8 +6,6 @@ detached app must actually be unregistered (no hooks fire on later
 mutations).
 """
 
-import warnings
-
 import pytest
 
 from repro import AppSpec, make_app
@@ -39,25 +37,16 @@ def test_new_app_double_close_unregisters_everything(name):
 
 @pytest.mark.parametrize("factory", [
     lambda tree: __import__("repro.apps", fromlist=["x"])
-    .SizeEstimationProtocol(tree, beta=2.0),
-    lambda tree: __import__("repro.apps", fromlist=["x"])
-    .NameAssignmentProtocol(tree),
-    lambda tree: __import__("repro.apps", fromlist=["x"])
-    .SubtreeEstimator(tree, beta=2.0),
-    lambda tree: __import__("repro.apps", fromlist=["x"])
-    .HeavyChildDecomposition(tree),
-    lambda tree: __import__("repro.apps", fromlist=["x"])
     .AncestryLabeling(tree),
     lambda tree: __import__("repro.apps", fromlist=["x"])
     .RoutingLabeling(tree),
-], ids=["size_estimation", "name_assignment", "subtree_estimator",
-        "heavy_child", "ancestry_labels", "routing_labels"])
-def test_legacy_double_detach_is_a_noop(factory):
+], ids=["ancestry_labels", "routing_labels"])
+def test_label_layer_double_detach_is_a_noop(factory):
+    """The listener-layer label structures the apps compose with must
+    survive a second ``detach()`` (discard semantics)."""
     tree = build_random_tree(10, seed=2)
     baseline = _listener_count(tree)
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        obj = factory(tree)
+    obj = factory(tree)
     obj.detach()
     assert _listener_count(tree) == baseline
     obj.detach()  # second detach: discard semantics, no raise

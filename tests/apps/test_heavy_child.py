@@ -1,77 +1,68 @@
-"""Tests for the heavy-child decomposition (Theorem 5.4)."""
+"""Tests for the heavy-child decomposition app (Theorem 5.4)."""
 
 import math
-import random
 
-from repro import RequestKind
-from repro.apps import HeavyChildDecomposition
-from repro.workloads import (
-    NodePicker,
-    build_caterpillar,
-    build_random_tree,
-    random_request,
-)
+from repro import AppSpec, RequestKind, make_app
+from repro.workloads import build_caterpillar, build_random_tree
+from tests.drivers import churn_app
 
 
-def churn(tree, decomposition, steps, seed, mix=None):
-    rng = random.Random(seed)
-    picker = NodePicker(tree)
-    done = 0
-    while done < steps:
-        request = random_request(tree, rng, mix=mix, picker=picker)
-        if request.kind is RequestKind.PLAIN:
-            continue
-        decomposition.submit(request)
-        done += 1
-    picker.detach()
+def _build(tree):
+    return make_app(AppSpec("heavy_child"), tree=tree)
 
 
 def test_every_internal_node_has_a_heavy_child():
     tree = build_random_tree(60, seed=1)
-    decomposition = HeavyChildDecomposition(tree)
-    churn(tree, decomposition, steps=200, seed=2)
+    app = _build(tree)
+    churn_app(tree, app, steps=200, seed=2)
     for node in tree.nodes():
         if node.children:
-            heavy = decomposition.heavy_child(node)
+            heavy = app.heavy_child(node)
             assert heavy is not None
             assert heavy.parent is node
         else:
-            assert decomposition.heavy_child(node) is None
+            assert app.heavy_child(node) is None
+    app.close()
 
 
 def test_light_depth_logarithmic_on_random_churn():
     tree = build_random_tree(100, seed=3)
-    decomposition = HeavyChildDecomposition(tree)
-    churn(tree, decomposition, steps=400, seed=4)
+    app = _build(tree)
+    churn_app(tree, app, steps=400, seed=4)
     n = tree.size
     bound = 6 * math.log2(max(n, 2)) + 6
-    assert decomposition.max_light_depth() <= bound
+    assert app.max_light_depth() <= bound
+    app.close()
 
 
 def test_light_depth_logarithmic_on_caterpillar_growth():
     tree = build_caterpillar(60)
-    decomposition = HeavyChildDecomposition(tree)
-    churn(tree, decomposition, steps=300, seed=5,
-          mix={RequestKind.ADD_LEAF: 1.0})
+    app = _build(tree)
+    churn_app(tree, app, steps=300, seed=5,
+              mix={RequestKind.ADD_LEAF: 1.0})
     n = tree.size
     bound = 6 * math.log2(max(n, 2)) + 6
-    assert decomposition.max_light_depth() <= bound
+    assert app.max_light_depth() <= bound
+    app.close()
 
 
 def test_root_is_never_light():
     tree = build_random_tree(20, seed=6)
-    decomposition = HeavyChildDecomposition(tree)
-    assert not decomposition.is_light(tree.root)
+    app = _build(tree)
+    assert not app.is_light(tree.root)
+    app.close()
 
 
 def test_mu_pointers_survive_removals():
     tree = build_random_tree(80, seed=7)
-    decomposition = HeavyChildDecomposition(tree)
-    churn(tree, decomposition, steps=300, seed=8,
-          mix={RequestKind.REMOVE_LEAF: 0.5, RequestKind.REMOVE_INTERNAL: 0.2,
-               RequestKind.ADD_LEAF: 0.3})
+    app = _build(tree)
+    churn_app(tree, app, steps=300, seed=8,
+              mix={RequestKind.REMOVE_LEAF: 0.5,
+                   RequestKind.REMOVE_INTERNAL: 0.2,
+                   RequestKind.ADD_LEAF: 0.3})
     for node in tree.nodes():
-        heavy = decomposition.heavy_child(node)
+        heavy = app.heavy_child(node)
         if node.children:
             assert heavy is not None and heavy.parent is node
     tree.validate()
+    app.close()

@@ -1,70 +1,81 @@
-"""Tests for the majority-commitment protocol (Section 1.3)."""
+"""Tests for the majority-commitment app (Section 1.3)."""
 
 import random
 
 import pytest
 
+from repro import AppSpec, DynamicTree, make_app
 from repro.errors import ControllerError
-from repro import DynamicTree
-from repro.apps import MajorityCommitProtocol
 
 
-def grow(protocol, tree, target, seed=0):
+def _build(tree, total, beta=1.5):
+    return make_app(
+        AppSpec("majority_commit", params={"total": total, "beta": beta}),
+        tree=tree)
+
+
+def grow(app, tree, target, seed=0):
     rng = random.Random(seed)
     nodes = list(tree.nodes())
     while tree.size < target:
-        new = protocol.join(nodes[rng.randrange(len(nodes))])
+        new = app.join(nodes[rng.randrange(len(nodes))])
         if new is not None:
             nodes.append(new)
 
 
 def test_never_commits_without_majority():
     tree = DynamicTree()
-    protocol = MajorityCommitProtocol(tree, total=100, beta=1.5)
-    grow(protocol, tree, target=45)
+    app = _build(tree, total=100)
+    grow(app, tree, target=45)
     # 45 < 51: the certified bound must not clear the bar.
-    assert not protocol.can_commit()
-    assert not protocol.commit_exact()
+    assert not app.can_commit()
+    assert not app.commit_exact()
+    app.close()
 
 
 def test_estimate_based_commit_with_clear_majority():
     tree = DynamicTree()
-    protocol = MajorityCommitProtocol(tree, total=60, beta=1.5)
-    grow(protocol, tree, target=59)
-    assert protocol.can_commit()
+    app = _build(tree, total=60)
+    grow(app, tree, target=59)
+    assert app.can_commit()
+    app.close()
 
 
 def test_exact_round_decides_boundary_cases():
     tree = DynamicTree()
-    protocol = MajorityCommitProtocol(tree, total=100, beta=1.5)
-    grow(protocol, tree, target=51)
-    assert protocol.commit_exact()
-    assert protocol.can_commit()  # committed is sticky
+    app = _build(tree, total=100)
+    grow(app, tree, target=51)
+    assert app.commit_exact()
+    assert app.can_commit()  # committed is sticky
+    app.close()
 
 
 def test_departures_are_supported():
     """The Korman-Kutten generalization: participants may leave."""
     tree = DynamicTree()
-    protocol = MajorityCommitProtocol(tree, total=50, beta=1.5)
-    grow(protocol, tree, target=30, seed=1)
+    app = _build(tree, total=50)
+    grow(app, tree, target=30, seed=1)
     leaf = next(n for n in tree.nodes() if n.is_leaf and not n.is_root)
-    outcome = protocol.leave(leaf)
-    assert outcome.granted
+    record = app.leave(leaf)
+    assert record.granted
     assert tree.size == 29
-    assert protocol.commit_exact()  # 29 of 50 is a majority
+    assert app.commit_exact()  # 29 of 50 is a majority
+    app.close()
 
 
 def test_certified_bound_is_sound():
     tree = DynamicTree()
-    protocol = MajorityCommitProtocol(tree, total=200, beta=2.0)
-    grow(protocol, tree, target=80, seed=2)
-    assert protocol.certified_participants() <= tree.size
+    app = _build(tree, total=200, beta=2.0)
+    grow(app, tree, target=80, seed=2)
+    assert app.certified_participants() <= tree.size
+    app.close()
 
 
 def test_validation():
     tree = DynamicTree()
     with pytest.raises(ControllerError):
-        MajorityCommitProtocol(tree, total=0)
-    protocol = MajorityCommitProtocol(tree, total=1)
+        _build(tree, total=0)
+    app = _build(tree, total=1)
     with pytest.raises(ControllerError):
-        protocol.join(tree.root)  # universe already full
+        app.join(tree.root)  # universe already full
+    app.close()

@@ -1,74 +1,65 @@
-"""Tests for the name-assignment protocol (Theorem 5.2)."""
-
-import random
+"""Tests for the name-assignment app (Theorem 5.2)."""
 
 from hypothesis import given, settings, strategies as st
 
-from repro import RequestKind
-from repro.apps import NameAssignmentProtocol
-from repro.workloads import NodePicker, build_random_tree, random_request
+from repro import AppSpec, Request, RequestKind, make_app
+from repro.workloads import build_random_tree
+from tests.drivers import churn_app
 
 
-def churn(tree, protocol, steps, seed, on_step=None):
-    rng = random.Random(seed)
-    picker = NodePicker(tree)
-    done = 0
-    while done < steps:
-        request = random_request(tree, rng, picker=picker)
-        if request.kind is RequestKind.PLAIN:
-            continue
-        protocol.submit(request)
-        done += 1
-        if on_step is not None:
-            on_step(done)
-    picker.detach()
+def _build(tree):
+    return make_app(AppSpec("name_assignment"), tree=tree)
 
 
 def test_initial_ids_are_one_to_n():
     tree = build_random_tree(25, seed=1)
-    protocol = NameAssignmentProtocol(tree)
-    ids = sorted(protocol.id_of(node) for node in tree.nodes())
+    app = _build(tree)
+    ids = sorted(app.id_of(node) for node in tree.nodes())
     assert ids == list(range(1, 26))
+    app.close()
 
 
 @settings(max_examples=8, deadline=None)
 @given(seed=st.integers(0, 5000))
 def test_ids_unique_and_short_at_all_times(seed):
     tree = build_random_tree(40, seed=seed)
-    protocol = NameAssignmentProtocol(tree)
+    app = _build(tree)
     def check(step):
-        protocol.check_invariants()
-    churn(tree, protocol, steps=250, seed=seed + 1, on_step=check)
+        app.check_invariants()
+    churn_app(tree, app, steps=250, seed=seed + 1, on_step=check)
+    app.close()
 
 
 def test_new_nodes_get_ids_from_permit_serials():
     tree = build_random_tree(20, seed=2)
-    protocol = NameAssignmentProtocol(tree)
+    app = _build(tree)
     n_i = 20
-    from repro.core.requests import Request
-    outcome = protocol.submit(Request(RequestKind.ADD_LEAF, tree.root))
-    assert outcome.granted
-    new_id = protocol.id_of(outcome.new_node)
+    record = app.serve(Request(RequestKind.ADD_LEAF, tree.root))
+    outcome = record.outcome
+    assert outcome is not None and outcome.granted
+    new_id = app.id_of(outcome.new_node)
     # First iteration serials live in (N_1, 3 N_1 / 2].
     assert n_i < new_id <= 3 * n_i // 2
+    app.close()
 
 
 def test_iterations_renumber_compactly():
     tree = build_random_tree(30, seed=3)
-    protocol = NameAssignmentProtocol(tree)
-    churn(tree, protocol, steps=400, seed=4)
-    assert protocol.iterations_run > 1
-    protocol.check_invariants()
+    app = _build(tree)
+    churn_app(tree, app, steps=400, seed=4)
+    assert app.iterations_run > 1
+    app.check_invariants()
     # After many iterations ids stay within [1, 4n] even though > 400
     # names were handed out in total.
-    max_id = max(protocol.id_of(node) for node in tree.nodes())
+    max_id = max(app.id_of(node) for node in tree.nodes())
     assert max_id <= 4 * tree.size
+    app.close()
 
 
 def test_removed_nodes_release_ids():
     tree = build_random_tree(15, seed=5)
-    protocol = NameAssignmentProtocol(tree)
-    from repro.core.requests import Request
+    app = _build(tree)
     leaf = next(n for n in tree.nodes() if n.is_leaf)
-    protocol.submit(Request(RequestKind.REMOVE_LEAF, leaf))
-    assert leaf not in protocol.ids
+    app.serve(Request(RequestKind.REMOVE_LEAF, leaf))
+    assert leaf not in app.ids
+    app.close()

@@ -1,36 +1,19 @@
-"""Tests for the size-estimation protocol (Theorem 5.1)."""
+"""Tests for the size-estimation app (Theorem 5.1)."""
 
 import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro import AppSpec, RequestKind, make_app
 from repro.errors import ControllerError
-from repro import Request, RequestKind
-from repro.apps import SizeEstimationProtocol
-from repro.workloads import (
-    NodePicker,
-    build_random_tree,
-    default_mix,
-    random_request,
-    run_scenario,
-)
-import random
+from repro.workloads import build_random_tree
+from tests.drivers import churn_app
 
 
-def churn(tree, protocol, steps, seed, mix=None, on_step=None):
-    rng = random.Random(seed)
-    picker = NodePicker(tree)
-    done = 0
-    while done < steps:
-        request = random_request(tree, rng, mix=mix, picker=picker)
-        if request.kind is RequestKind.PLAIN:
-            continue
-        protocol.submit(request)
-        done += 1
-        if on_step is not None:
-            on_step(done)
-    picker.detach()
+def _build(tree, beta):
+    return make_app(AppSpec("size_estimation", params={"beta": beta}),
+                    tree=tree)
 
 
 @settings(max_examples=10, deadline=None)
@@ -38,60 +21,66 @@ def churn(tree, protocol, steps, seed, mix=None, on_step=None):
        beta=st.sampled_from([1.5, 2.0, 3.0]))
 def test_beta_approximation_holds_at_all_times(seed, beta):
     tree = build_random_tree(60, seed=seed)
-    protocol = SizeEstimationProtocol(tree, beta=beta)
+    app = _build(tree, beta)
     def check(step):
-        assert protocol.check_approximation() <= beta + 1e-9
-    churn(tree, protocol, steps=300, seed=seed + 1, on_step=check)
+        assert app.check_approximation() <= beta + 1e-9
+    churn_app(tree, app, steps=300, seed=seed + 1, on_step=check)
+    app.close()
 
 
 def test_iterations_advance():
     tree = build_random_tree(40, seed=1)
-    protocol = SizeEstimationProtocol(tree, beta=2.0)
-    churn(tree, protocol, steps=500, seed=2)
-    assert protocol.iterations_run > 1
+    app = _build(tree, 2.0)
+    churn_app(tree, app, steps=500, seed=2)
+    assert app.iterations_run > 1
+    app.close()
 
 
 def test_estimate_is_uniform_across_nodes():
     tree = build_random_tree(30, seed=3)
-    protocol = SizeEstimationProtocol(tree, beta=2.0)
-    churn(tree, protocol, steps=100, seed=4)
-    estimates = {protocol.estimate_at(node) for node in tree.nodes()}
+    app = _build(tree, 2.0)
+    churn_app(tree, app, steps=100, seed=4)
+    estimates = {app.estimate_at(node) for node in tree.nodes()}
     assert len(estimates) == 1
+    app.close()
 
 
 def test_amortized_messages_polylog():
     """Total messages / changes should be O(log^2 n)-ish, far below n."""
     tree = build_random_tree(200, seed=5)
-    protocol = SizeEstimationProtocol(tree, beta=2.0)
-    churn(tree, protocol, steps=1500, seed=6)
-    amortized = protocol.counters.total / tree.topology_changes
+    app = _build(tree, 2.0)
+    churn_app(tree, app, steps=1500, seed=6)
+    amortized = app.counters.total / tree.topology_changes
     n = tree.size
     assert amortized < 12 * math.log2(n) ** 2
     assert amortized < n / 4  # decisively better than flooding
+    app.close()
 
 
 def test_shrinking_network():
     """Pure deletions: the estimate must track the shrink."""
     tree = build_random_tree(120, seed=7)
-    protocol = SizeEstimationProtocol(tree, beta=1.5)
+    app = _build(tree, 1.5)
     mix = {RequestKind.REMOVE_LEAF: 0.5, RequestKind.REMOVE_INTERNAL: 0.5}
     def check(step):
-        assert protocol.check_approximation() <= 1.5 + 1e-9
-    churn(tree, protocol, steps=100, seed=8, mix=mix, on_step=check)
+        assert app.check_approximation() <= 1.5 + 1e-9
+    churn_app(tree, app, steps=100, seed=8, mix=mix, on_step=check)
     assert tree.size <= 20
+    app.close()
 
 
 def test_invalid_beta_rejected():
     tree = build_random_tree(5, seed=9)
     with pytest.raises(ControllerError):
-        SizeEstimationProtocol(tree, beta=1.0)
+        _build(tree, 1.0)
 
 
 def test_growth_scenario():
     tree = build_random_tree(10, seed=10)
-    protocol = SizeEstimationProtocol(tree, beta=2.0)
+    app = _build(tree, 2.0)
     mix = {RequestKind.ADD_LEAF: 1.0}
     def check(step):
-        assert protocol.check_approximation() <= 2.0 + 1e-9
-    churn(tree, protocol, steps=500, seed=11, mix=mix, on_step=check)
+        assert app.check_approximation() <= 2.0 + 1e-9
+    churn_app(tree, app, steps=500, seed=11, mix=mix, on_step=check)
     assert tree.size >= 500
+    app.close()

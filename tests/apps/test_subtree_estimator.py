@@ -1,72 +1,64 @@
-"""Tests for the subtree (super-weight) estimator (Lemma 5.3)."""
+"""Tests for the subtree (super-weight) estimator app (Lemma 5.3)."""
 
-import random
-
-from repro import RequestKind
-from repro.apps import SubtreeEstimator
-from repro.workloads import NodePicker, build_random_tree, random_request
+from repro import AppSpec, RequestKind, make_app
+from repro.workloads import build_random_tree
+from tests.drivers import churn_app
 
 
-def churn(tree, estimator, steps, seed, mix=None, on_step=None):
-    rng = random.Random(seed)
-    picker = NodePicker(tree)
-    done = 0
-    while done < steps:
-        request = random_request(tree, rng, mix=mix, picker=picker)
-        if request.kind is RequestKind.PLAIN:
-            continue
-        estimator.submit(request)
-        done += 1
-        if on_step is not None:
-            on_step(done)
-    picker.detach()
+def _build(tree, beta=2.0):
+    return make_app(AppSpec("subtree_estimator", params={"beta": beta}),
+                    tree=tree)
 
 
 def test_initial_estimates_are_exact():
     tree = build_random_tree(40, seed=1)
-    estimator = SubtreeEstimator(tree, beta=2.0)
+    app = _build(tree)
     for node in tree.nodes():
-        assert estimator.estimate(node) == estimator.true_super_weight(node)
+        assert app.estimate_of(node) == app.true_super_weight(node)
+    app.close()
 
 
 def test_estimates_never_undercount():
     """omega_0 + passed permits >= SW: every addition below v shipped a
     permit through v first."""
     tree = build_random_tree(50, seed=2)
-    estimator = SubtreeEstimator(tree, beta=2.0)
+    app = _build(tree)
     mix = {RequestKind.ADD_LEAF: 0.7, RequestKind.REMOVE_LEAF: 0.3}
     def check(step):
         for node in tree.nodes():
-            assert (estimator.estimate(node)
-                    >= estimator.true_super_weight(node) / estimator.beta)
-    churn(tree, estimator, steps=150, seed=3, mix=mix, on_step=check)
+            assert (app.estimate_of(node)
+                    >= app.true_super_weight(node) / app.beta)
+    churn_app(tree, app, steps=150, seed=3, mix=mix, on_step=check)
+    app.close()
 
 
 def test_estimates_stay_within_factor_on_growth():
     """On grow-only workloads the estimate tracks SW within the
     beta-and-parked-packages envelope."""
     tree = build_random_tree(40, seed=4)
-    estimator = SubtreeEstimator(tree, beta=2.0)
+    app = _build(tree)
     mix = {RequestKind.ADD_LEAF: 1.0}
-    churn(tree, estimator, steps=300, seed=5, mix=mix)
+    churn_app(tree, app, steps=300, seed=5, mix=mix)
     worst = 1.0
     for node in tree.nodes():
-        true_sw = estimator.true_super_weight(node)
-        est = estimator.estimate(node)
+        true_sw = app.true_super_weight(node)
+        est = app.estimate_of(node)
         worst = max(worst, est / true_sw, true_sw / est)
     # The paper proves a beta-approximation; parked-but-unconsumed
     # packages can inflate transiently, so allow beta * 2.
-    assert worst <= estimator.beta * 2
+    assert worst <= app.beta * 2
+    app.close()
 
 
 def test_root_estimate_tracks_total_size():
     tree = build_random_tree(30, seed=6)
-    estimator = SubtreeEstimator(tree, beta=2.0)
+    app = _build(tree)
     mix = {RequestKind.ADD_LEAF: 1.0}
-    churn(tree, estimator, steps=200, seed=7, mix=mix)
+    churn_app(tree, app, steps=200, seed=7, mix=mix)
     assert tree.size == 230
     # SW(root) within the current iteration is at least the live size
     # accrued since the iteration start; the estimate must track it.
-    true_root = estimator.true_super_weight(tree.root)
-    est = estimator.estimate(tree.root)
+    true_root = app.true_super_weight(tree.root)
+    est = app.estimate_of(tree.root)
     assert true_root / 2 <= est <= 4 * true_root
+    app.close()

@@ -9,14 +9,14 @@ from repro.workloads import (
     build_path,
     build_random_tree,
     grow_only_mix,
-    run_scenario,
 )
+from tests.drivers import drive_handle
 
 
 def test_grants_on_grow_only_workload():
     tree = build_random_tree(20, seed=1)
     controller = AAPSController(tree, m=500, w=100, u=2000)
-    result = run_scenario(tree, controller.handle, steps=300, seed=2,
+    result = drive_handle(tree, controller.handle, steps=300, seed=2,
                           mix=grow_only_mix())
     assert result.granted == 300
     assert controller.granted == 300
@@ -27,7 +27,7 @@ def test_safety_and_liveness():
     for seed in range(4):
         tree = build_random_tree(10, seed=seed)
         controller = AAPSController(tree, m=50, w=12, u=500)
-        run_scenario(tree, controller.handle, steps=200, seed=seed + 5,
+        drive_handle(tree, controller.handle, steps=200, seed=seed + 5,
                      mix=grow_only_mix())
         assert controller.granted <= 50
         if controller.rejecting:
@@ -37,7 +37,7 @@ def test_safety_and_liveness():
 def test_permit_conservation():
     tree = build_random_tree(15, seed=3)
     controller = AAPSController(tree, m=400, w=80, u=1000)
-    run_scenario(tree, controller.handle, steps=150, seed=4,
+    drive_handle(tree, controller.handle, steps=150, seed=4,
                  mix=grow_only_mix())
     assert controller.granted + controller.unused_permits() == 400
 

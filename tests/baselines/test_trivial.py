@@ -2,7 +2,8 @@
 
 from repro import DynamicTree, OutcomeStatus, Request, RequestKind
 from repro.baselines import TrivialController
-from repro.workloads import build_path, build_random_tree, run_scenario
+from repro.workloads import build_path, build_random_tree
+from tests.drivers import drive_handle
 
 
 def test_exact_m_semantics():
@@ -27,7 +28,7 @@ def test_cost_is_two_depth_per_request():
 def test_supports_full_dynamic_model():
     tree = build_random_tree(20, seed=1)
     controller = TrivialController(tree, m=500)
-    result = run_scenario(tree, controller.handle, steps=200, seed=2)
+    result = drive_handle(tree, controller.handle, steps=200, seed=2)
     assert result.granted == 200
     tree.validate()
 

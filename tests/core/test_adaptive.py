@@ -9,13 +9,14 @@ from repro import (
     Request,
     RequestKind,
 )
-from repro.workloads import build_random_tree, grow_only_mix, run_scenario
+from repro.workloads import build_random_tree, grow_only_mix
+from tests.drivers import drive_handle
 
 
 def test_epochs_roll_over_under_churn():
     tree = build_random_tree(10, seed=1)
     controller = AdaptiveController(tree, m=5000, w=100)
-    run_scenario(tree, controller.handle, steps=600, seed=2)
+    drive_handle(tree, controller.handle, steps=600, seed=2)
     assert controller.epochs_run > 1
 
 
@@ -25,13 +26,13 @@ def test_epoch_u_always_bounds_nodes_during_epoch():
     controller = AdaptiveController(tree, m=20000, w=100)
     def check(step, outcome):
         assert tree.size <= controller._epoch_u
-    run_scenario(tree, controller.handle, steps=800, seed=4, on_step=check)
+    drive_handle(tree, controller.handle, steps=800, seed=4, on_step=check)
 
 
 def test_grant_conservation():
     tree = build_random_tree(10, seed=5)
     controller = AdaptiveController(tree, m=900, w=50)
-    result = run_scenario(tree, controller.handle, steps=500, seed=6)
+    result = drive_handle(tree, controller.handle, steps=500, seed=6)
     assert controller.granted == result.granted
     assert controller.granted <= 900
 
@@ -40,7 +41,7 @@ def test_liveness_composes_across_epochs():
     for seed in range(4):
         tree = build_random_tree(8, seed=seed)
         controller = AdaptiveController(tree, m=120, w=9)
-        run_scenario(tree, controller.handle, steps=900, seed=seed + 20,
+        drive_handle(tree, controller.handle, steps=900, seed=seed + 20,
                      stop_when=lambda: controller.rejecting)
         if controller.rejecting:
             assert controller.granted >= 120 - 9
@@ -50,7 +51,7 @@ def test_growth_scenario_scales_epochs():
     """Pure growth: the epoch budget (U_i/4 changes) doubles each time."""
     tree = DynamicTree()
     controller = AdaptiveController(tree, m=100000, w=1000)
-    run_scenario(tree, controller.handle, steps=2000, seed=7,
+    drive_handle(tree, controller.handle, steps=2000, seed=7,
                  mix=grow_only_mix())
     assert controller.epochs_run >= 3
     assert tree.size > 500
@@ -60,7 +61,7 @@ def test_maxsize_variant():
     tree = DynamicTree()
     controller = AdaptiveController(tree, m=100000, w=1000,
                                     variant="maxsize")
-    run_scenario(tree, controller.handle, steps=1500, seed=8,
+    drive_handle(tree, controller.handle, steps=1500, seed=8,
                  mix=grow_only_mix())
     assert controller.epochs_run > 1
     assert controller.granted <= 100000

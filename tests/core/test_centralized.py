@@ -10,7 +10,8 @@ from repro import (
     Request,
     RequestKind,
 )
-from repro.workloads import build_path, build_random_tree, run_scenario
+from repro.workloads import build_path, build_random_tree
+from tests.drivers import drive_handle
 
 
 def make_controller(tree, m=100, w=20, u=1000, **kwargs):
@@ -92,7 +93,7 @@ def test_filler_reused_by_nearby_request():
 def test_safety_never_exceeds_m():
     tree = build_random_tree(20, seed=1)
     controller = make_controller(tree, m=15, w=5, u=200)
-    result = run_scenario(tree, controller.handle, steps=100, seed=2)
+    result = drive_handle(tree, controller.handle, steps=100, seed=2)
     assert controller.granted <= 15
     assert result.rejected > 0
 
@@ -103,7 +104,7 @@ def test_liveness_at_first_reject():
     for seed in range(5):
         tree = build_random_tree(15, seed=seed)
         controller = make_controller(tree, m=40, w=12, u=300)
-        run_scenario(tree, controller.handle, steps=300, seed=seed + 50,
+        drive_handle(tree, controller.handle, steps=300, seed=seed + 50,
                      stop_when=lambda: controller.rejecting)
         if controller.rejecting:
             assert controller.granted >= 40 - 12
@@ -112,14 +113,14 @@ def test_liveness_at_first_reject():
 def test_permits_are_conserved():
     tree = build_random_tree(30, seed=3)
     controller = make_controller(tree, m=500, w=100, u=600)
-    run_scenario(tree, controller.handle, steps=400, seed=4)
+    drive_handle(tree, controller.handle, steps=400, seed=4)
     assert controller.granted + controller.unused_permits() == 500
 
 
 def test_reject_wave_reaches_every_node():
     tree = build_random_tree(12, seed=5)
     controller = make_controller(tree, m=3, w=1, u=100)
-    run_scenario(tree, controller.handle, steps=50, seed=6)
+    drive_handle(tree, controller.handle, steps=50, seed=6)
     assert controller.rejecting
     for node in tree.nodes():
         assert controller.stores.get(node).has_reject
@@ -198,7 +199,7 @@ def test_interval_mode_serials_unique_and_in_range():
     controller = make_controller(tree, m=60, w=20, u=200,
                                  track_intervals=True, interval_base=100)
     serials = []
-    result = run_scenario(tree, controller.handle, steps=55, seed=8,
+    result = drive_handle(tree, controller.handle, steps=55, seed=8,
                           keep_outcomes=True)
     for outcome in result.outcomes:
         if outcome.granted:

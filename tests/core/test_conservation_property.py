@@ -19,8 +19,8 @@ from repro.workloads import (
     build_path,
     build_random_tree,
     build_star,
-    run_scenario,
 )
+from tests.drivers import drive_handle
 
 
 BUILDERS = {
@@ -48,7 +48,7 @@ def test_safety_and_conservation(shape, n, m, w, seed):
         assert controller.granted + controller.unused_permits() == m
         assert controller.storage >= 0
 
-    run_scenario(tree, controller.handle, steps=120, seed=seed,
+    drive_handle(tree, controller.handle, steps=120, seed=seed,
                  on_step=check)
     tree.validate()
 
@@ -71,7 +71,7 @@ def test_package_sizes_match_levels(n, m, w, seed):
                 assert package.size == expected
             assert store.static_permits >= 0
 
-    run_scenario(tree, controller.handle, steps=100, seed=seed + 1,
+    drive_handle(tree, controller.handle, steps=100, seed=seed + 1,
                  on_step=check)
 
 
@@ -82,7 +82,7 @@ def test_liveness_property(m, w, seed):
     """Whenever the reject wave fires, granted >= M - W."""
     tree = build_random_tree(10, seed=seed)
     controller = CentralizedController(tree, m=m, w=w, u=2000)
-    run_scenario(tree, controller.handle, steps=400, seed=seed + 2,
+    drive_handle(tree, controller.handle, steps=400, seed=seed + 2,
                  stop_when=lambda: controller.rejecting)
     if controller.rejecting:
         assert controller.granted >= m - w
@@ -102,5 +102,5 @@ def test_static_pools_never_exceed_phi_without_deletions(seed, w):
         for node, store in controller.stores.items():
             assert store.static_permits <= phi
 
-    run_scenario(tree, controller.handle, steps=100, seed=seed + 3,
+    drive_handle(tree, controller.handle, steps=100, seed=seed + 3,
                  mix=grow_only_mix(), on_step=check)

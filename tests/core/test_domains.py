@@ -14,7 +14,8 @@ from hypothesis import given, settings, strategies as st
 from repro import CentralizedController, Request, RequestKind
 from repro.core.domains import DomainTracker
 from repro.errors import InvariantViolation
-from repro.workloads import build_path, build_random_tree, run_scenario
+from repro.workloads import build_path, build_random_tree
+from tests.drivers import drive_handle
 
 
 @settings(max_examples=15, deadline=None)
@@ -25,7 +26,7 @@ def test_domain_invariants_on_random_trees(seed):
                                        track_domains=True)
     def check(step, outcome):
         controller.domains.check_invariants()
-    run_scenario(tree, controller.handle, steps=150, seed=seed + 1,
+    drive_handle(tree, controller.handle, steps=150, seed=seed + 1,
                  on_step=check)
 
 
@@ -38,7 +39,7 @@ def test_domain_invariants_on_deep_paths(seed):
     assert controller.params.creation_level(699) >= 2
     def check(step, outcome):
         controller.domains.check_invariants()
-    run_scenario(tree, controller.handle, steps=250, seed=seed,
+    drive_handle(tree, controller.handle, steps=250, seed=seed,
                  on_step=check)
 
 

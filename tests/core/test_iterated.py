@@ -7,7 +7,8 @@ from repro import (
     Request,
     RequestKind,
 )
-from repro.workloads import build_random_tree, run_scenario
+from repro.workloads import build_random_tree
+from tests.drivers import drive_handle
 
 
 def plain(node):
@@ -42,7 +43,7 @@ def test_w_zero_grants_exactly_m():
 def test_w_zero_on_dynamic_scenario():
     tree = build_random_tree(15, seed=1)
     controller = IteratedController(tree, m=60, w=0, u=400)
-    result = run_scenario(tree, controller.handle, steps=400, seed=2)
+    result = drive_handle(tree, controller.handle, steps=400, seed=2)
     assert result.granted == 60
     assert result.rejected > 0
 
@@ -52,7 +53,7 @@ def test_liveness_across_stages():
     for seed in range(4):
         tree = build_random_tree(12, seed=seed)
         controller = IteratedController(tree, m=100, w=7, u=500)
-        run_scenario(tree, controller.handle, steps=600, seed=seed + 9,
+        drive_handle(tree, controller.handle, steps=600, seed=seed + 9,
                      stop_when=lambda: controller.rejecting)
         if controller.rejecting:
             assert controller.granted >= 100 - 7
@@ -61,14 +62,14 @@ def test_liveness_across_stages():
 def test_safety_across_stages():
     tree = build_random_tree(12, seed=3)
     controller = IteratedController(tree, m=64, w=3, u=500)
-    run_scenario(tree, controller.handle, steps=500, seed=5)
+    drive_handle(tree, controller.handle, steps=500, seed=5)
     assert controller.granted <= 64
 
 
 def test_unused_permits_accounting():
     tree = build_random_tree(10, seed=4)
     controller = IteratedController(tree, m=300, w=5, u=400)
-    run_scenario(tree, controller.handle, steps=120, seed=6)
+    drive_handle(tree, controller.handle, steps=120, seed=6)
     assert controller.granted + controller.unused_permits() == 300
 
 

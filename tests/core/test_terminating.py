@@ -10,7 +10,8 @@ from repro import (
     RequestKind,
     TerminatingController,
 )
-from repro.workloads import build_random_tree, run_scenario
+from repro.workloads import build_random_tree
+from tests.drivers import drive_handle
 
 
 def plain(node):
@@ -30,7 +31,7 @@ def test_grants_between_m_minus_w_and_m_at_termination():
     for seed in range(5):
         tree = build_random_tree(10, seed=seed)
         controller = TerminatingController(tree, m=30, w=8, u=300)
-        run_scenario(tree, controller.submit, steps=200, seed=seed + 30,
+        drive_handle(tree, controller.submit, steps=200, seed=seed + 30,
                      stop_when=lambda: controller.terminated)
         if controller.terminated:
             assert 30 - 8 <= controller.granted <= 30

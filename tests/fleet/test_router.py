@@ -1,0 +1,274 @@
+"""FleetRouter behaviour: placement, routing, rebalancing, lifecycle."""
+
+import random
+
+import pytest
+
+from repro.core.requests import Request, RequestKind
+from repro.errors import ControllerError, FleetError
+from repro.fleet import FleetConfig, FleetRouter
+from repro.service import ControllerSession, SessionConfig
+from repro.service.config import ControllerSpec
+from repro.workloads.catalogue import get_scenario
+from repro.workloads.scenarios import TreeMirror, request_spec
+
+
+def drive(fleet, steps, clients=8, seed=0, kinds=(RequestKind.ADD_LEAF,)):
+    """Serve ``steps`` random feasible requests via origin routing."""
+    rng = random.Random(seed)
+    for _ in range(steps):
+        client = f"client-{rng.randrange(clients)}"
+        tree = fleet.tree_of(client)
+        node = rng.choice(list(tree.nodes()))
+        fleet.serve(Request(rng.choice(kinds), node), origin=client)
+
+
+# ----------------------------------------------------------------------
+# Placement and routing.
+# ----------------------------------------------------------------------
+def test_placement_is_deterministic_and_sticky():
+    config = FleetConfig.of(shards=4, m_total=400, w_total=8, u=1024)
+    fleet = FleetRouter(config)
+    twin = FleetRouter(FleetConfig.of(shards=4, m_total=400, w_total=8,
+                                      u=1024))
+    for i in range(50):
+        origin = f"user-{i}"
+        index = fleet.place(origin)
+        assert index == fleet.place(origin)          # sticky
+        assert index == fleet.ring_place(origin)     # ring answer
+        assert index == twin.place(origin)           # cross-instance
+    assert len(fleet.placements) == 50
+    # The ring spreads origins over more than one shard.
+    assert len(set(fleet.placements.values())) > 1
+    fleet.close(), twin.close()
+
+
+def test_hash_and_sticky_policies_agree_under_fixed_ring():
+    sticky = FleetRouter(FleetConfig.of(shards=3, m_total=90, w_total=6,
+                                        u=512, placement="sticky"))
+    hashed = FleetRouter(FleetConfig.of(shards=3, m_total=90, w_total=6,
+                                        u=512, placement="hash"))
+    for i in range(40):
+        assert sticky.place(f"o{i}") == hashed.place(f"o{i}")
+    sticky.close(), hashed.close()
+
+
+def test_node_ownership_routes_without_origin():
+    config = FleetConfig.of(shards=2, m_total=100, w_total=4, u=512)
+    fleet = FleetRouter(config)
+    for shard in fleet.shards:
+        record = fleet.serve(Request(RequestKind.ADD_LEAF,
+                                     shard.tree.root))
+        assert record.outcome.granted
+        # The new leaf is registered to the same shard.
+        leaf = record.outcome.new_node
+        assert fleet.owner_of(leaf) == shard.index
+    fleet.close()
+
+
+def test_foreign_node_and_cross_shard_origin_are_rejected_eagerly():
+    from repro.tree.dynamic_tree import DynamicTree
+    config = FleetConfig.of(shards=2, m_total=100, w_total=4, u=512)
+    fleet = FleetRouter(config)
+    foreign = DynamicTree()
+    with pytest.raises(FleetError, match="not owned"):
+        fleet.serve(Request(RequestKind.ADD_LEAF, foreign.root))
+    # An origin placed on shard A cannot target shard B's tree.
+    origin = "pinned"
+    index = fleet.place(origin)
+    other = fleet.shards[1 - index].tree
+    with pytest.raises(FleetError, match="places on shard"):
+        fleet.serve(Request(RequestKind.ADD_LEAF, other.root),
+                    origin=origin)
+    fleet.close()
+
+
+def test_removed_node_tombstone_routes_to_cancel():
+    config = FleetConfig.of(shards=2, m_total=100, w_total=4, u=512)
+    fleet = FleetRouter(config)
+    shard = fleet.shards[0]
+    record = fleet.serve(Request(RequestKind.ADD_LEAF, shard.tree.root))
+    leaf = record.outcome.new_node
+    assert fleet.serve(Request(RequestKind.REMOVE_LEAF,
+                               leaf)).outcome.granted
+    # The node is gone, but its tombstone still routes the request to
+    # the owning engine, which answers CANCELLED.
+    late = fleet.serve(Request(RequestKind.ADD_LEAF, leaf))
+    assert late.outcome.status.value == "cancelled"
+    fleet.close()
+
+
+# ----------------------------------------------------------------------
+# Budget lifecycle: rollover, transfers, reject wave.
+# ----------------------------------------------------------------------
+def test_tranche_rollover_borrows_from_siblings():
+    config = FleetConfig.of(shards=2, m_total=60, w_total=8, u=2048,
+                            tranche=10, weights=[3, 1])
+    fleet = FleetRouter(config)
+    drive(fleet, 200, seed=3)
+    tally = fleet.tally()
+    assert tally["granted"] == 60            # the full global budget
+    assert tally["rejected"] == 140          # then the reject wave
+    assert fleet.reject_wave
+    assert len(fleet.ledger) >= 1            # cross-shard transfers flowed
+    assert fleet.audit().passed
+    # Ledger double-entry: per-shard books match the ledger columns.
+    for shard in fleet.shards:
+        assert shard.inbound == fleet.ledger.inbound(shard.name)
+        assert shard.outbound == fleet.ledger.outbound(shard.name)
+    fleet.close()
+
+
+@pytest.mark.parametrize("policy", ["greedy", "proportional"])
+def test_fleet_waste_is_zero_at_reject_wave(policy):
+    """The fleet rejects only once the global budget is fully granted:
+    clawback recovers every unspent permit before the wave starts."""
+    config = FleetConfig.of(shards=3, m_total=45, w_total=9, u=2048,
+                            tranche=6, rebalance=policy)
+    fleet = FleetRouter(config)
+    drive(fleet, 150, seed=policy == "greedy")
+    assert fleet.granted_total == config.m_total
+    assert fleet.tally()["rejected"] > 0
+    report = fleet.audit()
+    assert report.passed, report.violations[:3]
+    fleet.close()
+
+
+def test_reclaim_transfers_drain_live_siblings():
+    # Shard 1 gets nearly nothing; all load lands on it, so it must
+    # reclaim spare locked inside shard 0's live session.
+    config = FleetConfig.of(shards=2, m_total=40, w_total=4, u=2048,
+                            weights=[39, 1])
+    fleet = FleetRouter(config)
+    starved = fleet.shards[1]
+    for _ in range(10):
+        fleet.serve(Request(RequestKind.ADD_LEAF, starved.tree.root))
+    kinds = {entry.kind for entry in fleet.ledger.entries}
+    assert "reclaim" in kinds
+    assert starved.granted == 10
+    assert fleet.audit().passed
+    fleet.close()
+
+
+def test_zero_allocation_shard_still_serves_by_borrowing():
+    config = FleetConfig.of(shards=2, m_total=1, w_total=2, u=512,
+                            weights=[1, 1000])
+    fleet = FleetRouter(config)
+    poor = min(fleet.shards, key=lambda s: s.allocation)
+    assert poor.allocation == 0
+    record = fleet.serve(Request(RequestKind.ADD_LEAF, poor.tree.root))
+    assert record.outcome.granted
+    assert fleet.audit().passed
+    fleet.close()
+
+
+# ----------------------------------------------------------------------
+# Session-surface parity.
+# ----------------------------------------------------------------------
+def test_single_shard_matches_plain_session_bit_for_bit():
+    spec = get_scenario("mixed_flood").scaled(0.25)
+    fleet_tree = spec.build_tree(seed=11)
+    stream = [request_spec(r) for r in spec.stream(fleet_tree, seed=12)]
+    fleet = FleetRouter(
+        FleetConfig.of(shards=1, m_total=spec.m, w_total=spec.w, u=spec.u),
+        trees=[fleet_tree])
+    fleet_records = fleet.serve_stream(
+        TreeMirror(fleet_tree).requests(stream))
+
+    plain_tree = spec.build_tree(seed=11)
+    plain = ControllerSession(
+        SessionConfig(controller=ControllerSpec(
+            "terminating", m=spec.m, w=spec.w, u=spec.u)),
+        tree=plain_tree)
+    plain_records = [plain.serve(r)
+                     for r in TreeMirror(plain_tree).requests(stream)]
+
+    assert fleet.tally() == plain.tally()
+    assert (fleet.shards[0].counters.snapshot()
+            == plain.controller.counters.snapshot())
+    assert ([r.outcome.status for r in fleet_records]
+            == [r.outcome.status for r in plain_records])
+    assert fleet.audit().passed
+    fleet.close(), plain.close()
+
+
+def test_submit_drain_matches_serve_and_is_exactly_once():
+    def build():
+        return FleetRouter(FleetConfig.of(shards=2, m_total=80, w_total=4,
+                                          u=1024))
+
+    rng = random.Random(9)
+    plan = [(f"c{rng.randrange(5)}", rng.random()) for _ in range(60)]
+
+    served = build()
+    for client, pick in plan:
+        tree = served.tree_of(client)
+        nodes = list(tree.nodes())
+        served.serve(Request(RequestKind.ADD_LEAF,
+                             nodes[int(pick * len(nodes))]), origin=client)
+
+    queued = build()
+    tickets = []
+    for client, pick in plan:
+        tree = queued.tree_of(client)
+        nodes = list(tree.nodes())
+        tickets.append(queued.submit(
+            Request(RequestKind.ADD_LEAF, nodes[int(pick * len(nodes))]),
+            origin=client))
+    drained = list(queued.drain())
+    assert len(drained) == len(plan)
+    assert queued.tally() == served.tally()
+    # Exactly-once: drained records stay readable through tickets, and
+    # a second drain yields nothing.
+    assert [t.result().envelope_id for t in tickets] == [
+        r.envelope_id for r in drained]
+    assert list(queued.drain()) == []
+    served.close(), queued.close()
+
+
+def test_backpressure_at_the_fleet_window():
+    config = FleetConfig.of(shards=2, m_total=50, w_total=4, u=512,
+                            max_in_flight=4)
+    fleet = FleetRouter(config)
+    root = fleet.shards[0].tree.root
+    tickets = [fleet.submit(Request(RequestKind.PLAIN, root))
+               for _ in range(6)]
+    verdicts = [t.result().verdict.value for t in tickets]
+    assert verdicts.count("backpressure") == 2
+    assert fleet.backpressured == 2
+    fleet.close()
+
+
+def test_close_is_idempotent_and_refuses_new_work():
+    fleet = FleetRouter(FleetConfig.of(shards=2, m_total=10, w_total=2,
+                                       u=64))
+    root = fleet.shards[0].tree.root
+    with fleet:
+        fleet.serve(Request(RequestKind.PLAIN, root))
+    fleet.close()  # idempotent
+    assert fleet.closed
+    with pytest.raises(ControllerError, match="closed"):
+        fleet.serve(Request(RequestKind.PLAIN, root))
+    with pytest.raises(ControllerError, match="closed"):
+        fleet.submit(Request(RequestKind.PLAIN, root))
+
+
+def test_gateway_fronts_a_fleet_unchanged():
+    from repro.gateway import Gateway
+    from repro.metrics.invariants import audit_gateway
+    fleet = FleetRouter(FleetConfig.of(shards=2, m_total=200, w_total=4,
+                                       u=1024))
+    gateway = Gateway(fleet)
+    rng = random.Random(21)
+    requests = []
+    for i in range(40):
+        tree = fleet.shards[i % 2].tree
+        requests.append(Request(RequestKind.ADD_LEAF,
+                                rng.choice(list(tree.nodes()))))
+    tickets = gateway.submit_many(requests)
+    gateway.run_until_idle()
+    assert all(t.result().record.verdict.value == "granted"
+               for t in tickets)
+    report = audit_gateway(gateway)
+    assert report.passed, report.violations[:3]
+    gateway.close()

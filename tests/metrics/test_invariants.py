@@ -17,7 +17,8 @@ from repro.metrics.invariants import (
     audit_controller,
     audit_tallies,
 )
-from repro.workloads import build_random_tree, run_scenario
+from repro.workloads import build_random_tree
+from tests.drivers import drive_handle
 
 
 def _violated(report, invariant):
@@ -37,7 +38,7 @@ def test_clean_runs_audit_green():
     for flavor, knobs in makers:
         tree = build_random_tree(50, seed=2)
         controller = make_controller(flavor, tree, **knobs)
-        run_scenario(tree, controller.handle, steps=400, seed=5)
+        drive_handle(tree, controller.handle, steps=400, seed=5)
         report = audit_controller(controller)
         assert report.passed, (type(controller).__name__,
                                report.violations[:3])

@@ -350,17 +350,3 @@ def test_default_tree_is_owned():
     record = session.serve(Request(RequestKind.ADD_LEAF,
                                    session.tree.root))
     assert record.granted and session.tree.size == 2
-
-
-# ----------------------------------------------------------------------
-# Legacy shim.
-# ----------------------------------------------------------------------
-def test_run_scenario_emits_deprecation_warning():
-    from repro import make_controller
-    from repro.workloads import run_scenario
-    tree = build_random_tree(10, seed=1)
-    controller = make_controller("iterated", tree, m=50, w=5, u=200)
-    with pytest.deprecated_call(match="ControllerSession"):
-        result = run_scenario(tree, controller.handle, steps=20, seed=3)
-    assert result.granted + result.rejected + result.cancelled \
-        + result.pending == 20

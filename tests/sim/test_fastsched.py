@@ -279,3 +279,68 @@ def test_run_until_matches_reference_scheduler():
         sched.run()
         logs.append(log)
     assert logs[0] == logs[1]
+
+
+def test_pending_is_exact_inside_step_batch():
+    """Regression: ``pending()`` read from a callback running *inside*
+    ``step_batch`` must be exact, not batch-stale.
+
+    The original implementation settled its live-event counter only at
+    batch boundaries, so a same-thread reader mid-batch could see up to
+    PUMP_BATCH - 1 phantom events.  The fast and reference schedulers
+    must report the identical backlog at every execution point, also
+    when a callback cancels a future event (the tombstone must leave
+    the count immediately) and when it schedules new work.
+    """
+    rng = random.Random(13)
+    delays = [round(rng.uniform(0.0, 4.0) * 2) / 2 for _ in range(120)]
+    observed = []
+    for make_sched in (Scheduler, FastScheduler):
+        sched = make_sched()
+        log = []
+        handles = {}
+
+        def fire(label, sched=sched, log=log, handles=handles):
+            # Cancel a not-yet-run sibling every 7th event: the drop
+            # must be visible in pending() immediately.
+            if label % 7 == 0:
+                victim = handles.get(label + 1)
+                if victim is not None and not victim.cancelled:
+                    victim.cancel()
+            # Spawn nested work every 11th event: the add must be
+            # visible immediately too.
+            if label % 11 == 0:
+                sched.schedule(0.25, lambda: log.append(("child", label,
+                                                         sched.pending())))
+            log.append((label, sched.now, sched.pending()))
+
+        for label, delay in enumerate(delays):
+            handles[label] = sched.schedule(delay, lambda l=label: fire(l))
+        # Drain the fast path through step_batch in deliberately lumpy
+        # batches so callbacks observe pending() mid-batch at many
+        # batch offsets; the reference (no step_batch) steps singly —
+        # exactness means the logs agree anyway.
+        if isinstance(sched, FastScheduler):
+            budget = 1
+            while sched.step_batch(budget):
+                budget = budget % 17 + 1
+        else:
+            while sched.step():
+                pass
+        observed.append(log)
+        assert sched.pending() == 0
+    assert observed[0] == observed[1]
+
+
+def test_pending_exact_after_cancel_between_batches():
+    sched = FastScheduler()
+    keep = sched.schedule(1.0, lambda: None)
+    victim = sched.schedule(2.0, lambda: None)
+    assert sched.pending() == 2
+    victim.cancel()
+    assert sched.pending() == 1
+    victim.cancel()  # idempotent: no double decrement
+    assert sched.pending() == 1
+    sched.run()
+    assert sched.pending() == 0
+    assert not keep.cancelled

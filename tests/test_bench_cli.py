@@ -20,7 +20,8 @@ def test_registry_names():
     assert set(SCENARIOS) == {"ancestry", "move_complexity", "batch",
                               "scenario", "scenario_grid",
                               "distributed_batch", "kernel", "session",
-                              "apps", "gateway", "profile", "memory"}
+                              "apps", "gateway", "profile", "memory",
+                              "fleet"}
 
 
 def test_ancestry_small_sweep_is_exact_and_json():
@@ -107,7 +108,7 @@ def test_session_overhead_is_equivalence_checked():
 
 
 def test_apps_bench_shape_and_equivalence():
-    """A small ``apps`` run: the legacy/new arms must agree, the grid
+    """A small ``apps`` run: the seq/batch arms must agree, the grid
     must audit clean, and the document must be JSON-serializable.
     (Timing thresholds are not asserted at this scale — the contract
     under test is equivalence + shape.)"""
@@ -132,6 +133,33 @@ def test_apps_bench_shape_and_equivalence():
     assert faulted and all("fault_stats" in c for c in faulted)
     # With a stall plan over whole runs, some cell must have stalled.
     assert any(c["fault_stats"].get("stalls", 0) > 0 for c in faulted)
+
+
+def test_fleet_bench_shape_and_audit():
+    """A small ``fleet`` run: every cell audits clean, the 1-shard arm
+    is bit-for-bit equivalent to the plain session, the skewed stress
+    cells produce cross-shard transfers (including a live reclaim) and
+    end in the global reject wave.  (The 3x-at-4-shards bar is only
+    asserted when a 4-shard cell runs — this scaled run stops at 2.)"""
+    from repro.bench import run_fleet
+    result = run_fleet(shards="1,2", steps=200, clients=32)
+    json.dumps(result)
+    assert result["passed"] and result["violations"] == 0
+    assert result["equivalence"]["equivalent"] is True
+    assert [c["shards"] for c in result["cells"]] == [1, 2]
+    for cell in result["cells"]:
+        assert cell["audit_passed"] is True
+        assert cell["tally"].get("rejected", 0) == 0
+        assert cell["sustained_req_per_s"] > 0
+        assert cell["makespan_ticks"] <= cell["total_ticks"]
+    baseline = result["scaling"][0]
+    assert baseline["shards"] == 1 and baseline["speedup"] == 1.0
+    stress = result["stress"]
+    assert len(stress["tranche_cell"]["transfers"]) >= 1
+    assert stress["tranche_cell"]["reject_wave"] is True
+    assert stress["tranche_cell"]["granted_total"] == \
+        stress["tranche_cell"]["m_total"]
+    assert "reclaim" in stress["reclaim_cell"]["transfer_kinds"]
 
 
 def test_apps_bench_rejects_unknown_names():

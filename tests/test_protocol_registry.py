@@ -15,7 +15,8 @@ from repro import (
     make_controller,
 )
 from repro.metrics import audit_controller
-from repro.workloads import build_random_tree, run_scenario
+from repro.workloads import build_random_tree
+from tests.drivers import drive_handle
 
 
 def _fresh(flavor, n=30, seed=4):
@@ -111,7 +112,7 @@ def test_protocol_surface(flavor):
 @pytest.mark.parametrize("flavor", CONTROLLER_FLAVORS)
 def test_introspection_audits_green_after_a_run(flavor):
     tree, controller = _fresh(flavor)
-    run_scenario(tree, controller.handle, steps=120, seed=9)
+    drive_handle(tree, controller.handle, steps=120, seed=9)
     report = audit_controller(controller)
     assert report.passed, (flavor, report.violations[:3])
     assert sum(report.checks.values()) > 0
@@ -123,7 +124,7 @@ def test_introspection_audits_green_after_a_run(flavor):
 @pytest.mark.parametrize("flavor", CONTROLLER_FLAVORS)
 def test_detach_is_idempotent(flavor):
     tree, controller = _fresh(flavor)
-    run_scenario(tree, controller.handle, steps=40, seed=2)
+    drive_handle(tree, controller.handle, steps=40, seed=2)
     controller.detach()
     controller.detach()  # second call must be a no-op, never an error
     # The tree keeps working after the detach pair.

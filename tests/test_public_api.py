@@ -67,12 +67,14 @@ def test_subpackages_importable():
     import repro.bench
     import repro.core
     import repro.distributed
+    import repro.fleet
     import repro.metrics
     import repro.service
     import repro.sim
     import repro.tree
     import repro.workloads
-    assert repro.apps.SizeEstimationProtocol
+    assert repro.apps.SizeEstimationApp
+    assert repro.fleet.FleetRouter
     assert repro.distributed.DistributedController
     assert repro.bench.SCENARIOS
     assert repro.service.ControllerSession

@@ -14,9 +14,8 @@ from repro.workloads import (
     default_mix,
     grow_only_mix,
     random_request,
-    run_scenario,
 )
-from repro.baselines import TrivialController
+from repro.service import ControllerSession, SessionConfig, drive_scenario
 
 
 def test_builders_produce_requested_sizes():
@@ -82,66 +81,60 @@ def test_grow_only_mix_never_removes():
     assert kinds <= {RequestKind.ADD_LEAF, RequestKind.PLAIN}
 
 
-def test_run_scenario_records_outcomes():
+def test_drive_scenario_records_outcomes():
     tree = build_random_tree(10, seed=7)
-    controller = TrivialController(tree, m=50)
-    result = run_scenario(tree, controller.handle, steps=80, seed=8,
-                          keep_outcomes=True)
+    session = ControllerSession(SessionConfig.of("trivial", m=50),
+                                tree=tree)
+    result = drive_scenario(session, steps=80, seed=8,
+                            keep_outcomes=True)
     assert result.granted == 50
     assert result.rejected + result.cancelled == 30
     assert len(result.outcomes) == 80
+    session.close()
 
 
-def test_run_scenario_stop_when():
+def test_drive_scenario_stop_when():
     tree = build_random_tree(10, seed=9)
-    controller = TrivialController(tree, m=5)
-    result = run_scenario(tree, controller.handle, steps=500, seed=10,
-                          stop_when=lambda: controller.rejected > 0)
+    session = ControllerSession(SessionConfig.of("trivial", m=5),
+                                tree=tree)
+    result = drive_scenario(
+        session, steps=500, seed=10,
+        stop_when=lambda: session.controller.rejected > 0)
     assert result.granted == 5
     assert result.rejected == 1  # stopped right after the first reject
+    session.close()
 
 
-def test_scenario_detaches_picker():
+def test_drive_scenario_detaches_picker():
     tree = build_random_tree(10, seed=11)
+    session = ControllerSession(SessionConfig.of("trivial", m=10),
+                                tree=tree)
     before = len(tree._listeners)
-    controller = TrivialController(tree, m=10)
-    run_scenario(tree, controller.handle, steps=20, seed=12)
+    drive_scenario(session, steps=20, seed=12)
     assert len(tree._listeners) == before
+    session.close()
 
 
 # ----------------------------------------------------------------------
-# Batched driver (the request engine's run_scenario integration).
+# Batched driver (submit_many waves through the session layer).
 # ----------------------------------------------------------------------
-def test_run_scenario_batched_drives_handle_batch():
-    from repro.core.iterated import IteratedController
-    from repro.workloads import build_random_tree, run_scenario
-
+def test_drive_scenario_batched_settles_everything():
     tree = build_random_tree(120, seed=21)
-    controller = IteratedController(tree, m=600, w=60, u=600)
-    batches = []
-
-    def spy(batch):
-        batch = list(batch)
-        batches.append(len(batch))
-        return controller.handle_batch(batch)
-
-    result = run_scenario(tree, controller.handle, steps=100, seed=22,
-                          batch_size=16, submit_batch=spy)
-    assert sum(batches) == 100
-    assert batches[:-1] == [16] * (len(batches) - 1)
+    session = ControllerSession(
+        SessionConfig.of("iterated", m=600, w=60, u=600,
+                         max_in_flight=16), tree=tree)
+    result = drive_scenario(session, steps=100, seed=22, batch_size=16)
     assert result.granted + result.rejected + result.cancelled \
         + result.pending == 100
+    assert session.in_flight == 0 and session.undelivered == 0
+    session.close()
 
 
-def test_run_scenario_batch_size_one_matches_sequential():
-    """batch_size=1 must be bit-for-bit the historical sequential
-    driver, checked against a hand-rolled generate-submit loop."""
+def test_drive_scenario_batch_size_one_matches_sequential():
+    """batch_size=1 must be bit-for-bit the hand-rolled
+    generate-submit loop over a bare controller on a twin tree."""
     from repro.core.iterated import IteratedController
-    from repro.workloads import (
-        NodePicker,
-        build_random_tree,
-        run_scenario,
-    )
+    from repro.workloads import NodePicker
 
     tree_manual = build_random_tree(100, seed=23)
     ctrl_manual = IteratedController(tree_manual, m=500, w=50, u=500)
@@ -156,19 +149,20 @@ def test_run_scenario_batch_size_one_matches_sequential():
     picker.detach()
 
     tree_driver = build_random_tree(100, seed=23)
-    ctrl_driver = IteratedController(tree_driver, m=500, w=50, u=500)
-    result = run_scenario(tree_driver, ctrl_driver.handle, steps=150,
-                          seed=24, batch_size=1)
+    session = ControllerSession(
+        SessionConfig.of("iterated", m=500, w=50, u=500),
+        tree=tree_driver)
+    result = drive_scenario(session, steps=150, seed=24, batch_size=1)
     assert (result.granted, result.rejected) == tuple(manual)
-    assert ctrl_driver.counters.total == ctrl_manual.counters.total
+    assert session.controller.counters.total == ctrl_manual.counters.total
     assert tree_driver.size == tree_manual.size
+    session.close()
 
 
-def test_run_scenario_rejects_bad_batch_size():
-    from repro.core.iterated import IteratedController
-    from repro.workloads import build_random_tree, run_scenario
-
+def test_drive_scenario_rejects_bad_batch_size():
     tree = build_random_tree(20, seed=25)
-    controller = IteratedController(tree, m=100, w=10, u=100)
+    session = ControllerSession(
+        SessionConfig.of("iterated", m=100, w=10, u=100), tree=tree)
     with pytest.raises(ValueError):
-        run_scenario(tree, controller.handle, steps=10, batch_size=0)
+        drive_scenario(session, steps=10, batch_size=0)
+    session.close()
