@@ -1,0 +1,57 @@
+"""``repro.analysis``: the project-specific static analysis suite.
+
+AST-based rules that machine-check the conventions the reproduction's
+correctness rests on — the import layering, simulated-time determinism,
+event-loop hygiene, registry-only construction, frozen-config
+immutability, and fast-path allocation discipline.  The CLI lives in
+:mod:`repro.lint` (``python -m repro.lint``); this package is the
+framework: sources, rules, registry, engine, report.
+
+The suite never imports the code it checks — everything is static, so
+it runs on broken trees and on test fixtures alike.
+"""
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    META_RULES,
+    PARSE_ERROR,
+    STALE_BASELINE,
+    UNUSED_SUPPRESSION,
+    analyze_modules,
+    load_baseline,
+    run_analysis,
+    save_baseline,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import (
+    FAMILIES,
+    ProjectRule,
+    RULE_REGISTRY,
+    Rule,
+    make_rules,
+    register,
+    rule_ids,
+)
+from repro.analysis.source import ModuleSource, load_tree
+
+__all__ = [
+    "AnalysisReport",
+    "FAMILIES",
+    "Finding",
+    "META_RULES",
+    "ModuleSource",
+    "PARSE_ERROR",
+    "ProjectRule",
+    "RULE_REGISTRY",
+    "Rule",
+    "STALE_BASELINE",
+    "UNUSED_SUPPRESSION",
+    "analyze_modules",
+    "load_baseline",
+    "load_tree",
+    "make_rules",
+    "register",
+    "rule_ids",
+    "run_analysis",
+    "save_baseline",
+]

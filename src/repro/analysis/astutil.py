@@ -1,0 +1,37 @@
+"""Small shared AST helpers for the rule modules."""
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+
+def dotted(node: ast.expr) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains as a dotted string (else None)."""
+    parts: List[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def imported_targets(tree: ast.Module) -> Iterator[Tuple[str, int, int]]:
+    """Yield ``(module, line, col)`` for every import in the tree.
+
+    Walks the whole AST, so imports deferred into function bodies count
+    the same as top-level ones — a deferred import is still a
+    dependency edge (and deferring is the classic way to smuggle one
+    past an import-time cycle).  Relative imports are resolved only one
+    step (``from . import x`` inside ``repro.pkg`` -> ``repro.pkg``);
+    the codebase uses absolute imports throughout.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node.lineno, node.col_offset
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is not None and node.level == 0:
+                yield node.module, node.lineno, node.col_offset
+

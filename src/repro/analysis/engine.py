@@ -1,0 +1,231 @@
+"""The analysis engine: run the suite, classify, report.
+
+:func:`run_analysis` drives the registered rules over a parsed module
+set and returns an :class:`AnalysisReport`.  Every raw finding is
+classified exactly once:
+
+* ``suppressed`` — the flagged line carries ``lint: allow[rule-id]``;
+* ``baselined`` — it matches an entry in the (audited) baseline file;
+* ``open`` — everything else: these fail the run.
+
+Both escape hatches are themselves audited.  An ``allow`` that
+suppresses nothing becomes a ``lint/unused-suppression`` finding, and
+a baseline entry nothing matches becomes ``lint/stale-baseline`` — so
+neither can silently outlive the violation it excused.  Engine-level
+diagnostics (the two above plus ``lint/parse-error``) are not
+suppressible and never baselined.
+"""
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import ConfigError
+
+from repro.analysis.findings import (
+    STATUS_BASELINED,
+    STATUS_OPEN,
+    STATUS_SUPPRESSED,
+    Finding,
+)
+from repro.analysis.registry import RULE_REGISTRY, Rule, ProjectRule, make_rules
+from repro.analysis.source import ModuleSource, load_tree
+
+# Populate the registry with the shipped families.
+import repro.analysis.rules  # noqa: F401  (imported for registration)
+
+#: Engine-level diagnostics (reserved ids outside the five families).
+PARSE_ERROR = "lint/parse-error"
+UNUSED_SUPPRESSION = "lint/unused-suppression"
+STALE_BASELINE = "lint/stale-baseline"
+META_RULES: Tuple[str, ...] = (PARSE_ERROR, UNUSED_SUPPRESSION,
+                               STALE_BASELINE)
+
+REPORT_VERSION = 1
+
+
+@dataclass
+class AnalysisReport:
+    """The classified outcome of one analysis run."""
+
+    modules_checked: int = 0
+    rules_run: Tuple[str, ...] = ()
+    open_findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.open_findings
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "open": len(self.open_findings),
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
+            "total": (len(self.open_findings) + len(self.suppressed)
+                      + len(self.baselined)),
+        }
+
+    def to_json(self) -> Dict[str, object]:
+        def rows(findings: Sequence[Finding], status: str
+                 ) -> List[Dict[str, Union[str, int]]]:
+            ordered = sorted(findings,
+                             key=lambda f: (f.path, f.line, f.rule))
+            return [f.to_json(status) for f in ordered]
+
+        return {
+            "version": REPORT_VERSION,
+            "tool": "repro.lint",
+            "clean": self.clean,
+            "modules_checked": self.modules_checked,
+            "rules": {rule_id: RULE_REGISTRY[rule_id].description
+                      for rule_id in self.rules_run
+                      if rule_id in RULE_REGISTRY},
+            "counts": self.counts(),
+            "findings": (rows(self.open_findings, STATUS_OPEN)
+                         + rows(self.suppressed, STATUS_SUPPRESSED)
+                         + rows(self.baselined, STATUS_BASELINED)),
+        }
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in sorted(
+            self.open_findings, key=lambda f: (f.path, f.line, f.rule))]
+        counts = self.counts()
+        lines.append(
+            f"repro.lint: {counts['open']} open, "
+            f"{counts['suppressed']} suppressed, "
+            f"{counts['baselined']} baselined "
+            f"({self.modules_checked} modules, "
+            f"{len(self.rules_run)} rules)")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Baseline: the audited list of grandfathered findings.
+# ----------------------------------------------------------------------
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> List[Tuple[str, str, str]]:
+    """Read baseline entries as ``(rule, path, message)`` keys."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigError(
+            f"baseline {path} is not valid JSON: {exc}") from exc
+    entries = data.get("entries") if isinstance(data, dict) else None
+    if entries is None or not isinstance(entries, list):
+        raise ConfigError(
+            f"baseline {path} must be an object with an 'entries' list")
+    keys: List[Tuple[str, str, str]] = []
+    for entry in entries:
+        if (not isinstance(entry, dict)
+                or not all(isinstance(entry.get(k), str)
+                           for k in ("rule", "path", "message"))):
+            raise ConfigError(
+                f"baseline {path}: each entry needs string fields "
+                "rule/path/message")
+        keys.append((entry["rule"], entry["path"], entry["message"]))
+    return keys
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write the current findings as the new baseline (sorted, stable)."""
+    entries = sorted(
+        {f.key() for f in findings})
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": ("Audited grandfathered findings. Entries that stop "
+                    "matching become lint/stale-baseline failures; do not "
+                    "add entries by hand without review."),
+        "entries": [
+            {"rule": rule, "path": file_path, "message": message}
+            for rule, file_path, message in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# The run itself.
+# ----------------------------------------------------------------------
+def analyze_modules(modules: Sequence[ModuleSource],
+                    rules: Optional[Sequence[Rule]] = None,
+                    baseline: Sequence[Tuple[str, str, str]] = (),
+                    parse_errors: Sequence[Tuple[str, str]] = (),
+                    ) -> AnalysisReport:
+    """Run ``rules`` (default: the full registry) over parsed modules."""
+    suite: Sequence[Rule] = rules if rules is not None else make_rules()
+    raw: List[Finding] = []
+    for rule in suite:
+        if isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(modules))
+        else:
+            for module in modules:
+                raw.extend(rule.check(module))
+    for err_path, message in parse_errors:
+        raw.append(Finding(rule=PARSE_ERROR, path=err_path, line=1, col=0,
+                           message=message))
+
+    report = AnalysisReport(
+        modules_checked=len(modules),
+        rules_run=tuple(rule.rule_id for rule in suite))
+    by_path: Dict[str, ModuleSource] = {m.path: m for m in modules}
+    budget: Dict[Tuple[str, str, str], int] = {}
+    for key in baseline:
+        budget[key] = budget.get(key, 0) + 1
+    used_allows: Dict[str, Set[Tuple[int, str]]] = {
+        m.path: set() for m in modules}
+
+    for finding in raw:
+        module = by_path.get(finding.path)
+        if (module is not None and finding.rule not in META_RULES
+                and module.allowed(finding.line, finding.rule)):
+            report.suppressed.append(finding)
+            used_allows[finding.path].add((finding.line, finding.rule))
+            continue
+        key = finding.key()
+        if finding.rule not in META_RULES and budget.get(key, 0) > 0:
+            budget[key] -= 1
+            report.baselined.append(finding)
+            continue
+        report.open_findings.append(finding)
+
+    # Audit the escape hatches.
+    for module in modules:
+        for line, rule_list in sorted(module.allows.items()):
+            for rule_id in sorted(rule_list):
+                if (line, rule_id) in used_allows[module.path]:
+                    continue
+                known = rule_id in RULE_REGISTRY
+                detail = ("suppresses nothing on this line" if known
+                          else "names an unknown rule id")
+                report.open_findings.append(Finding(
+                    rule=UNUSED_SUPPRESSION, path=module.path, line=line,
+                    col=0,
+                    message=f"lint: allow[{rule_id}] {detail}; remove it"))
+    for key, remaining in sorted(budget.items()):
+        if remaining > 0:
+            rule_id, file_path, message = key
+            report.open_findings.append(Finding(
+                rule=STALE_BASELINE, path=file_path, line=1, col=0,
+                message=(f"baseline entry for {rule_id} no longer matches "
+                         f"any finding ({message!r} x{remaining}); remove "
+                         "it from the baseline")))
+    return report
+
+
+def run_analysis(root: Path,
+                 rules: Optional[Sequence[str]] = None,
+                 baseline_path: Optional[Path] = None) -> AnalysisReport:
+    """Lint the tree under ``root`` (see :func:`~repro.analysis.source.
+    discover` for accepted layouts) against the registered suite."""
+    modules, parse_errors = load_tree(root)
+    baseline: Sequence[Tuple[str, str, str]] = ()
+    if baseline_path is not None and baseline_path.exists():
+        baseline = load_baseline(baseline_path)
+    suite = make_rules(rules or ())
+    return analyze_modules(modules, rules=suite, baseline=baseline,
+                           parse_errors=parse_errors)

@@ -1,0 +1,47 @@
+"""The finding record every rule emits.
+
+A :class:`Finding` is one diagnostic at one source location.  Its
+*identity* for baseline matching is ``(rule, path, message)`` — line
+numbers drift with every edit, so a grandfathered finding keeps
+matching its baseline entry until the offending code itself changes
+(at which point the stale-baseline audit forces a re-review).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+#: Classification attached by the engine after suppression/baseline
+#: matching: ``open`` findings fail the run, the other two are recorded
+#: in the report but do not.
+STATUS_OPEN = "open"
+STATUS_SUPPRESSED = "suppressed"
+STATUS_BASELINED = "baselined"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: ``rule`` fired at ``path:line:col``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: location-free so line drift is harmless."""
+        return (self.rule, self.path, self.message)
+
+    def to_json(self, status: str = STATUS_OPEN) -> Dict[str, Union[str, int]]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "status": status,
+        }
+
+    def render(self) -> str:
+        """The classic one-line compiler format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"

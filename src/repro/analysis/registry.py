@@ -1,0 +1,105 @@
+"""The rule registry: one catalogue for every lint rule.
+
+Mirrors the controller/app registry idiom (:mod:`repro.registry`,
+``APP_REGISTRY``): rule classes register themselves under a stable
+``family/name`` id, and everything downstream — the engine, the CLI's
+``--rule`` filter, the report's rule table — goes through the registry
+instead of importing rule modules directly.
+
+A rule is a class with three class attributes (``rule_id``,
+``family``, ``description``) and a ``check(module)`` generator.
+*Project* rules additionally see the whole module set at once via
+``check_project(modules)`` — that is where cross-module properties
+(the import cycle scan) live.
+"""
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Type
+
+from repro.errors import ConfigError
+
+from repro.analysis.findings import Finding
+from repro.analysis.source import ModuleSource
+
+#: The five rule families the suite ships (fixed vocabulary; the
+#: registry rejects rules claiming any other family).
+FAMILIES: Tuple[str, ...] = (
+    "layering", "determinism", "concurrency", "api", "hotpath")
+
+
+class Rule:
+    """Base class for per-module rules.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    registering is explicit via the :func:`register` decorator so that
+    importing a rule module never silently doubles the suite.
+    """
+
+    rule_id: str = ""
+    family: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleSource, line: int, col: int,
+                message: str) -> Finding:
+        return Finding(rule=self.rule_id, path=module.path, line=line,
+                       col=col, message=message)
+
+
+class ProjectRule(Rule):
+    """A rule over the whole module set (cross-module properties)."""
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, modules: Sequence[ModuleSource]
+                      ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the registry (id must be fresh)."""
+    if not cls.rule_id or "/" not in cls.rule_id:
+        raise ConfigError(
+            f"rule {cls.__name__} needs a 'family/name' rule_id, "
+            f"got {cls.rule_id!r}")
+    if cls.family not in FAMILIES:
+        raise ConfigError(
+            f"rule {cls.rule_id!r} claims unknown family {cls.family!r}; "
+            f"families: {', '.join(FAMILIES)}")
+    if not cls.rule_id.startswith(cls.family + "/"):
+        raise ConfigError(
+            f"rule id {cls.rule_id!r} must start with its family "
+            f"{cls.family!r}")
+    if cls.rule_id in RULE_REGISTRY:
+        raise ConfigError(f"rule id {cls.rule_id!r} registered twice")
+    RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def rule_ids() -> Tuple[str, ...]:
+    """Registered rule ids, in registration order."""
+    return tuple(RULE_REGISTRY)
+
+
+def make_rules(only: Iterable[str] = ()) -> List[Rule]:
+    """Instantiate the suite (optionally restricted to ``only`` ids).
+
+    Raises :class:`~repro.errors.ConfigError` for an unknown id,
+    naming the registry — same contract as ``make_controller``.
+    """
+    wanted = list(only)
+    if not wanted:
+        return [cls() for cls in RULE_REGISTRY.values()]
+    rules: List[Rule] = []
+    for rule_id in wanted:
+        if rule_id not in RULE_REGISTRY:
+            raise ConfigError(
+                f"unknown rule id {rule_id!r}; registered: "
+                f"{', '.join(RULE_REGISTRY)}")
+        rules.append(RULE_REGISTRY[rule_id]())
+    return rules

@@ -1,0 +1,17 @@
+"""The shipped rule families.
+
+Importing this package populates :data:`repro.analysis.registry.
+RULE_REGISTRY` with every built-in rule; the engine imports it once.
+Adding a family means adding a module here and importing it below (see
+"writing a new rule" in ``docs/architecture.md`` §12).
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (imported for registration)
+    api,
+    concurrency,
+    determinism,
+    hotpath,
+    layering,
+)
+
+__all__ = ["api", "concurrency", "determinism", "hotpath", "layering"]

@@ -1,0 +1,166 @@
+"""API-discipline rules: registries, frozen configs, the error taxonomy.
+
+* ``api/registry-construction`` — controller and app classes are
+  implementation; everything above the layer that defines them builds
+  through :func:`repro.registry.make_controller` / ``make_app``
+  (``APP_REGISTRY``), so flavour validation, ``u``-requirement checks
+  and construction conventions live in exactly one place.
+* ``api/frozen-setattr`` — ``object.__setattr__`` is the sanctioned
+  way frozen dataclasses normalise fields, but only during
+  construction (``__init__``/``__post_init__``/``__setstate__``);
+  anywhere else it is mutation of a config other code already trusts
+  to be immutable.
+* ``api/error-taxonomy`` — public surfaces raise the
+  :mod:`repro.errors` taxonomy, never bare builtins, so callers can
+  catch library failures without swallowing unrelated bugs.
+"""
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Union
+
+from repro.analysis.astutil import dotted
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import ModuleSource
+
+#: Controller classes and the units allowed to construct them directly
+#: (the layers that define and compose them).  Everything else goes
+#: through make_controller.  The self-run test cross-checks this list
+#: against repro.registry.CONTROLLER_REGISTRY so it cannot rot.
+CONTROLLER_CLASSES: FrozenSet[str] = frozenset({
+    "CentralizedController", "IteratedController", "AdaptiveController",
+    "TerminatingController", "DistributedController",
+    "DistributedIteratedController", "DistributedAdaptiveController",
+    "TrivialController",
+})
+CONTROLLER_UNITS: FrozenSet[str] = frozenset({
+    "core", "distributed", "baselines", "registry"})
+
+#: App classes (Section 5) and their defining unit: construction goes
+#: through make_app / APP_REGISTRY outside it.
+APP_CLASSES: FrozenSet[str] = frozenset({
+    "SizeEstimationApp", "NameAssignmentApp", "SubtreeEstimatorApp",
+    "HeavyChildApp", "AncestryLabelsApp", "RoutingLabelsApp",
+    "MajorityCommitApp",
+})
+APP_UNITS: FrozenSet[str] = frozenset({"apps"})
+
+#: Construction-time methods where object.__setattr__ on a frozen
+#: instance is legitimate.
+_FROZEN_INIT_METHODS: FrozenSet[str] = frozenset({
+    "__init__", "__post_init__", "__setstate__"})
+
+#: Builtins that must not be raised: each has a taxonomy replacement
+#: (ConfigError derives from ValueError, so old callers keep working).
+BANNED_RAISES: Dict[str, str] = {
+    "Exception": "ReproError",
+    "BaseException": "ReproError",
+    "ValueError": "ConfigError (derives from ValueError)",
+    "TypeError": "ConfigError",
+    "RuntimeError": "ControllerError / SimulationError / ProtocolError",
+    "KeyError": "ConfigError",
+    "IndexError": "ConfigError",
+    "LookupError": "ConfigError",
+    "AssertionError": "InvariantViolation",
+    "ArithmeticError": "InvariantViolation",
+    "ZeroDivisionError": "InvariantViolation",
+    "AttributeError": "ProtocolError",
+    "StopIteration": "ProtocolError",
+    "OSError": "GatewayError",
+    "IOError": "GatewayError",
+}
+
+
+@register
+class RegistryConstructionRule(Rule):
+    rule_id = "api/registry-construction"
+    family = "api"
+    description = ("controllers/apps are constructed via make_controller / "
+                   "make_app outside the layers that define them")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._callee_name(node)
+            if name in CONTROLLER_CLASSES:
+                allowed, factory = CONTROLLER_UNITS, "make_controller"
+            elif name in APP_CLASSES:
+                allowed, factory = APP_UNITS, "make_app"
+            else:
+                continue
+            if module.unit in allowed:
+                continue
+            yield self.finding(
+                module, node.lineno, node.col_offset,
+                f"direct construction of {name} outside its defining "
+                f"layer; build through {factory} so flavour validation "
+                "and construction conventions stay in one place")
+
+    @staticmethod
+    def _callee_name(call: ast.Call) -> str:
+        if isinstance(call.func, ast.Name):
+            return call.func.id
+        if isinstance(call.func, ast.Attribute):
+            return call.func.attr
+        return ""
+
+
+@register
+class FrozenSetattrRule(Rule):
+    rule_id = "api/frozen-setattr"
+    family = "api"
+    description = ("object.__setattr__ on frozen configs only inside "
+                   "__init__/__post_init__/__setstate__")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        yield from self._scan(module, module.tree.body, enclosing="")
+
+    def _scan(self, module: ModuleSource, body: List[ast.stmt],
+              enclosing: str) -> Iterator[Finding]:
+        for stmt in body:
+            yield from self._scan_node(module, stmt, enclosing)
+
+    def _scan_node(self, module: ModuleSource, node: ast.AST,
+                   enclosing: str) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in node.body:
+                yield from self._scan_node(module, child, node.name)
+            return
+        if isinstance(node, ast.Call) and dotted(node.func) == \
+                "object.__setattr__":
+            if enclosing not in _FROZEN_INIT_METHODS:
+                where = enclosing or "module scope"
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"object.__setattr__ in {where}; frozen instances may "
+                    "only be written during construction "
+                    "(__init__/__post_init__/__setstate__)")
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan_node(module, child, enclosing)
+
+
+@register
+class ErrorTaxonomyRule(Rule):
+    rule_id = "api/error-taxonomy"
+    family = "api"
+    description = ("raise only the repro.errors taxonomy (plus "
+                   "NotImplementedError); never bare builtin exceptions")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc: Union[ast.expr, None] = node.exc
+            name = ""
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            replacement = BANNED_RAISES.get(name)
+            if replacement is None:
+                continue
+            yield self.finding(
+                module, node.lineno, node.col_offset,
+                f"raising builtin {name}; use the repro.errors taxonomy "
+                f"({replacement})")

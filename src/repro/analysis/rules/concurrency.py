@@ -1,0 +1,160 @@
+"""Concurrency rules: event-loop hygiene and closure capture.
+
+Two failure modes this project is specifically exposed to:
+
+* The asyncio facade (:mod:`repro.gateway.aio`) wraps a *synchronous*
+  engine.  A blocking call on the event loop — ``time.sleep``, or a
+  timeout-less ``Future.result()`` — stalls every client of the
+  gateway at once, and unlike a crash it passes every functional test.
+  Blocking work belongs on the worker thread (``asyncio.to_thread``)
+  or behind an awaitable (``asyncio.wrap_future``).
+
+* Callbacks handed to the schedulers are invoked *later*; a closure
+  built in a loop captures the loop **variable**, not the value it had
+  that iteration, so every callback fires with the final value.  The
+  fix is binding at definition time (``lambda node=node: ...``) or a
+  factory function.  The rule flags any function defined inside a loop
+  that reads the loop variable late-bound.
+"""
+
+import ast
+from typing import Iterator, List, Sequence, Set, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import ModuleSource
+
+_Func = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+@register
+class AsyncBlockingRule(Rule):
+    rule_id = "concurrency/async-blocking"
+    family = "concurrency"
+    description = ("no time.sleep or timeout-less .result() inside async "
+                   "def; block on the worker thread, await on the loop")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                func = inner.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if (func.attr == "sleep"
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == "time"):
+                    yield self.finding(
+                        module, inner.lineno, inner.col_offset,
+                        "time.sleep inside async def blocks the event loop; "
+                        "use await asyncio.sleep(...)")
+                elif (func.attr == "result" and not inner.args
+                        and not inner.keywords):
+                    yield self.finding(
+                        module, inner.lineno, inner.col_offset,
+                        "timeout-less .result() inside async def can block "
+                        "the event loop forever; await the future "
+                        "(asyncio.wrap_future) or pass a timeout")
+
+
+def _loop_target_names(node: Union[ast.For, ast.AsyncFor]) -> Set[str]:
+    return {n.id for n in ast.walk(node.target) if isinstance(n, ast.Name)}
+
+
+def _bound_names(func: _Func) -> Set[str]:
+    """Names a nested function binds itself (params + local stores)."""
+    args = func.args
+    bound = {a.arg for a in (args.posonlyargs + args.args + args.kwonlyargs)}
+    if args.vararg is not None:
+        bound.add(args.vararg.arg)
+    if args.kwarg is not None:
+        bound.add(args.kwarg.arg)
+    body: Sequence[ast.AST]
+    if isinstance(func, ast.Lambda):
+        body = (func.body,)
+    else:
+        body = func.body
+    for stmt in body:
+        for n in ast.walk(stmt):
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store):
+                bound.add(n.id)
+    return bound
+
+
+def _free_reads(func: _Func) -> Set[str]:
+    body: Sequence[ast.AST]
+    if isinstance(func, ast.Lambda):
+        body = (func.body,)
+    else:
+        body = func.body
+    reads: Set[str] = set()
+    for stmt in body:
+        for n in ast.walk(stmt):
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load):
+                reads.add(n.id)
+    return reads - _bound_names(func)
+
+
+@register
+class LoopClosureRule(Rule):
+    rule_id = "concurrency/loop-closure"
+    family = "concurrency"
+    description = ("no late-binding capture of a loop variable in a "
+                   "function defined inside the loop; bind it as a default "
+                   "argument")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        yield from self._scan(module, module.tree.body, [])
+
+    def _scan(self, module: ModuleSource, body: Sequence[ast.stmt],
+              loop_vars: List[Set[str]]) -> Iterator[Finding]:
+        for stmt in body:
+            yield from self._scan_node(module, stmt, loop_vars)
+
+    def _scan_node(self, module: ModuleSource, node: ast.AST,
+                   loop_vars: List[Set[str]]) -> Iterator[Finding]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            inner = loop_vars + [_loop_target_names(node)]
+            yield from self._scan_expr(module, node.iter, loop_vars)
+            for stmt in node.body + node.orelse:
+                yield from self._scan_node(module, stmt, inner)
+            return
+        if isinstance(node, ast.While):
+            yield from self._scan_expr(module, node.test, loop_vars)
+            for stmt in node.body + node.orelse:
+                yield from self._scan_node(module, stmt, loop_vars)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from self._flag_if_captures(module, node, loop_vars)
+            # A new scope: loop variables of *this* function's loops are
+            # tracked afresh inside it.
+            yield from self._scan(module, node.body, [])
+            return
+        if isinstance(node, ast.Lambda):
+            yield from self._flag_if_captures(module, node, loop_vars)
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan_node(module, child, loop_vars)
+
+    def _scan_expr(self, module: ModuleSource, expr: ast.expr,
+                   loop_vars: List[Set[str]]) -> Iterator[Finding]:
+        yield from self._scan_node(module, expr, loop_vars)
+
+    def _flag_if_captures(self, module: ModuleSource, func: _Func,
+                          loop_vars: List[Set[str]]) -> Iterator[Finding]:
+        if not loop_vars:
+            return
+        captured = _free_reads(func)
+        for scope in loop_vars:
+            late = sorted(captured & scope)
+            if late:
+                names = ", ".join(late)
+                yield self.finding(
+                    module, func.lineno, func.col_offset,
+                    f"closure defined in a loop captures loop variable(s) "
+                    f"{names} late-bound; every deferred call sees the "
+                    f"final value — bind with a default ({late[0]}="
+                    f"{late[0]})")

@@ -1,0 +1,165 @@
+"""Determinism rules: no wall clocks, no unseeded randomness, no
+order-dependent iteration over sets.
+
+The whole reproduction runs on *simulated* time: equal seeds must give
+bit-identical runs, and the differential benches and the 125-cell grid
+rely on it.  Wall-clock reads and the process-global ``random`` module
+are the two classic ways real time leaks in; iterating a ``set`` is the
+quiet third — Python set order varies with insertion history (and, for
+strings, with ``PYTHONHASHSEED``), so feeding it into scheduling or
+plan construction reorders runs that should be identical.
+
+Wall clocks are not banned from the project, only centralised: the
+threaded gateway really does need one.  It takes it from the
+:mod:`repro.clock` shim, and the bench harness (which times real
+wall-clock performance, that is its job) is allowlisted wholesale.
+"""
+
+import ast
+from typing import FrozenSet, Iterator, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import ModuleSource
+
+#: Units where wall-clock reads are the point: the bench harness times
+#: real elapsed time, and the clock shim is the one sanctioned door.
+WALL_CLOCK_ALLOWED_UNITS: FrozenSet[str] = frozenset({"bench", "clock"})
+
+#: ``time`` module attributes that read (or wait on) the wall clock.
+#: ``time.sleep`` lives here too — sleeping is a wall-clock dependency
+#: even before the concurrency rule's async concerns.
+_TIME_ATTRS: FrozenSet[str] = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "sleep",
+})
+
+#: ``datetime.date``/``datetime.datetime`` constructors that read the
+#: current moment.
+_DATETIME_ATTRS: FrozenSet[str] = frozenset({"now", "utcnow", "today"})
+
+#: The only ``random`` module attributes deterministic code may touch:
+#: a ``random.Random(seed)`` instance is replayable, the module-level
+#: functions (and ``SystemRandom``) are not.
+_RANDOM_ALLOWED: FrozenSet[str] = frozenset({"Random"})
+
+#: Units whose iteration order feeds scheduling or plan construction —
+#: the scope of the set-iteration heuristic.
+SCHEDULING_UNITS: FrozenSet[str] = frozenset({
+    "sim", "core", "distributed", "fleet", "service", "apps", "gateway"})
+
+
+def _attr_on(node: ast.expr, base: str) -> str:
+    """``attr`` when node is ``<base>.<attr>``, else ''."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == base):
+        return node.attr
+    return ""
+
+
+@register
+class WallClockRule(Rule):
+    rule_id = "determinism/wall-clock"
+    family = "determinism"
+    description = ("no time.time/monotonic/perf_counter/sleep or "
+                   "datetime.now outside repro.bench and the repro.clock "
+                   "shim — simulated time only")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.unit in WALL_CLOCK_ALLOWED_UNITS:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                attr = _attr_on(node, "time")
+                if attr in _TIME_ATTRS:
+                    yield self.finding(
+                        module, node.lineno, node.col_offset,
+                        f"wall-clock access time.{attr}; use simulated time "
+                        "(the scheduler clock) or the repro.clock shim")
+                    continue
+                if (node.attr in _DATETIME_ATTRS
+                        and isinstance(node.value, (ast.Name, ast.Attribute))):
+                    base = node.value
+                    base_name = (base.id if isinstance(base, ast.Name)
+                                 else base.attr)
+                    if base_name in ("datetime", "date"):
+                        yield self.finding(
+                            module, node.lineno, node.col_offset,
+                            f"wall-clock access {base_name}.{node.attr}; "
+                            "simulated runs must not read the calendar")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_ATTRS:
+                            yield self.finding(
+                                module, node.lineno, node.col_offset,
+                                f"importing {alias.name} from time; wall "
+                                "clocks live behind repro.clock")
+                elif node.module == "datetime":
+                    yield self.finding(
+                        module, node.lineno, node.col_offset,
+                        "importing datetime; simulated runs must not read "
+                        "the calendar")
+
+
+@register
+class UnseededRandomRule(Rule):
+    rule_id = "determinism/unseeded-random"
+    family = "determinism"
+    description = ("only seeded random.Random instances; the module-level "
+                   "random functions share unseeded process-global state")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                attr = _attr_on(node, "random")
+                if attr and attr not in _RANDOM_ALLOWED:
+                    yield self.finding(
+                        module, node.lineno, node.col_offset,
+                        f"random.{attr} uses the process-global RNG; build "
+                        "a seeded random.Random and thread it through")
+            elif (isinstance(node, ast.ImportFrom) and node.level == 0
+                  and node.module == "random"):
+                for alias in node.names:
+                    if alias.name not in _RANDOM_ALLOWED:
+                        yield self.finding(
+                            module, node.lineno, node.col_offset,
+                            f"importing {alias.name} from random; only "
+                            "seeded random.Random instances are "
+                            "deterministic")
+
+
+def _is_bare_set(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class SetIterationRule(Rule):
+    rule_id = "determinism/set-iteration"
+    family = "determinism"
+    description = ("no iteration directly over a set expression in the "
+                   "scheduling/plan layers; wrap it in sorted() to pin the "
+                   "order")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.unit not in SCHEDULING_UNITS:
+            return
+        for node in ast.walk(module.tree):
+            targets: Tuple[ast.expr, ...] = ()
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                targets = (node.iter,)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                targets = tuple(gen.iter for gen in node.generators)
+            for it in targets:
+                if _is_bare_set(it):
+                    yield self.finding(
+                        module, it.lineno, it.col_offset,
+                        "iterating directly over a set; set order is "
+                        "insertion- and hash-seed-dependent — wrap in "
+                        "sorted() before it feeds scheduling or plans")

@@ -1,0 +1,261 @@
+"""Layering rules: the declared import DAG for ``repro.*``.
+
+The architecture is a strict layering (``docs/architecture.md`` §12):
+``tree``/``sim`` at the bottom over the shared ``errors`` taxonomy,
+the core kernel and workloads above them, the distributed engine above
+the kernel, then registry -> service -> apps/gateway/fleet, with
+``bench`` as the top-of-stack harness.  :data:`LAYER_DEPS` *is* that
+diagram — editing it is an architectural decision, reviewed like one.
+
+Three rules enforce it:
+
+* ``layering/declared-dag`` — every ``repro.*`` import must be an edge
+  the DAG declares (per-module enforcement, deferred imports count);
+* ``layering/cycle`` — the declared DAG and the *observed*
+  module-level import graph must both be acyclic;
+* ``layering/protocol-import-light`` — the bottom modules other layers
+  lean on (``protocol``, ``errors``, ``clock``) may import only a tiny
+  stdlib allowlist, so importing them never drags the stack in.
+"""
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Set
+
+from repro.analysis.astutil import imported_targets
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, Rule, register
+from repro.analysis.source import ModuleSource
+
+#: Allowed ``repro`` dependencies per layer unit (a unit is a direct
+#: child of the ``repro`` package; ``repro`` itself is the root
+#: aggregator).  ``errors`` is layer zero: every unit may import it, so
+#: it is left implicit.  A unit missing from this table is undeclared
+#: and every one of its imports is flagged — new subsystems must claim
+#: a place in the DAG to land.
+LAYER_DEPS: Dict[str, FrozenSet[str]] = {
+    "errors": frozenset(),
+    "clock": frozenset(),
+    "protocol": frozenset(),
+    "tree": frozenset(),
+    "sim": frozenset(),
+    "metrics": frozenset({"protocol"}),
+    "core": frozenset({"metrics", "protocol", "tree"}),
+    "workloads": frozenset({"core", "tree"}),
+    "baselines": frozenset({"core", "metrics", "protocol", "tree"}),
+    "distributed": frozenset({"core", "metrics", "protocol", "sim", "tree"}),
+    "registry": frozenset({"baselines", "core", "distributed", "protocol",
+                           "tree"}),
+    "service": frozenset({"core", "distributed", "metrics", "protocol",
+                          "registry", "sim", "tree", "workloads"}),
+    "apps": frozenset({"core", "metrics", "protocol", "service", "tree"}),
+    "gateway": frozenset({"clock", "core", "metrics", "service"}),
+    "fleet": frozenset({"core", "metrics", "protocol", "service", "tree"}),
+    "bench": frozenset({"apps", "clock", "core", "distributed", "fleet",
+                        "gateway", "metrics", "registry", "service", "sim",
+                        "workloads"}),
+    "analysis": frozenset(),
+    "lint": frozenset({"analysis"}),
+    # The root package re-exports the public surface; it sits above
+    # everything by construction.
+    "repro": frozenset({"apps", "core", "errors", "fleet", "gateway",
+                        "protocol", "registry", "service", "tree"}),
+}
+
+#: Bottom modules other layers lean on: stdlib-allowlist only, nothing
+#: from ``repro`` beyond what the DAG grants (which is nothing).
+IMPORT_LIGHT: Dict[str, FrozenSet[str]] = {
+    "protocol": frozenset({"dataclasses", "typing"}),
+    "errors": frozenset(),
+    "clock": frozenset({"time", "typing"}),
+}
+
+
+def _target_unit(target: str) -> str:
+    """The layer unit a ``repro...`` import lands in (or ''). """
+    parts = target.split(".")
+    if parts[0] != "repro":
+        return ""
+    return parts[1] if len(parts) > 1 else "repro"
+
+
+@register
+class DeclaredDagRule(Rule):
+    rule_id = "layering/declared-dag"
+    family = "layering"
+    description = ("every repro.* import must be an edge the layer DAG "
+                   "(LAYER_DEPS) declares; errors is layer zero and always "
+                   "allowed")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        unit = module.unit
+        declared = LAYER_DEPS.get(unit)
+        for target, line, col in imported_targets(module.tree):
+            tgt_unit = _target_unit(target)
+            if not tgt_unit:
+                continue
+            if declared is None:
+                yield self.finding(
+                    module, line, col,
+                    f"unit {unit!r} is not declared in the layer DAG; "
+                    "add it to LAYER_DEPS before importing repro modules")
+                continue
+            if tgt_unit in ("errors", unit):
+                continue
+            if tgt_unit == "repro" and unit != "repro":
+                yield self.finding(
+                    module, line, col,
+                    f"{module.module} imports the root repro package; the "
+                    "aggregator sits above every layer — import the layer "
+                    "module directly")
+                continue
+            if tgt_unit not in declared:
+                yield self.finding(
+                    module, line, col,
+                    f"{module.module} (unit {unit!r}) imports {target}; the "
+                    f"layer DAG does not declare {unit!r} -> {tgt_unit!r}")
+
+
+@register
+class CycleRule(ProjectRule):
+    rule_id = "layering/cycle"
+    family = "layering"
+    description = ("the declared layer DAG and the observed module-level "
+                   "import graph must both be acyclic")
+
+    def check_project(self, modules: Sequence[ModuleSource]
+                      ) -> Iterator[Finding]:
+        # The declared DAG first: a cycle smuggled into LAYER_DEPS would
+        # quietly legalise mutual imports.
+        cycle = _find_cycle({unit: sorted(deps)
+                             for unit, deps in LAYER_DEPS.items()})
+        if cycle:
+            anchor = modules[0] if modules else None
+            path = " -> ".join(cycle)
+            if anchor is not None:
+                yield self.finding(
+                    anchor, 1, 0,
+                    f"LAYER_DEPS itself contains a cycle: {path}")
+        # Then the observed module graph (deferred imports included).
+        graph: Dict[str, List[str]] = {}
+        locations: Dict[str, ModuleSource] = {}
+        names = {m.module for m in modules}
+        for mod in modules:
+            locations[mod.module] = mod
+            graph[mod.module] = sorted(
+                edge for edge in _observed_edges(mod, names)
+                if edge != mod.module)
+        cycle = _find_cycle(graph)
+        if cycle:
+            first = min(cycle[:-1])
+            anchor = locations[first]
+            yield self.finding(
+                anchor, 1, 0,
+                "import cycle: " + " -> ".join(cycle))
+
+
+def _observed_edges(mod: ModuleSource, names: Set[str]) -> Set[str]:
+    """Module-level dependency edges, resolved to known modules.
+
+    ``from repro.pkg import name`` is an edge to the *submodule*
+    ``repro.pkg.name`` when one exists — importing a sibling through
+    its package is not a dependency on the package ``__init__``.  Any
+    other target normalises up to the deepest known module.  Imports
+    under ``if TYPE_CHECKING:`` never execute, so they are not runtime
+    edges and a typing-only back-reference is not a cycle.
+    """
+    edges: Set[str] = set()
+
+    def normalise(target: str) -> None:
+        candidate = target
+        while candidate and candidate not in names:
+            candidate = candidate.rpartition(".")[0]
+        if candidate:
+            edges.add(candidate)
+
+    def scan(node: ast.AST) -> None:
+        if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+            for child in node.orelse:
+                scan(child)
+            return
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro"):
+                    normalise(alias.name)
+        elif (isinstance(node, ast.ImportFrom) and node.level == 0
+              and node.module is not None
+              and node.module.startswith("repro")):
+            for alias in node.names:
+                full = f"{node.module}.{alias.name}"
+                if full in names:
+                    edges.add(full)
+                else:
+                    normalise(node.module)
+        for child in ast.iter_child_nodes(node):
+            scan(child)
+
+    scan(mod.tree)
+    return edges
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    """True for ``TYPE_CHECKING`` / ``typing.TYPE_CHECKING`` guards."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    return (isinstance(test, ast.Attribute)
+            and test.attr == "TYPE_CHECKING")
+
+
+def _find_cycle(graph: Dict[str, List[str]]) -> List[str]:
+    """First cycle found by DFS, as ``[a, b, ..., a]`` (else empty)."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {node: WHITE for node in graph}
+    stack: List[str] = []
+
+    def visit(node: str) -> List[str]:
+        color[node] = GREY
+        stack.append(node)
+        for succ in graph.get(node, ()):
+            if succ not in color:
+                continue
+            if color[succ] == GREY:
+                start = stack.index(succ)
+                return stack[start:] + [succ]
+            if color[succ] == WHITE:
+                found = visit(succ)
+                if found:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return []
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            found = visit(node)
+            if found:
+                return found
+    return []
+
+
+@register
+class ImportLightRule(Rule):
+    rule_id = "layering/protocol-import-light"
+    family = "layering"
+    description = ("repro.protocol / repro.errors / repro.clock may import "
+                   "only their declared stdlib allowlist")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        allowlist = IMPORT_LIGHT.get(module.unit)
+        if allowlist is None or module.module.count(".") != 1:
+            return
+        for target, line, col in imported_targets(module.tree):
+            top = target.split(".")[0]
+            if top == "repro":
+                # The DAG rule's concern: these units declare no deps,
+                # so any repro import beyond errors already fires there.
+                continue
+            if top in allowlist:
+                continue
+            yield self.finding(
+                module, line, col,
+                f"{module.module} is import-light; {target} is outside its "
+                f"allowlist ({', '.join(sorted(allowlist)) or 'nothing'})")

@@ -1,0 +1,166 @@
+"""Parsed module sources and the suppression comments they carry.
+
+A :class:`ModuleSource` bundles everything a rule needs to inspect one
+module statically: the dotted module name, the raw text, the parsed
+AST, and the per-line ``lint: allow[rule-id]`` suppressions (written
+as a ``#`` comment on the flagged line).  Rules
+never import the code they check — analysis is AST-only, so the linter
+runs on trees that would fail to import (and on test fixtures that are
+deliberately broken).
+
+Suppressions are read from real COMMENT tokens (via :mod:`tokenize`),
+not by scanning text, so the syntax may safely appear inside docstrings
+and string literals without registering as a suppression.
+"""
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import ConfigError
+
+#: The per-line escape hatch: an allow-comment naming rule ids (see the
+#: module docstring for the exact syntax) keeps those rules quiet on
+#: its line.  Every allow is audited — one that suppresses nothing is
+#: itself reported (see the engine).
+_ALLOW_RE = re.compile(r"lint:\s*allow\[([^\]]*)\]")
+
+
+def parse_suppressions(text: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids allowed on that line."""
+    allows: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(tok.string)
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",")}
+            ids.discard("")
+            if ids:
+                allows.setdefault(tok.start[0], set()).update(ids)
+    except tokenize.TokenizeError:
+        # An untokenizable file also fails ast.parse; the engine reports
+        # that as a parse-error finding, so nothing to do here.
+        pass
+    return allows
+
+
+def module_name_for(path: Path) -> str:
+    """Derive the dotted module name from a path containing ``repro``.
+
+    ``src/repro/sim/delays.py`` -> ``repro.sim.delays``; package
+    ``__init__`` files name the package itself.  Raises
+    :class:`~repro.errors.ConfigError` when no ``repro`` component is
+    found — the linter only understands this project's layout.
+    """
+    parts = list(path.parts)
+    if path.suffix == ".py":
+        parts[-1] = path.stem
+    try:
+        start = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        raise ConfigError(
+            f"cannot derive a repro module name from {path}; "
+            "pass files under a repro/ package directory") from None
+    dotted = parts[start:]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+@dataclass
+class ModuleSource:
+    """One module, parsed and ready for rules.
+
+    ``module`` is the dotted name (``repro.sim.delays``); ``unit`` is
+    the top-level layer unit under ``repro`` (``sim``), or ``repro``
+    itself for the root package modules — the granularity the layer DAG
+    is declared at.
+    """
+
+    module: str
+    path: str
+    text: str
+    tree: ast.Module
+    allows: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @property
+    def unit(self) -> str:
+        parts = self.module.split(".")
+        if parts[0] != "repro":
+            return parts[0]
+        if len(parts) == 1:
+            return "repro"
+        return parts[1]
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.path.endswith("__init__.py")
+
+    def allowed(self, line: int, rule: str) -> bool:
+        return rule in self.allows.get(line, ())
+
+    @classmethod
+    def from_source(cls, module: str, text: str,
+                    path: Optional[str] = None) -> "ModuleSource":
+        """Build from an in-memory snippet (the test-fixture path)."""
+        where = path if path is not None else f"<{module}>"
+        try:
+            tree = ast.parse(text, filename=where)
+        except SyntaxError as exc:
+            raise ConfigError(
+                f"cannot parse {where}: {exc}") from exc
+        return cls(module=module, path=where, text=text, tree=tree,
+                   allows=parse_suppressions(text))
+
+    @classmethod
+    def from_path(cls, path: Path, root: Optional[Path] = None) -> "ModuleSource":
+        text = path.read_text(encoding="utf-8")
+        rel = path.relative_to(root) if root is not None else path
+        return cls.from_source(module_name_for(path), text,
+                               path=rel.as_posix())
+
+
+def discover(root: Path) -> Iterator[Tuple[Path, Path]]:
+    """Yield ``(file, base)`` pairs for every ``.py`` under a repro tree.
+
+    ``root`` may be the ``repro`` package directory itself, a directory
+    containing one (``src/``), or a single ``.py`` file.  ``base`` is
+    the directory module paths are reported relative to.
+    """
+    root = root.resolve()
+    if root.is_file():
+        yield root, root.parent
+        return
+    pkg = root if root.name == "repro" else root / "repro"
+    if not pkg.is_dir():
+        raise ConfigError(
+            f"{root} is neither a repro package nor a directory "
+            "containing one")
+    base = pkg.parent
+    for path in sorted(pkg.rglob("*.py")):
+        yield path, base
+
+
+def load_tree(root: Path) -> Tuple[List[ModuleSource], List[Tuple[str, str]]]:
+    """Discover and parse every module under ``root`` (see :func:`discover`).
+
+    Returns ``(modules, parse_errors)`` where each parse error is a
+    ``(relative path, message)`` pair — the engine turns those into
+    ``lint/parse-error`` findings instead of aborting the whole run.
+    """
+    modules: List[ModuleSource] = []
+    errors: List[Tuple[str, str]] = []
+    for path, base in discover(root):
+        try:
+            modules.append(ModuleSource.from_path(path, root=base))
+        except ConfigError as exc:
+            errors.append((path.relative_to(base).as_posix(), str(exc)))
+    return modules, errors

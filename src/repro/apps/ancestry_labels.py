@@ -17,7 +17,7 @@ are served from gap budgets pre-allocated inside the parent's interval
 the amortized accounting also covers.
 """
 
-from typing import ClassVar, Dict, Iterable, Optional, Tuple
+from typing import ClassVar, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ControllerError, InvariantViolation
 from repro.metrics.counters import MoveCounters
@@ -99,7 +99,7 @@ class AncestryLabeling(TreeListener):
     """
 
     def __init__(self, tree: DynamicTree, slack: int = 4,
-                 counters: Optional[MoveCounters] = None):
+                 counters: Optional[MoveCounters] = None) -> None:
         if slack < 2:
             raise ControllerError("slack must be at least 2")
         self.tree = tree
@@ -130,7 +130,8 @@ class AncestryLabeling(TreeListener):
         top = max(high for _, high in self.labels.values())
         return 2 * max(top.bit_length(), 1)
 
-    def check_correctness(self, sample_pairs) -> None:
+    def check_correctness(self, sample_pairs:
+                          Iterable[Tuple[TreeNode, TreeNode]]) -> None:
         """Verify the labels against true ancestry on given node pairs."""
         for u, v in sample_pairs:
             expected = is_ancestor(u, v)
@@ -214,7 +215,7 @@ class AncestryLabeling(TreeListener):
         self._maybe_relabel()
 
     def on_remove_internal(self, node: TreeNode, parent: TreeNode,
-                           children) -> None:
+                           children: List[TreeNode]) -> None:
         self.labels.pop(node, None)
         self._cursor.pop(node, None)
         self._maybe_relabel()

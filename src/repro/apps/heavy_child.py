@@ -17,7 +17,7 @@ import math
 from typing import ClassVar, Dict, List, Optional
 
 from repro.service.appspec import AppSpec
-from repro.tree.dynamic_tree import DynamicTree, TreeListener
+from repro.tree.dynamic_tree import DynamicTree
 from repro.tree.node import TreeNode
 from repro.apps.subtree_estimator import SubtreeEstimatorApp
 

@@ -22,7 +22,7 @@ child tables that routing needs).
 
 from typing import ClassVar, Dict, List, Optional, Tuple
 
-from repro.errors import ControllerError, InvariantViolation
+from repro.errors import InvariantViolation
 from repro.metrics.counters import MoveCounters
 from repro.service.appspec import AppSpec
 from repro.tree.dynamic_tree import DynamicTree, TreeListener
@@ -97,7 +97,7 @@ class RoutingLabeling(TreeListener):
     """Exact (stretch-1) interval routing on a dynamic tree."""
 
     def __init__(self, tree: DynamicTree,
-                 counters: Optional[MoveCounters] = None):
+                 counters: Optional[MoveCounters] = None) -> None:
         self.tree = tree
         self.counters = counters if counters is not None else MoveCounters()
         self.labels: Dict[TreeNode, Interval] = {}
@@ -204,7 +204,7 @@ class RoutingLabeling(TreeListener):
         self._maybe_relabel()
 
     def on_remove_internal(self, node: TreeNode, parent: TreeNode,
-                           children) -> None:
+                           children: List[TreeNode]) -> None:
         # An internal deletion re-parents whole subtrees: the surviving
         # intervals still nest under the grandparent, so routing stays
         # correct — the child-table at the grandparent simply gains the

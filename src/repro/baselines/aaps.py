@@ -28,7 +28,7 @@ comparable.
 """
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.errors import ControllerError, TopologyError
 from repro.metrics.counters import MoveCounters

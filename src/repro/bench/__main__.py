@@ -24,6 +24,7 @@ import json
 import sys
 
 from repro.bench.runner import SCENARIOS, SESSION_BENCH_FLAVORS
+from repro.errors import InvariantViolation
 from repro.registry import CONTROLLER_FLAVORS
 from repro.sim.policies import SCHEDULE_POLICIES
 
@@ -288,7 +289,7 @@ def main(argv=None) -> int:
     failure = None
     try:
         result = runner(**kwargs)
-    except AssertionError as error:
+    except InvariantViolation as error:
         # The grid runner attaches the full report to the failure so the
         # violation evidence survives (and CI can upload it).
         result = getattr(error, "document", None)

@@ -30,7 +30,7 @@ from repro.core.packages import MobilePackage, NodeStore
 from repro.core.params import ControllerParams
 from repro.core.requests import Request, RequestKind
 from repro.distributed.faults import parse_fault_spec
-from repro.errors import ConfigError, ProtocolError
+from repro.errors import ConfigError, InvariantViolation, ProtocolError
 from repro.metrics.fitting import log_log_slope, observation_3_4_bound
 from repro.gateway import Gateway, GatewayConfig
 from repro.metrics.counters import MemoryAudit
@@ -155,7 +155,7 @@ def run_ancestry(sizes: Optional[List[int]] = None, repeats: int = 3,
                 )
             timings[label] = best
         if checks["legacy"] != checks["engine"]:
-            raise AssertionError(
+            raise InvariantViolation(
                 f"engine diverged from legacy at n={n}: "
                 f"{checks['engine']} != {checks['legacy']}"
             )
@@ -272,14 +272,14 @@ def run_batch(n: int = 600, steps: int = 2000, batch_size: int = 64,
     if status_a != status_b:
         first = next(i for i, (a, b) in enumerate(zip(status_a, status_b))
                      if a != b)
-        raise AssertionError(
+        raise InvariantViolation(
             f"batched outcome diverged at step {first}: "
             f"{status_a[first]} != {status_b[first]}"
         )
     counters_a = session_a.controller.counters
     counters_b = session_b.controller.counters
     if counters_a.snapshot() != counters_b.snapshot():
-        raise AssertionError(
+        raise InvariantViolation(
             f"batched counters diverged: {counters_b.snapshot()} "
             f"!= {counters_a.snapshot()}"
         )
@@ -460,7 +460,7 @@ def run_scenario_grid(name: str = "all",
     policies = [part.strip() for part in policy.split(",") if part.strip()]
     for pol in policies:
         if pol not in SCHEDULE_POLICIES:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown policy {pol!r}; known: {', '.join(SCHEDULE_POLICIES)}")
     seed_list = [int(part) for part in str(seeds).split(",") if part != ""]
     # Engines resolve against the public controller registry; ``all``
@@ -473,7 +473,7 @@ def run_scenario_grid(name: str = "all",
                        for part in engines.split(",") if part.strip()]
     for engine in engine_list:
         if engine not in CONTROLLER_FLAVORS:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown engine {engine!r}; registered controller "
                 f"flavors: {', '.join(CONTROLLER_FLAVORS)} (or 'all')")
     fault_plan = parse_fault_spec(faults)
@@ -541,7 +541,7 @@ def run_scenario_grid(name: str = "all",
     }
     if not grid_report.passed:
         first = grid_report.violations[0]
-        error = AssertionError(
+        error = InvariantViolation(
             f"invariant violations in scenario grid "
             f"({len(grid_report.violations)} total); first: "
             f"[{first.invariant}] {first.message}"
@@ -742,7 +742,7 @@ def run_kernel(scenario: str = "deep_burst", seeds: str = "0,1",
             timings[label] = best or 0.0
         for label, _options in KERNEL_ARMS[1:]:
             if checks[label] != checks["scan"]:
-                raise AssertionError(
+                raise InvariantViolation(
                     f"{label} arm diverged from the scan at seed={seed}: "
                     f"{checks[label]} != {checks['scan']}")
         tally, messages = checks["fast"]
@@ -782,7 +782,7 @@ def run_kernel(scenario: str = "deep_burst", seeds: str = "0,1",
     for dist in dists:  # the two paths must agree query-for-query
         if (controller_kernel.scan_filler(store, dist, params)
                 is not controller_kernel.peek_filler(store, dist, params)):
-            raise AssertionError(f"lookup paths disagree at dist={dist}")
+            raise InvariantViolation(f"lookup paths disagree at dist={dist}")
 
     return {
         "scenario": "kernel",
@@ -858,7 +858,7 @@ def run_profile(scenario: str = "deep_burst", seed: int = 0,
     arm_list = [part.strip() for part in arms.split(",") if part.strip()]
     for arm in arm_list:
         if arm not in PROFILE_ARMS:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown profile arm {arm!r}; known: "
                 f"{', '.join(PROFILE_ARMS)}")
     stream_specs = _materialize(spec, seed)
@@ -982,7 +982,7 @@ def run_memory(sizes: Optional[List[int]] = None, stagger: float = 0.25,
         _audit_boards(session.controller, audit, log_n, log_u)
         wall = time.perf_counter() - start
         if len(settled) != len(requests):
-            raise AssertionError(
+            raise InvariantViolation(
                 f"memory bench at n={n}: "
                 f"{len(requests) - len(settled)} requests never resolved")
         worst = audit.worst_ratio(log_n, log_u)
@@ -1009,7 +1009,7 @@ def run_memory(sizes: Optional[List[int]] = None, stagger: float = 0.25,
         "ratio_growth_ok": growth_ok,
     }
     if not document["within_bound"] or not growth_ok:
-        error = AssertionError(
+        error = InvariantViolation(
             "Claim 4.8 memory audit failed: "
             + ("node state exceeded the bound"
                if not document["within_bound"]
@@ -1166,7 +1166,7 @@ def run_session_overhead(n: int = 600, steps: int = 2000,
     baseline = evidence["direct_batch"]
     for label in ("session_batch", "direct_seq", "session_seq"):
         if evidence[label] != baseline:
-            raise AssertionError(
+            raise InvariantViolation(
                 f"arm {label} diverged from direct_batch "
                 "(outcomes or counters differ)")
 
@@ -1314,7 +1314,7 @@ def _drive_app_overhead(name: str, n: int, steps: int, batch_size: int,
         for app in (app_seq, app_batch):
             report = app.audit()
             if not report.passed:
-                raise AssertionError(
+                raise InvariantViolation(
                     f"app {name}: invariant audit failed in overhead "
                     f"bench: {report.violations[0].message}")
         evidence = {
@@ -1342,7 +1342,7 @@ def _drive_app_overhead(name: str, n: int, steps: int, batch_size: int,
         if gc_was_enabled:
             gc.enable()
     if evidence["batch"] != evidence["seq"]:
-        raise AssertionError(
+        raise InvariantViolation(
             f"app {name}: batch path diverged from seq "
             "(outcomes or app state differ)")
     timings = {label: sum(times) for label, times in best.items()}
@@ -1387,7 +1387,7 @@ def _drive_app_complexity(name: str, sizes: List[int],
         picker.detach()
         report = app.audit()
         if not report.passed:
-            raise AssertionError(
+            raise InvariantViolation(
                 f"app {name}: invariant audit failed at n={n}: "
                 f"{report.violations[0].message}")
         if name == "subtree_estimator":
@@ -1518,7 +1518,7 @@ def run_apps(apps: str = "all", sizes: Optional[List[int]] = None,
     policy_list = [p.strip() for p in policies.split(",") if p.strip()]
     for policy in policy_list:
         if policy not in SCHEDULE_POLICIES:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown policy {policy!r}; known: "
                 f"{', '.join(SCHEDULE_POLICIES)}")
 
@@ -1570,7 +1570,7 @@ def run_apps(apps: str = "all", sizes: Optional[List[int]] = None,
     }
     if not grid_report.passed:
         first = grid_report.violations[0]
-        error = AssertionError(
+        error = InvariantViolation(
             f"invariant violations in the apps grid "
             f"({len(grid_report.violations)} total); first: "
             f"[{first.invariant}] {first.message}")
@@ -1620,7 +1620,7 @@ def run_gateway(scenario: str = "mixed_flood", seeds: str = "0,1,2",
     ticket was dropped or double-settled, and the breaker both tripped
     and recovered at least once across the grid — a bench run that
     never exercised the breaker is a configuration bug, not a result.
-    Violations raise ``AssertionError`` with the JSON document
+    Violations raise ``InvariantViolation`` with the JSON document
     attached (the bench CLI prints it before failing).
     """
     spec = get_scenario(scenario)
@@ -1759,7 +1759,7 @@ def run_gateway(scenario: str = "mixed_flood", seeds: str = "0,1,2",
     }
     if not grid_report.passed:
         first = grid_report.violations[0]
-        error = AssertionError(
+        error = InvariantViolation(
             f"invariant violations in the gateway grid "
             f"({len(grid_report.violations)} total); first: "
             f"[{first.invariant}] {first.message}")
@@ -1854,7 +1854,7 @@ def run_fleet(shards: str = "1,2,4,8", steps: int = 2000,
       fleet-level waste zero (granted == m_total before any client
       reject), and audit clean.
 
-    Violations raise ``AssertionError`` with the JSON document
+    Violations raise ``InvariantViolation`` with the JSON document
     attached (the bench CLI prints it before failing).
     """
     from repro.fleet import FleetConfig, FleetRouter
@@ -1990,7 +1990,7 @@ def run_fleet(shards: str = "1,2,4,8", steps: int = 2000,
     }
     if not grid_report.passed:
         first = grid_report.violations[0]
-        error = AssertionError(
+        error = InvariantViolation(
             f"invariant violations in the fleet bench "
             f"({len(grid_report.violations)} total); first: "
             f"[{first.invariant}] {first.message}")

@@ -1,0 +1,31 @@
+"""The wall-clock shim: the one sanctioned door to real time.
+
+Everything in this reproduction runs on *simulated* time — equal seeds
+give bit-identical runs, which the differential benches and the grid
+audit depend on.  The two places that legitimately touch the wall
+clock go through this module, so the static analysis suite
+(``determinism/wall-clock``) can allowlist exactly one module instead
+of auditing call sites:
+
+* the threaded ingestion gateway, whose throttle and latency ledger
+  measure real elapsed seconds (:func:`monotonic`), and
+* the bench harness, which times real performance
+  (:func:`perf_counter`).
+
+Deterministic tests replace the clock by injection (``Gateway(...,
+clock=counter)``) — nothing here is patched, only bypassed.
+"""
+
+import time
+from typing import Callable
+
+__all__ = ["Clock", "monotonic", "perf_counter"]
+
+#: A zero-argument float clock, the shape every consumer accepts.
+Clock = Callable[[], float]
+
+#: Monotonic wall clock for rate/latency measurement (never steps back).
+monotonic: Clock = time.monotonic
+
+#: Highest-resolution wall clock, for benchmarking only.
+perf_counter: Clock = time.perf_counter

@@ -49,7 +49,7 @@ class DistributedAdaptiveController:
                  scheduler: Optional[Scheduler] = None,
                  delays: Optional[DelayModel] = None,
                  counters: Optional[MessageCounters] = None,
-                 fast_path: bool = False):
+                 fast_path: bool = False) -> None:
         if w < 1:
             raise ControllerError("the distributed adaptive wrapper "
                                   "needs W >= 1")

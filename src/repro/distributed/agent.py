@@ -79,7 +79,8 @@ class Agent:
     )
 
     def __init__(self, request: Request, origin: TreeNode,
-                 callback: Optional[Callable[[Outcome], None]] = None):
+                 callback: Optional[Callable[[Outcome], None]] = None
+                 ) -> None:
         self.request = request
         self.origin = origin
         self.callback = callback

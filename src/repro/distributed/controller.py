@@ -56,7 +56,8 @@ from repro.core.requests import (
     perform_event,
 )
 from repro.distributed.agent import Agent, AgentState
-from repro.distributed.whiteboard import WhiteboardMap
+from repro.distributed.faults import FaultInjector
+from repro.distributed.whiteboard import Whiteboard, WhiteboardMap
 
 # Hop phase codes: each in-flight message is (phase, agent); arrival
 # dispatches through a per-controller table of bound methods indexed by
@@ -127,13 +128,14 @@ class DistributedController(TreeListener):
                  tracer: Optional[Tracer] = None,
                  terminate_on_exhaustion: bool = False,
                  apply_topology: bool = True,
-                 faults=None,
+                 faults: Optional[FaultInjector] = None,
                  indexed_stores: bool = True,
                  kernel_trace: Optional[KernelTrace] = None,
                  track_intervals: bool = False,
                  interval_base: int = 0,
-                 permit_flow_observer=None,
-                 fast_path: bool = False):
+                 permit_flow_observer: Optional[
+                     Callable[[TreeNode, int], None]] = None,
+                 fast_path: bool = False) -> None:
         self.tree = tree
         self.params = ControllerParams(m=m, w=w, u=u)
         if scheduler is None:
@@ -307,7 +309,8 @@ class DistributedController(TreeListener):
     # Request arrival (algorithm item 1).
     # ------------------------------------------------------------------
     def _on_request_arrival(self, request: Request,
-                            callback: Optional[Callable]) -> None:
+                            callback: Optional[Callable[[Outcome], None]]
+                            ) -> None:
         node = request.node
         # A request whose event is already meaningless is cancelled at
         # arrival (every meaningfulness condition of Section 4.2 is
@@ -372,7 +375,7 @@ class DistributedController(TreeListener):
         # Keep climbing.
         self._hop(agent, _CLIMB)
 
-    def _take_filler(self, board, dist: int,
+    def _take_filler(self, board: Whiteboard, dist: int,
                      node: Optional[TreeNode] = None
                      ) -> Optional[MobilePackage]:
         """Item 3a's whiteboard check, via the kernel.
@@ -700,7 +703,8 @@ class DistributedController(TreeListener):
         self.active_agents -= 1
         self._record(Outcome(status, agent.request), agent.callback)
 
-    def _record(self, outcome: Outcome, callback: Optional[Callable]) -> None:
+    def _record(self, outcome: Outcome,
+                callback: Optional[Callable[[Outcome], None]]) -> None:
         if outcome.status is OutcomeStatus.REJECTED:
             self._ledger.count_reject()
         elif outcome.status is OutcomeStatus.CANCELLED:
@@ -754,7 +758,7 @@ class DistributedController(TreeListener):
         self._graceful_removal(node, parent, 0)
 
     def on_remove_internal(self, node: TreeNode, parent: TreeNode,
-                           children) -> None:
+                           children: List[TreeNode]) -> None:
         self._graceful_removal(node, parent, len(children))
 
     def _graceful_removal(self, node: TreeNode, parent: TreeNode,
@@ -800,7 +804,8 @@ class DistributedController(TreeListener):
             self._schedule_resume(waiter, parent)
 
     def _rehome_fresh_waiter(self, waiter: Agent, removed: TreeNode,
-                             parent: TreeNode, parent_board) -> None:
+                             parent: TreeNode, parent_board: Whiteboard
+                             ) -> None:
         """A waiter that was *created* at the removed node.
 
         Requests anchored to the removed node lose their meaning

@@ -30,9 +30,13 @@ binds one plan to one controller run.
 import dataclasses
 import random
 from dataclasses import dataclass, field, fields
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:
+    from repro.distributed.controller import DistributedController
+    from repro.tree.node import TreeNode
 
 
 @dataclass(frozen=True)
@@ -57,7 +61,7 @@ class FaultPlan:
     # first sliver of a long run).
     horizon: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0.0 <= self.stall_prob <= 1.0:
             raise SimulationError(
                 f"stall_prob must be in [0, 1], got {self.stall_prob}")
@@ -133,14 +137,14 @@ class FaultInjector:
     records what was actually injected, for the bench JSON reports.
     """
 
-    def __init__(self, plan: FaultPlan):
+    def __init__(self, plan: FaultPlan) -> None:
         if plan.needs_horizon and plan.horizon <= 0:
             raise SimulationError(
                 "fault plan horizon unresolved: pass horizon=... or call "
                 "plan.resolved(span) with the run's expected time span")
         self.plan = plan
         self._rng = random.Random(plan.seed)
-        self._controller = None
+        self._controller: "Optional[DistributedController]" = None
         self.stats: Dict[str, int] = {
             "stalls": 0,
             "paused_deliveries": 0,
@@ -160,7 +164,7 @@ class FaultInjector:
             self._rng.uniform(0.0, plan.horizon) for _ in range(plan.storms))
 
     # ------------------------------------------------------------------
-    def attach(self, controller) -> None:
+    def attach(self, controller: "DistributedController") -> None:
         """Bind to a controller; schedule the churn storms."""
         if self._controller is not None:
             raise SimulationError("fault injector already attached")
@@ -193,11 +197,12 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def _run_storm(self) -> None:
         controller = self._controller
+        assert controller is not None  # storms are scheduled by attach()
         tree = controller.tree
         boards = controller.boards
         rng = self._rng
 
-        def unlocked(node) -> bool:
+        def unlocked(node: "TreeNode") -> bool:
             board = boards.peek(node)
             return board is None or board.locked_by is None
 

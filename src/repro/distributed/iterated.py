@@ -46,7 +46,7 @@ class DistributedIteratedController:
                  scheduler: Optional[Scheduler] = None,
                  delays: Optional[DelayModel] = None,
                  counters: Optional[MessageCounters] = None,
-                 fast_path: bool = False):
+                 fast_path: bool = False) -> None:
         self.tree = tree
         self.m = m
         self.w = w

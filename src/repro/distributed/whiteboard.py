@@ -9,9 +9,10 @@ through the controller's arrival handlers.
 """
 
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, ItemsView, Optional
 
 from repro.core.packages import NodeStore
+from repro.tree.node import TreeNode
 
 
 class Whiteboard:
@@ -26,7 +27,7 @@ class Whiteboard:
 
     def __init__(self, store: Optional[NodeStore] = None,
                  locked_by: Optional[object] = None,
-                 queue: Optional[Deque[object]] = None):
+                 queue: Optional[Deque[object]] = None) -> None:
         self.store = store if store is not None else NodeStore()
         self.locked_by = locked_by  # the Agent holding the lock
         self.queue: Deque[object] = queue if queue is not None else deque()
@@ -44,23 +45,25 @@ class Whiteboard:
 class WhiteboardMap:
     """Lazy node -> whiteboard map (nodes without state cost nothing)."""
 
-    def __init__(self):
-        self._boards: Dict[object, Whiteboard] = {}
+    __slots__ = ("_boards",)
 
-    def get(self, node) -> Whiteboard:
+    def __init__(self) -> None:
+        self._boards: Dict[TreeNode, Whiteboard] = {}
+
+    def get(self, node: TreeNode) -> Whiteboard:
         board = self._boards.get(node)
         if board is None:
             board = Whiteboard()
             self._boards[node] = board
         return board
 
-    def peek(self, node) -> Optional[Whiteboard]:
+    def peek(self, node: TreeNode) -> Optional[Whiteboard]:
         return self._boards.get(node)
 
-    def discard(self, node) -> Optional[Whiteboard]:
+    def discard(self, node: TreeNode) -> Optional[Whiteboard]:
         return self._boards.pop(node, None)
 
-    def items(self):
+    def items(self) -> ItemsView[TreeNode, Whiteboard]:
         return self._boards.items()
 
     def total_parked_permits(self) -> int:

@@ -10,12 +10,15 @@ class ReproError(Exception):
     """Base class for every error raised by the repro library."""
 
 
-class TopologyError(ReproError):
-    """An illegal topology mutation was attempted.
+class TopologyError(ReproError, ValueError):
+    """An illegal topology mutation or query was attempted.
 
     Examples: removing the root, removing a non-existent node, attaching a
-    leaf to a deleted parent, or removing a degree-one node via
-    ``remove_internal``.
+    leaf to a deleted parent, removing a degree-one node via
+    ``remove_internal``, asking for an ancestor more hops up than the node
+    is deep, or reusing a port that is already bound.  Derives from
+    :class:`ValueError` so pre-1.6 callers that caught ``ValueError`` from
+    the query paths keep working.
     """
 
 

@@ -31,7 +31,7 @@ Both validate eagerly in ``__post_init__`` (every mistake raises
 serialize via ``snapshot()`` for bench artifacts.
 """
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError

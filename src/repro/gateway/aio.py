@@ -24,6 +24,7 @@ and returns the settled tickets in submission order.
 import asyncio
 from typing import Iterable, List, Optional
 
+from repro.errors import ConfigError
 from repro.core.requests import Request
 from repro.gateway.config import GatewayConfig
 from repro.gateway.gateway import Gateway, GatewayTicket, IngestionBackend
@@ -41,10 +42,10 @@ class AsyncGateway:
 
     def __init__(self, session: Optional[IngestionBackend] = None,
                  config: Optional[GatewayConfig] = None,
-                 gateway: Optional[Gateway] = None):
+                 gateway: Optional[Gateway] = None) -> None:
         if gateway is None:
             if session is None:
-                raise ValueError("AsyncGateway needs a session or a gateway")
+                raise ConfigError("AsyncGateway needs a session or a gateway")
             gateway = Gateway(session, config)
         self.gateway = gateway
 

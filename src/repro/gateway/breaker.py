@@ -52,7 +52,7 @@ class CircuitBreaker:
                  "_probes_issued", "_probes_succeeded")
 
     def __init__(self, failure_threshold: int, cooldown: int,
-                 probe_quota: int):
+                 probe_quota: int) -> None:
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self.probe_quota = probe_quota

@@ -20,7 +20,7 @@ mode has its own verdict:
 """
 
 import math
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields, replace
 from typing import Any, Dict
 
 from repro.errors import ConfigError

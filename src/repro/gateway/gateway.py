@@ -33,7 +33,6 @@ machine-checks the conservation ledger
 """
 
 import threading
-import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
@@ -48,6 +47,7 @@ from typing import (
     Protocol,
 )
 
+from repro.clock import monotonic
 from repro.core.requests import Request
 from repro.errors import ConfigError, GatewayError, ReproError
 from repro.gateway.breaker import ADMIT, PROBE, BreakerState, CircuitBreaker
@@ -170,7 +170,7 @@ class GatewayTicket:
                  "settle_wall", "verdict", "record", "_future")
 
     def __init__(self, seq: int, request: Request,
-                 client: Optional[str], submit_wall: float):
+                 client: Optional[str], submit_wall: float) -> None:
         self.seq = seq
         self.request = request
         self.client = client
@@ -253,17 +253,18 @@ class Gateway:
         The :class:`~repro.gateway.config.GatewayConfig`; defaults are
         a wide-open, unthrottled, breaker-disarmed gateway.
     clock:
-        The wall clock (``time.monotonic`` by default).  Deterministic
+        The wall clock (:data:`repro.clock.monotonic` by default).
+        Deterministic
         tests inject a counter; the throttle and the latency ledger
         use whatever scale this returns.
     """
 
     def __init__(self, session: IngestionBackend,
                  config: Optional[GatewayConfig] = None,
-                 clock: Optional[Callable[[], float]] = None):
+                 clock: Optional[Callable[[], float]] = None) -> None:
         self.session = session
         self.config = config if config is not None else GatewayConfig()
-        self._clock = clock if clock is not None else time.monotonic
+        self._clock = clock if clock is not None else monotonic
         window = self._session_window(session)
         if window is not None and window < self.config.batch_size:
             raise ConfigError(

@@ -21,7 +21,7 @@ class TokenBucket:
 
     __slots__ = ("rate", "burst", "_tokens", "_last")
 
-    def __init__(self, rate: float, burst: int):
+    def __init__(self, rate: float, burst: int) -> None:
         self.rate = max(float(rate), 0.0)
         self.burst = float(burst)
         self._tokens = self.burst

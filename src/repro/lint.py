@@ -1,0 +1,128 @@
+"""``python -m repro.lint``: the project lint CLI.
+
+Runs the :mod:`repro.analysis` suite over the source tree, writes the
+``LINT_REPORT.json`` artifact, and exits non-zero on any open finding
+— including the audits of the escape hatches themselves (unused
+``lint: allow[...]`` comments, stale baseline entries).
+
+Usage::
+
+    python -m repro.lint                      # lint the installed repro tree
+    python -m repro.lint src                  # lint src/repro explicitly
+    python -m repro.lint --format json        # JSON to stdout + report file
+    python -m repro.lint --rule layering/cycle
+    python -m repro.lint --write-baseline     # grandfather current findings
+    python -m repro.lint --list-rules
+
+Exit codes: 0 clean, 1 open findings, 2 usage/configuration error.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigError
+
+from repro.analysis import (
+    META_RULES,
+    RULE_REGISTRY,
+    run_analysis,
+    save_baseline,
+)
+
+DEFAULT_REPORT = "LINT_REPORT.json"
+DEFAULT_BASELINE = "LINT_BASELINE.json"
+
+
+def _default_root() -> Path:
+    """The source tree this module itself was loaded from."""
+    return Path(__file__).resolve().parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Project-specific static analysis for the repro tree "
+                    "(layering, determinism, concurrency, API discipline, "
+                    "hot-path hygiene).")
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="repro package dir, a dir containing one, or .py files "
+             "(default: the tree this repro package was loaded from)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout format (the JSON report file is written either way)")
+    parser.add_argument(
+        "--report", type=Path, default=Path(DEFAULT_REPORT),
+        help=f"JSON report artifact path (default {DEFAULT_REPORT})")
+    parser.add_argument(
+        "--no-report", action="store_true",
+        help="skip writing the report artifact")
+    parser.add_argument(
+        "--baseline", type=Path, default=Path(DEFAULT_BASELINE),
+        help=f"baseline file (default {DEFAULT_BASELINE}; missing file "
+             "means an empty baseline)")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current open findings to the baseline file and exit 0")
+    parser.add_argument(
+        "--rule", action="append", default=[], metavar="RULE_ID",
+        help="run only this rule (repeatable)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in RULE_REGISTRY.items():
+            print(f"{rule_id:32} {cls.description}")
+        return 0
+
+    roots: List[Path] = list(args.paths) or [_default_root()]
+    try:
+        reports = [
+            run_analysis(root, rules=args.rule or None,
+                         baseline_path=args.baseline)
+            for root in roots
+        ]
+    except ConfigError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
+
+    report = reports[0]
+    for extra in reports[1:]:
+        report.modules_checked += extra.modules_checked
+        report.open_findings.extend(extra.open_findings)
+        report.suppressed.extend(extra.suppressed)
+        report.baselined.extend(extra.baselined)
+
+    if args.write_baseline:
+        # Grandfather everything currently firing (keeping what the old
+        # baseline still matched); the engine's own audit findings are
+        # never baselinable.
+        keep = [f for f in report.open_findings + report.baselined
+                if f.rule not in META_RULES]
+        save_baseline(args.baseline, keep)
+        print(f"repro.lint: wrote {len(keep)} entries to {args.baseline}")
+        return 0
+
+    if not args.no_report:
+        args.report.write_text(
+            json.dumps(report.to_json(), indent=2) + "\n", encoding="utf-8")
+
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

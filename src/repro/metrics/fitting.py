@@ -9,11 +9,13 @@ and log-log slopes (which expose accidental polynomial blow-ups).
 import math
 from typing import Iterable, List, Sequence, Tuple
 
+from repro.errors import ConfigError
+
 
 def bound_ratio(measured: Sequence[float], bound: Sequence[float]) -> List[float]:
     """Element-wise measured/bound ratios; bound entries must be positive."""
     if len(measured) != len(bound):
-        raise ValueError("measured and bound series differ in length")
+        raise ConfigError("measured and bound series differ in length")
     return [m / b for m, b in zip(measured, bound)]
 
 
@@ -25,7 +27,7 @@ def log_log_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
     bounds of Observation 3.4 and Theorem 3.5.
     """
     if len(xs) != len(ys) or len(xs) < 2:
-        raise ValueError("need at least two points with matching lengths")
+        raise ConfigError("need at least two points with matching lengths")
     lx = [math.log(x) for x in xs]
     ly = [math.log(max(y, 1e-12)) for y in ys]
     n = len(lx)
@@ -34,7 +36,7 @@ def log_log_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
     num = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
     den = sum((a - mean_x) ** 2 for a in lx)
     if den == 0:
-        raise ValueError("x values are all equal")
+        raise ConfigError("x values are all equal")
     return num / den
 
 

@@ -32,9 +32,9 @@ the bench CLI's grid runs.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
-from repro.protocol import AppView, ControllerView
+from repro.protocol import AppView, ControllerView, StoreMapLike
 
 
 @dataclass
@@ -64,11 +64,12 @@ class InvariantReport:
     def count(self, invariant: str) -> None:
         self.checks[invariant] = self.checks.get(invariant, 0) + 1
 
-    def fail(self, invariant: str, message: str, **context) -> None:
+    def fail(self, invariant: str, message: str,
+             **context: object) -> None:
         self.violations.append(Violation(invariant, message, context))
 
     def expect(self, condition: bool, invariant: str, message: str,
-               **context) -> None:
+               **context: object) -> None:
         self.count(invariant)
         if not condition:
             self.fail(invariant, message, **context)
@@ -90,7 +91,8 @@ class InvariantReport:
 # ----------------------------------------------------------------------
 # Controller audits (protocol-based dispatch).
 # ----------------------------------------------------------------------
-def audit_controller(controller, report: Optional[InvariantReport] = None
+def audit_controller(controller: object,
+                     report: Optional[InvariantReport] = None
                      ) -> InvariantReport:
     """Audit any controller flavour through its ``introspect()`` view.
 
@@ -168,8 +170,8 @@ def _check_safety_and_waste(view: ControllerView, report: InvariantReport,
         report.count("waste")
 
 
-def _check_store_packages(report: InvariantReport, stores, params,
-                          label: str) -> None:
+def _check_store_packages(report: InvariantReport, stores: StoreMapLike,
+                          params: Any, label: str) -> None:
     """Parked mobile packages have the Section 3.1 shape."""
     for node, store in stores.items():
         for package in store.mobile:
@@ -257,7 +259,7 @@ def _check_lock_ordering(view: ControllerView, report: InvariantReport,
 # ----------------------------------------------------------------------
 # Application audits (protocol-based dispatch, like the controllers).
 # ----------------------------------------------------------------------
-def audit_app(app, report: Optional[InvariantReport] = None
+def audit_app(app: object, report: Optional[InvariantReport] = None
               ) -> InvariantReport:
     """Audit a Section 5 application through its ``app_view()``.
 
@@ -336,7 +338,8 @@ def _audit_app_view(view: AppView, report: InvariantReport) -> None:
         audit_controller(live, report)
 
 
-def audit_gateway(gateway, report: Optional[InvariantReport] = None
+def audit_gateway(gateway: Any,
+                  report: Optional[InvariantReport] = None
                   ) -> InvariantReport:
     """Audit an ingestion gateway's conservation ledger, then recurse
     into its backend session's own audit.
@@ -411,7 +414,7 @@ def audit_gateway(gateway, report: Optional[InvariantReport] = None
     return report
 
 
-def audit_fleet(fleet, report: Optional[InvariantReport] = None
+def audit_fleet(fleet: Any, report: Optional[InvariantReport] = None
                 ) -> InvariantReport:
     """Audit a sharded fleet: global contract, ledger, router, shards.
 
@@ -539,7 +542,7 @@ def audit_fleet(fleet, report: Optional[InvariantReport] = None
 # ----------------------------------------------------------------------
 # Outcome tallying and the tally audit (engine-agnostic).
 # ----------------------------------------------------------------------
-def tally_outcomes(outcomes: Iterable) -> Dict[str, int]:
+def tally_outcomes(outcomes: Iterable[Any]) -> Dict[str, int]:
     """Count outcomes by status: the one shared tally shape.
 
     Works on any iterable of objects with a ``status`` enum (the
@@ -565,7 +568,7 @@ def audit_tallies(granted: int, rejected: int, m: int, w: int,
     return report
 
 
-def audit_outcomes(outcomes: Iterable, m: int, w: int,
+def audit_outcomes(outcomes: Iterable[Any], m: int, w: int,
                    report: Optional[InvariantReport] = None
                    ) -> InvariantReport:
     """Safety + waste straight from an outcome list: the
@@ -586,12 +589,13 @@ class CounterWatch:
     against the previous one component-wise.
     """
 
-    def __init__(self, counters, report: Optional[InvariantReport] = None):
+    def __init__(self, counters: Any,
+                 report: Optional[InvariantReport] = None) -> None:
         self._counters = counters
         self.report = report if report is not None else InvariantReport()
         self._last = counters.snapshot()
 
-    def observe(self, *_args) -> None:
+    def observe(self, *_args: object) -> None:
         current = self._counters.snapshot()
         for name, value in current.items():
             previous = self._last.get(name, 0)

@@ -90,7 +90,7 @@ class RequestEnvelope:
     __slots__ = ("envelope_id", "request", "submit_tick")
 
     def __init__(self, envelope_id: int, request: Request,
-                 submit_tick: float):
+                 submit_tick: float) -> None:
         self.envelope_id = envelope_id
         self.request = request
         self.submit_tick = submit_tick
@@ -282,7 +282,7 @@ class Ticket:
     __slots__ = ("envelope", "claimed", "_record", "_pump")
 
     def __init__(self, envelope: RequestEnvelope,
-                 pump: Callable[[], bool]):
+                 pump: Callable[[], bool]) -> None:
         self.envelope = envelope
         #: True once :meth:`result` delivered the record (``drain``
         #: then skips it).

@@ -92,7 +92,7 @@ class ControllerSession:
     """
 
     def __init__(self, config: SessionConfig,
-                 tree: Optional[DynamicTree] = None):
+                 tree: Optional[DynamicTree] = None) -> None:
         self.config = config
         self.tree = tree if tree is not None else DynamicTree()
         spec = config.controller

@@ -18,6 +18,7 @@ adversarial regimes compose with the base distributions.
 
 import random
 import zlib
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -25,7 +26,7 @@ from repro.errors import SimulationError
 class DelayModel:
     """Base class: maps each message send to a positive finite delay."""
 
-    def sample(self, key=None) -> float:
+    def sample(self, key: Optional[Hashable] = None) -> float:
         raise NotImplementedError
 
     def split(self, salt: int) -> "DelayModel":
@@ -40,7 +41,7 @@ class UnitDelay(DelayModel):
     round-based schedule.
     """
 
-    def sample(self, key=None) -> float:
+    def sample(self, key: Optional[Hashable] = None) -> float:
         return 1.0
 
     def split(self, salt: int) -> "UnitDelay":
@@ -50,7 +51,8 @@ class UnitDelay(DelayModel):
 class UniformDelay(DelayModel):
     """Delays drawn uniformly from ``[low, high]``."""
 
-    def __init__(self, seed: int = 0, low: float = 0.5, high: float = 1.5):
+    def __init__(self, seed: int = 0, low: float = 0.5,
+                 high: float = 1.5) -> None:
         if low <= 0 or high < low:
             raise SimulationError(f"invalid delay bounds [{low}, {high}]")
         self._rng = random.Random(seed)
@@ -64,10 +66,10 @@ class UniformDelay(DelayModel):
         self._width = high - low
         self._random = self._rng.random
 
-    def sample(self, key=None) -> float:
+    def sample(self, key: Optional[Hashable] = None) -> float:
         return self._low + self._width * self._random()
 
-    def hot_sampler(self):
+    def hot_sampler(self) -> Tuple[float, float, Callable[[], float]]:
         """``(low, width, random)`` for call-free inline sampling.
 
         Hot loops (the distributed fast path) compute
@@ -89,7 +91,8 @@ class HeavyTailDelay(DelayModel):
     ``cap`` keeps delays finite as the model requires.
     """
 
-    def __init__(self, seed: int = 0, shape: float = 1.5, cap: float = 50.0):
+    def __init__(self, seed: int = 0, shape: float = 1.5,
+                 cap: float = 50.0) -> None:
         if shape <= 0 or cap <= 0:
             raise SimulationError("shape and cap must be positive")
         self._rng = random.Random(seed)
@@ -97,7 +100,7 @@ class HeavyTailDelay(DelayModel):
         self._cap = cap
         self._seed = seed
 
-    def sample(self, key=None) -> float:
+    def sample(self, key: Optional[Hashable] = None) -> float:
         value = self._rng.paretovariate(self._shape)
         return min(value, self._cap)
 
@@ -117,9 +120,9 @@ class PerEdgeJitterDelay(DelayModel):
     schedules never produce on their own.
     """
 
-    def __init__(self, base: DelayModel = None, seed: int = 0,
+    def __init__(self, base: Optional[DelayModel] = None, seed: int = 0,
                  slow_fraction: float = 0.1, slow_factor: float = 10.0,
-                 jitter: float = 0.5):
+                 jitter: float = 0.5) -> None:
         if not 0 <= slow_fraction <= 1:
             raise SimulationError(
                 f"slow_fraction must be in [0, 1], got {slow_fraction}")
@@ -130,9 +133,9 @@ class PerEdgeJitterDelay(DelayModel):
         self._slow_fraction = slow_fraction
         self._slow_factor = slow_factor
         self._jitter = jitter
-        self._multipliers = {}
+        self._multipliers: Dict[Hashable, float] = {}
 
-    def _multiplier(self, key) -> float:
+    def _multiplier(self, key: Hashable) -> float:
         factor = self._multipliers.get(key)
         if factor is None:
             # crc32, not hash(): str keys must map to the same link
@@ -146,7 +149,7 @@ class PerEdgeJitterDelay(DelayModel):
             self._multipliers[key] = factor
         return factor
 
-    def sample(self, key=None) -> float:
+    def sample(self, key: Optional[Hashable] = None) -> float:
         value = self._base.sample(key)
         if key is None:
             return value
@@ -168,8 +171,8 @@ class BurstStallDelay(DelayModel):
     independent per-message draws cannot express.
     """
 
-    def __init__(self, base: DelayModel = None, seed: int = 0,
-                 period: int = 100, burst: int = 15, factor: float = 20.0):
+    def __init__(self, base: Optional[DelayModel] = None, seed: int = 0,
+                 period: int = 100, burst: int = 15, factor: float = 20.0) -> None:
         if period <= 0 or not 0 <= burst <= period or factor < 1:
             raise SimulationError(
                 f"invalid burst parameters (period={period}, burst={burst}, "
@@ -181,7 +184,7 @@ class BurstStallDelay(DelayModel):
         self._factor = factor
         self._count = 0
 
-    def sample(self, key=None) -> float:
+    def sample(self, key: Optional[Hashable] = None) -> float:
         value = self._base.sample(key)
         position = self._count % self._period
         self._count += 1

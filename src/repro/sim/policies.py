@@ -30,9 +30,12 @@ advisory, exactly as the arbitrary-delay model prescribes.
 
 import heapq
 import random
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:
+    from repro.sim.scheduler import Event
 
 
 class SchedulePolicy:
@@ -45,13 +48,13 @@ class SchedulePolicy:
 
     name = "base"
 
-    def push(self, event) -> None:
+    def push(self, event: "Event") -> None:
         raise NotImplementedError
 
-    def pop(self):
+    def pop(self) -> "Event":
         raise NotImplementedError
 
-    def peek(self):
+    def peek(self) -> "Optional[Event]":
         """The event :meth:`pop` would return next, without removing it."""
         raise NotImplementedError
 
@@ -64,16 +67,16 @@ class FifoPolicy(SchedulePolicy):
 
     name = "fifo"
 
-    def __init__(self):
-        self._heap: List[object] = []
+    def __init__(self) -> None:
+        self._heap: "List[Event]" = []
 
-    def push(self, event) -> None:
+    def push(self, event: "Event") -> None:
         heapq.heappush(self._heap, event)
 
-    def pop(self):
+    def pop(self) -> "Event":
         return heapq.heappop(self._heap)
 
-    def peek(self):
+    def peek(self) -> "Optional[Event]":
         return self._heap[0] if self._heap else None
 
     def __len__(self) -> int:
@@ -89,16 +92,16 @@ class AdversaryPolicy(SchedulePolicy):
 
     name = "adversary"
 
-    def __init__(self):
-        self._heap: List[object] = []
+    def __init__(self) -> None:
+        self._heap: "List[Tuple[float, int, Event]]" = []
 
-    def push(self, event) -> None:
+    def push(self, event: "Event") -> None:
         heapq.heappush(self._heap, (-event.time, -event.seq, event))
 
-    def pop(self):
+    def pop(self) -> "Event":
         return heapq.heappop(self._heap)[2]
 
-    def peek(self):
+    def peek(self) -> "Optional[Event]":
         return self._heap[0][2] if self._heap else None
 
     def __len__(self) -> int:
@@ -110,16 +113,16 @@ class LifoPolicy(SchedulePolicy):
 
     name = "lifo"
 
-    def __init__(self):
-        self._stack: List[object] = []
+    def __init__(self) -> None:
+        self._stack: "List[Event]" = []
 
-    def push(self, event) -> None:
+    def push(self, event: "Event") -> None:
         self._stack.append(event)
 
-    def pop(self):
+    def pop(self) -> "Event":
         return self._stack.pop()
 
-    def peek(self):
+    def peek(self) -> "Optional[Event]":
         return self._stack[-1] if self._stack else None
 
     def __len__(self) -> int:
@@ -135,12 +138,12 @@ class RandomPolicy(SchedulePolicy):
 
     name = "random"
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self._rng = random.Random(seed)
-        self._events: List[object] = []
+        self._events: "List[Event]" = []
         self._next: Optional[int] = None
 
-    def push(self, event) -> None:
+    def push(self, event: "Event") -> None:
         self._events.append(event)
         self._next = None
 
@@ -149,7 +152,7 @@ class RandomPolicy(SchedulePolicy):
             self._next = self._rng.randrange(len(self._events))
         return self._next
 
-    def pop(self):
+    def pop(self) -> "Event":
         index = self._draw()
         self._next = None
         events = self._events
@@ -159,7 +162,7 @@ class RandomPolicy(SchedulePolicy):
             events[index] = last
         return event
 
-    def peek(self):
+    def peek(self) -> "Optional[Event]":
         if not self._events:
             return None
         return self._events[self._draw()]

@@ -70,7 +70,7 @@ class Scheduler:
     """
 
     def __init__(self, max_events: int = 50_000_000,
-                 policy: Optional[SchedulePolicy] = None):
+                 policy: Optional[SchedulePolicy] = None) -> None:
         self._policy = policy if policy is not None else FifoPolicy()
         self._seq = 0
         self._now = 0.0

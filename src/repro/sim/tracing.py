@@ -26,7 +26,7 @@ class Tracer:
     tests construct a ``Tracer(enabled=True)``.
     """
 
-    def __init__(self, enabled: bool = False):
+    def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
         self.events: List[TraceEvent] = []
 

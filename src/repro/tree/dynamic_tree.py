@@ -48,12 +48,12 @@ is why ``skip_ancestry`` is a per-tree switch and the ``repro.bench``
 ancestry scenario measures both modes.
 """
 
-from typing import Callable, Iterator, List, Optional, Set
+from typing import Iterator, List, Optional, Set
 
 from repro.errors import TopologyError
 from repro.tree import paths
 from repro.tree.node import TreeNode
-from repro.tree.ports import AdversarialPortAssigner
+from repro.tree.ports import AdversarialPortAssigner, PortAssigner
 
 
 class TreeListener:
@@ -97,14 +97,15 @@ class DynamicTree:
         benches to evaluate the ``sum_j log^2 n_j`` bound.
     """
 
-    def __init__(self, port_assigner=None, skip_ancestry: bool = True):
+    def __init__(self, port_assigner: Optional[PortAssigner] = None,
+                 skip_ancestry: bool = True) -> None:
         self._port_assigner = port_assigner or AdversarialPortAssigner(seed=0)
         self._next_id = 0
         self.skip_ancestry = skip_ancestry
         # Arbitration for the per-node store slots (see StoreMap): at
         # most one controller pins stores into TreeNode slots at a time;
         # later controllers on the same tree fall back to dict lookups.
-        self.store_slot_owner = None
+        self.store_slot_owner: Optional[object] = None
         # Ancestry cache state: ``_anc_epoch`` is bumped to invalidate
         # every table at once (large-subtree splices); ``anc_generation``
         # counts every splice, so depth caches layered on top (e.g. the
@@ -188,7 +189,7 @@ class DynamicTree:
         rebuilt on demand by :meth:`_anc_table`.
         """
         if hops < 0:
-            raise ValueError(f"negative hop count {hops}")
+            raise TopologyError(f"negative hop count {hops}")
         if not self.skip_ancestry:
             return paths.ancestor_at(node, hops)
         epoch = self._anc_epoch
@@ -198,7 +199,7 @@ class DynamicTree:
             jumps = (current._anc_jumps if current._anc_epoch == epoch
                      else self._anc_table(current))
             if not jumps:
-                raise ValueError(f"{node} has no ancestor {hops} hops up")
+                raise TopologyError(f"{node} has no ancestor {hops} hops up")
             i = remaining.bit_length() - 1
             if i >= len(jumps):
                 i = len(jumps) - 1

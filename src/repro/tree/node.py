@@ -8,7 +8,9 @@ distributed controller of Appendix A runs *two* controllers on the same
 tree simultaneously and relies on this separation.
 """
 
-from typing import Dict, List, Optional
+from typing import Dict, KeysView, List, Optional
+
+from repro.errors import TopologyError
 
 
 class TreeNode:
@@ -45,7 +47,8 @@ class TreeNode:
         "_store",
     )
 
-    def __init__(self, node_id: int, parent: Optional["TreeNode"] = None):
+    def __init__(self, node_id: int,
+                 parent: Optional["TreeNode"] = None) -> None:
         self.node_id = node_id
         self.parent = parent
         self.children: List["TreeNode"] = []
@@ -79,7 +82,8 @@ class TreeNode:
     def attach_port(self, port: int, neighbor: "TreeNode") -> None:
         """Bind ``port`` to ``neighbor``; ports must be locally distinct."""
         if port in self._ports:
-            raise ValueError(f"port {port} already in use at node {self.node_id}")
+            raise TopologyError(
+                f"port {port} already in use at node {self.node_id}")
         self._ports[port] = neighbor
 
     def detach_port_to(self, neighbor: "TreeNode") -> None:
@@ -100,7 +104,7 @@ class TreeNode:
         """Neighbor reached through ``port``, or ``None``."""
         return self._ports.get(port)
 
-    def ports_in_use(self):
+    def ports_in_use(self) -> KeysView[int]:
         """All port numbers currently bound at this node."""
         return self._ports.keys()
 

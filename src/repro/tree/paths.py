@@ -11,6 +11,8 @@ hop by the message counters, never through these helpers.
 
 from typing import Iterator, List, Optional
 
+from repro.errors import TopologyError
+
 from repro.tree.node import TreeNode
 
 
@@ -39,12 +41,13 @@ def depth(node: TreeNode) -> int:
 def ancestor_at(node: TreeNode, hops: int) -> TreeNode:
     """The ancestor exactly ``hops`` edges above ``node``.
 
-    Raises ``ValueError`` when the root is closer than ``hops``.
+    Raises :class:`~repro.errors.TopologyError` when the root is
+    closer than ``hops``.
     """
     current = node
     for _ in range(hops):
         if current.parent is None:
-            raise ValueError(f"{node} has no ancestor {hops} hops up")
+            raise TopologyError(f"{node} has no ancestor {hops} hops up")
         current = current.parent
     return current
 
@@ -61,7 +64,7 @@ def distance_to_ancestor(node: TreeNode, ancestor: TreeNode) -> int:
             return hops
         current = current.parent
         hops += 1
-    raise ValueError(f"{ancestor} is not an ancestor of {node}")
+    raise TopologyError(f"{ancestor} is not an ancestor of {node}")
 
 
 def is_ancestor(ancestor: TreeNode, node: TreeNode) -> bool:
@@ -83,4 +86,4 @@ def path_between(node: TreeNode, ancestor: TreeNode) -> List[TreeNode]:
         if current is ancestor:
             return path
         current = current.parent
-    raise ValueError(f"{ancestor} is not an ancestor of {node}")
+    raise TopologyError(f"{ancestor} is not an ancestor of {node}")

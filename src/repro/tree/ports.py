@@ -12,12 +12,22 @@ so numbers stay locally distinct through any sequence of edge rewirings.
 """
 
 import random
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:
+    from repro.tree.node import TreeNode
+
+
+class PortAssigner(Protocol):
+    """Anything that can pick a fresh, locally distinct port for a node."""
+
+    def next_port(self, node: "TreeNode") -> int: ...
 
 
 class SequentialPortAssigner:
     """Ports numbered 0, 1, 2, ... per node (the designer-port model)."""
 
-    def next_port(self, node) -> int:
+    def next_port(self, node: "TreeNode") -> int:
         used = set(node.ports_in_use())
         if node.port_to_parent is not None:
             used.add(node.port_to_parent)
@@ -34,11 +44,11 @@ class AdversarialPortAssigner:
     re-drawn, so ports are always locally distinct as the model requires.
     """
 
-    def __init__(self, seed: int = 0, space: int = 1 << 30):
+    def __init__(self, seed: int = 0, space: int = 1 << 30) -> None:
         self._rng = random.Random(seed)
         self._space = space
 
-    def next_port(self, node) -> int:
+    def next_port(self, node: "TreeNode") -> int:
         used = set(node.ports_in_use())
         if node.port_to_parent is not None:
             used.add(node.port_to_parent)

@@ -33,6 +33,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.errors import ConfigError
 from repro.core.requests import Request, RequestKind
 from repro.tree.dynamic_tree import DynamicTree
 from repro.tree.node import TreeNode
@@ -214,8 +215,10 @@ class ScenarioSpec:
 
 
 def _spec(name: str, description: str, topology: str, n: int, steps: int,
-          m: int, w: int, generator, u: Optional[int] = None
-          ) -> Tuple[str, ScenarioSpec]:
+          m: int, w: int,
+          generator: Callable[[ScenarioSpec, DynamicTree, random.Random],
+                              List[Request]],
+          u: Optional[int] = None) -> Tuple[str, ScenarioSpec]:
     # U bounds the nodes *ever to exist*: initial nodes plus every
     # possible addition (granted adds plus injected storm growth).
     u = u if u is not None else 4 * (n + steps)
@@ -256,6 +259,6 @@ def get_scenario(name: str) -> ScenarioSpec:
     try:
         return CATALOGUE[name]
     except KeyError:
-        raise KeyError(
+        raise ConfigError(
             f"unknown scenario {name!r}; known: {', '.join(CATALOGUE)}"
         ) from None

@@ -17,10 +17,11 @@ and caterpillars (high degree — deletion hand-over stress).
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.tree.dynamic_tree import DynamicTree, TreeListener
 from repro.tree.node import TreeNode
+from repro.tree.ports import PortAssigner
 from repro.core.requests import Outcome, OutcomeStatus, Request, RequestKind
 
 
@@ -28,7 +29,8 @@ from repro.core.requests import Outcome, OutcomeStatus, Request, RequestKind
 # Initial topologies.
 # ----------------------------------------------------------------------
 def build_random_tree(n: int, seed: int = 0,
-                      port_assigner=None) -> DynamicTree:
+                      port_assigner: Optional[PortAssigner] = None
+                      ) -> DynamicTree:
     """Random recursive tree: node i attaches below a uniform earlier node.
 
     Expected depth is O(log n), the friendly regime for the controller.
@@ -45,7 +47,8 @@ def build_random_tree(n: int, seed: int = 0,
     return tree
 
 
-def build_path(n: int, port_assigner=None) -> DynamicTree:
+def build_path(n: int, port_assigner: Optional[PortAssigner] = None
+               ) -> DynamicTree:
     """A path of n nodes hanging below the root (worst-case depth)."""
     tree = DynamicTree(port_assigner=port_assigner)
     current = tree.root
@@ -56,7 +59,8 @@ def build_path(n: int, port_assigner=None) -> DynamicTree:
     return tree
 
 
-def build_star(n: int, port_assigner=None) -> DynamicTree:
+def build_star(n: int, port_assigner: Optional[PortAssigner] = None
+               ) -> DynamicTree:
     """A star: n - 1 leaves below the root (worst-case degree)."""
     tree = DynamicTree(port_assigner=port_assigner)
     for _ in range(n - 1):
@@ -67,7 +71,8 @@ def build_star(n: int, port_assigner=None) -> DynamicTree:
 
 
 def build_caterpillar(n: int, legs_per_node: int = 2,
-                      port_assigner=None) -> DynamicTree:
+                      port_assigner: Optional[PortAssigner] = None
+                      ) -> DynamicTree:
     """A spine with ``legs_per_node`` leaves at each spine node."""
     tree = DynamicTree(port_assigner=port_assigner)
     spine = tree.root
@@ -92,7 +97,7 @@ def build_caterpillar(n: int, legs_per_node: int = 2,
 class NodePicker(TreeListener):
     """Maintains an indexable list of alive nodes for O(1) random picks."""
 
-    def __init__(self, tree: DynamicTree):
+    def __init__(self, tree: DynamicTree) -> None:
         self._tree = tree
         self._nodes: List[TreeNode] = list(tree.nodes())
         self._index: Dict[TreeNode, int] = {
@@ -114,7 +119,7 @@ class NodePicker(TreeListener):
         self._remove(node)
 
     def on_remove_internal(self, node: TreeNode, parent: TreeNode,
-                           children) -> None:
+                           children: List[TreeNode]) -> None:
         self._remove(node)
 
     def _add(self, node: TreeNode) -> None:
@@ -200,7 +205,10 @@ def random_request(tree: DynamicTree, rng: random.Random,
 # ----------------------------------------------------------------------
 # Stream recording / replay (batch-equivalence harness).
 # ----------------------------------------------------------------------
-def request_spec(request: Request):
+RequestSpec = Tuple[RequestKind, int, Optional[int]]
+
+
+def request_spec(request: Request) -> RequestSpec:
     """A tree-independent description of ``request``: ``(kind, node_id,
     child_id)``.  Node ids are deterministic per construction order, so
     a spec recorded against one tree can be replayed against a twin
@@ -221,7 +229,7 @@ class TreeMirror(TreeListener):
     looked up.
     """
 
-    def __init__(self, tree: DynamicTree):
+    def __init__(self, tree: DynamicTree) -> None:
         self._tree = tree
         self._map: Dict[int, TreeNode] = {
             node.node_id: node for node in tree.nodes()
@@ -238,12 +246,12 @@ class TreeMirror(TreeListener):
     def node(self, node_id: int) -> TreeNode:
         return self._map[node_id]
 
-    def request(self, spec) -> Request:
+    def request(self, spec: RequestSpec) -> Request:
         kind, node_id, child_id = spec
         child = self._map[child_id] if child_id is not None else None
         return Request(kind, self._map[node_id], child=child)
 
-    def requests(self, specs):
+    def requests(self, specs: Iterable[RequestSpec]) -> Iterator[Request]:
         """Lazily mirror an iterable of specs (see class docstring)."""
         return (self.request(spec) for spec in specs)
 

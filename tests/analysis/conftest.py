@@ -1,0 +1,27 @@
+"""Shared helpers: in-memory fixture modules and single-rule runs."""
+
+from typing import List, Sequence, Union
+
+from repro.analysis import Finding, ModuleSource, analyze_modules, make_rules
+
+
+def mod(module: str, source: str) -> ModuleSource:
+    """An in-memory fixture module (never written to disk)."""
+    return ModuleSource.from_source(module, source)
+
+
+def run_rule(rule_id: str,
+             modules: Union[ModuleSource, Sequence[ModuleSource]],
+             ) -> List[Finding]:
+    """Open findings from one rule over fixture modules."""
+    if isinstance(modules, ModuleSource):
+        modules = [modules]
+    report = analyze_modules(list(modules), rules=make_rules([rule_id]))
+    return report.open_findings
+
+
+def rule_hits(rule_id: str,
+              modules: Union[ModuleSource, Sequence[ModuleSource]],
+              ) -> List[str]:
+    """The flagged rules (should all equal ``rule_id``), for asserts."""
+    return [f.rule for f in run_rule(rule_id, modules)]

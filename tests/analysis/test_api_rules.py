@@ -1,0 +1,117 @@
+"""The api family: registry construction, frozen configs, errors."""
+
+from tests.analysis.conftest import mod, run_rule
+
+
+# ----------------------------------------------------------------------
+# api/registry-construction
+# ----------------------------------------------------------------------
+def test_direct_controller_construction_outside_core_fires():
+    bad = mod("repro.workloads.scenarios", (
+        "from repro.core.centralized import CentralizedController\n"
+        "c = CentralizedController(tree, params)\n"))
+    findings = run_rule("api/registry-construction", bad)
+    assert len(findings) == 1
+    assert "make_controller" in findings[0].message
+
+
+def test_controller_construction_inside_defining_units_passes():
+    for unit_module in ("repro.core.centralized", "repro.registry",
+                        "repro.distributed.controller",
+                        "repro.baselines.aaps"):
+        good = mod(unit_module, "c = CentralizedController(tree, params)\n")
+        assert run_rule("api/registry-construction", good) == []
+
+
+def test_attribute_qualified_construction_fires():
+    bad = mod("repro.sim.harness",
+              "c = core.DistributedController(tree, params)\n")
+    assert len(run_rule("api/registry-construction", bad)) == 1
+
+
+def test_direct_app_construction_outside_apps_fires():
+    bad = mod("repro.workloads.scenarios",
+              "app = HeavyChildApp(tree)\n")
+    findings = run_rule("api/registry-construction", bad)
+    assert len(findings) == 1
+    assert "make_app" in findings[0].message
+
+
+def test_app_construction_inside_apps_passes():
+    good = mod("repro.apps.heavy_child", "app = HeavyChildApp(tree)\n")
+    assert run_rule("api/registry-construction", good) == []
+
+
+def test_make_controller_call_passes_anywhere():
+    good = mod("repro.workloads.scenarios", (
+        "from repro.registry import make_controller\n"
+        "c = make_controller('centralized', tree, params)\n"))
+    assert run_rule("api/registry-construction", good) == []
+
+
+# ----------------------------------------------------------------------
+# api/frozen-setattr
+# ----------------------------------------------------------------------
+def test_setattr_in_post_init_passes():
+    good = mod("repro.core.params", (
+        "class Params:\n"
+        "    def __post_init__(self):\n"
+        "        object.__setattr__(self, 'u', 4)\n"))
+    assert run_rule("api/frozen-setattr", good) == []
+
+
+def test_setattr_in_ordinary_method_fires():
+    bad = mod("repro.core.params", (
+        "class Params:\n"
+        "    def retune(self):\n"
+        "        object.__setattr__(self, 'u', 8)\n"))
+    findings = run_rule("api/frozen-setattr", bad)
+    assert len(findings) == 1
+    assert "retune" in findings[0].message
+
+
+def test_setattr_at_module_scope_fires():
+    bad = mod("repro.core.params",
+              "object.__setattr__(params, 'u', 8)\n")
+    findings = run_rule("api/frozen-setattr", bad)
+    assert len(findings) == 1
+    assert "module scope" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# api/error-taxonomy
+# ----------------------------------------------------------------------
+def test_raise_value_error_fires():
+    bad = mod("repro.core.params",
+              "def f(u):\n"
+              "    raise ValueError('bad u')\n")
+    findings = run_rule("api/error-taxonomy", bad)
+    assert len(findings) == 1
+    assert "ConfigError" in findings[0].message
+
+
+def test_raise_bare_name_fires():
+    bad = mod("repro.core.params",
+              "def f(u):\n"
+              "    raise RuntimeError\n")
+    assert len(run_rule("api/error-taxonomy", bad)) == 1
+
+
+def test_taxonomy_raises_pass():
+    good = mod("repro.core.params", (
+        "from repro.errors import ConfigError\n"
+        "def f(u):\n"
+        "    if u < 2:\n"
+        "        raise ConfigError('bad u')\n"
+        "    raise NotImplementedError('abstract')\n"))
+    assert run_rule("api/error-taxonomy", good) == []
+
+
+def test_bare_reraise_passes():
+    good = mod("repro.core.params", (
+        "def f(u):\n"
+        "    try:\n"
+        "        g(u)\n"
+        "    except Exception:\n"
+        "        raise\n"))
+    assert run_rule("api/error-taxonomy", good) == []

@@ -1,0 +1,128 @@
+"""``python -m repro.lint``: exit codes, artifacts, baseline flow."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SRC_DIR = Path(repro.__file__).resolve().parent.parent
+
+BAD_SOURCE = "import time\nstamp = time.time()\n"
+
+
+def lint(*argv, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC_DIR), env.get("PYTHONPATH")) if p)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        cwd=cwd, env=env, capture_output=True, text=True)
+
+
+def make_tree(tmp_path, body):
+    # The fixture tree lives one level down ("proj/repro") so the
+    # subprocess cwd (tmp_path) holds no repro/ directory shadowing the
+    # real package on sys.path.
+    pkg = tmp_path / "proj" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "mod.py").write_text(body, encoding="utf-8")
+    return pkg.parent
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    return make_tree(tmp_path, BAD_SOURCE)
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    return make_tree(tmp_path, "x = 1\n")
+
+
+def test_open_finding_exits_one_and_writes_report(bad_tree, tmp_path):
+    proc = lint(str(bad_tree), cwd=tmp_path)
+    assert proc.returncode == 1
+    assert "determinism/wall-clock" in proc.stdout
+    report = json.loads(
+        (tmp_path / "LINT_REPORT.json").read_text(encoding="utf-8"))
+    assert report["clean"] is False
+    assert report["counts"]["open"] >= 1
+
+
+def test_clean_tree_exits_zero(clean_tree, tmp_path):
+    proc = lint(str(clean_tree), cwd=tmp_path)
+    assert proc.returncode == 0
+    report = json.loads(
+        (tmp_path / "LINT_REPORT.json").read_text(encoding="utf-8"))
+    assert report["clean"] is True
+
+
+def test_json_format_prints_the_report(bad_tree, tmp_path):
+    proc = lint(str(bad_tree), "--format", "json", cwd=tmp_path)
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    rules = {row["rule"] for row in payload["findings"]}
+    assert "determinism/wall-clock" in rules
+
+
+def test_no_report_skips_the_artifact(bad_tree, tmp_path):
+    proc = lint(str(bad_tree), "--no-report", cwd=tmp_path)
+    assert proc.returncode == 1
+    assert not (tmp_path / "LINT_REPORT.json").exists()
+
+
+def test_rule_filter_runs_only_that_rule(bad_tree, tmp_path):
+    proc = lint(str(bad_tree), "--rule", "layering/cycle", cwd=tmp_path)
+    assert proc.returncode == 0
+
+
+def test_list_rules(tmp_path):
+    proc = lint("--list-rules", cwd=tmp_path)
+    assert proc.returncode == 0
+    listed = [line.split()[0] for line in proc.stdout.splitlines() if line]
+    assert len(listed) == 13
+    assert "determinism/wall-clock" in listed
+    assert "layering/cycle" in listed
+
+
+def test_write_baseline_then_rerun_is_clean(bad_tree, tmp_path):
+    first = lint(str(bad_tree), "--write-baseline", cwd=tmp_path)
+    assert first.returncode == 0
+    baseline = tmp_path / "LINT_BASELINE.json"
+    assert baseline.exists()
+    entries = json.loads(baseline.read_text(encoding="utf-8"))["entries"]
+    assert len(entries) == 1
+    second = lint(str(bad_tree), cwd=tmp_path)
+    assert second.returncode == 0
+    report = json.loads(
+        (tmp_path / "LINT_REPORT.json").read_text(encoding="utf-8"))
+    assert report["counts"]["baselined"] == 1
+    assert report["counts"]["open"] == 0
+
+
+def test_fixed_violation_turns_baseline_stale(bad_tree, tmp_path):
+    lint(str(bad_tree), "--write-baseline", cwd=tmp_path)
+    (bad_tree / "repro" / "mod.py").write_text("x = 1\n", encoding="utf-8")
+    proc = lint(str(bad_tree), cwd=tmp_path)
+    assert proc.returncode == 1
+    assert "lint/stale-baseline" in proc.stdout
+
+
+def test_unlintable_path_exits_two(tmp_path):
+    empty = tmp_path / "not_a_repro_tree"
+    empty.mkdir()
+    proc = lint(str(empty), cwd=tmp_path)
+    assert proc.returncode == 2
+    assert "repro.lint:" in proc.stderr
+
+
+def test_unknown_rule_id_exits_two(clean_tree, tmp_path):
+    proc = lint(str(clean_tree), "--rule", "nosuch/rule", cwd=tmp_path)
+    assert proc.returncode == 2
+    assert "unknown rule id" in proc.stderr

@@ -1,0 +1,110 @@
+"""The concurrency family: event-loop blocking and loop closures."""
+
+from tests.analysis.conftest import mod, run_rule
+
+
+# ----------------------------------------------------------------------
+# concurrency/async-blocking
+# ----------------------------------------------------------------------
+def test_time_sleep_in_async_def_fires():
+    bad = mod("repro.gateway.aio", (
+        "import time\n"
+        "async def submit():\n"
+        "    time.sleep(0.1)\n"))
+    findings = run_rule("concurrency/async-blocking", bad)
+    assert len(findings) == 1
+    assert "time.sleep" in findings[0].message
+
+
+def test_timeout_less_result_in_async_def_fires():
+    bad = mod("repro.gateway.aio", (
+        "async def submit(fut):\n"
+        "    return fut.result()\n"))
+    findings = run_rule("concurrency/async-blocking", bad)
+    assert len(findings) == 1
+    assert ".result()" in findings[0].message
+
+
+def test_result_with_timeout_passes():
+    good = mod("repro.gateway.aio", (
+        "async def submit(fut):\n"
+        "    return fut.result(timeout=1.0)\n"))
+    assert run_rule("concurrency/async-blocking", good) == []
+
+
+def test_sync_def_is_out_of_scope():
+    good = mod("repro.gateway.gateway", (
+        "import time\n"
+        "def drain(fut):\n"
+        "    time.sleep(0.1)\n"
+        "    return fut.result()\n"))
+    assert run_rule("concurrency/async-blocking", good) == []
+
+
+def test_asyncio_sleep_passes():
+    good = mod("repro.gateway.aio", (
+        "import asyncio\n"
+        "async def submit():\n"
+        "    await asyncio.sleep(0.1)\n"))
+    assert run_rule("concurrency/async-blocking", good) == []
+
+
+# ----------------------------------------------------------------------
+# concurrency/loop-closure
+# ----------------------------------------------------------------------
+def test_lambda_in_loop_capturing_loop_var_fires():
+    bad = mod("repro.distributed.controller", (
+        "def schedule(nodes, defer):\n"
+        "    for node in nodes:\n"
+        "        defer(lambda: node.fire())\n"))
+    findings = run_rule("concurrency/loop-closure", bad)
+    assert len(findings) == 1
+    assert "node=node" in findings[0].message
+
+
+def test_nested_def_in_loop_capturing_loop_var_fires():
+    bad = mod("repro.sim.scheduler", (
+        "def schedule(events, defer):\n"
+        "    for ev in events:\n"
+        "        def cb():\n"
+        "            return ev.fire()\n"
+        "        defer(cb)\n"))
+    assert len(run_rule("concurrency/loop-closure", bad)) == 1
+
+
+def test_default_bound_lambda_passes():
+    good = mod("repro.distributed.controller", (
+        "def schedule(nodes, defer):\n"
+        "    for node in nodes:\n"
+        "        defer(lambda node=node: node.fire())\n"))
+    assert run_rule("concurrency/loop-closure", good) == []
+
+
+def test_lambda_outside_loop_passes():
+    good = mod("repro.distributed.controller", (
+        "def schedule(node, defer):\n"
+        "    defer(lambda: node.fire())\n"))
+    assert run_rule("concurrency/loop-closure", good) == []
+
+
+def test_tuple_target_loop_var_fires():
+    bad = mod("repro.fleet.controller", (
+        "def schedule(pairs, defer):\n"
+        "    for key, shard in pairs:\n"
+        "        defer(lambda: shard.step(key))\n"))
+    findings = run_rule("concurrency/loop-closure", bad)
+    assert len(findings) == 1
+    assert "key, shard" in findings[0].message
+
+
+def test_new_function_scope_resets_loop_tracking():
+    # The loop variable belongs to schedule(); a closure inside a
+    # *fresh* function defined in the loop body over its own local is
+    # the factory idiom and must pass.
+    good = mod("repro.distributed.controller", (
+        "def schedule(nodes, defer):\n"
+        "    for node in nodes:\n"
+        "        defer(make_cb(node))\n"
+        "def make_cb(node):\n"
+        "    return lambda: node.fire()\n"))
+    assert run_rule("concurrency/loop-closure", good) == []

@@ -1,0 +1,106 @@
+"""The determinism family: wall clocks, global RNG, set iteration."""
+
+from tests.analysis.conftest import mod, run_rule
+
+
+# ----------------------------------------------------------------------
+# determinism/wall-clock
+# ----------------------------------------------------------------------
+def test_time_time_fires():
+    bad = mod("repro.core.kernel", "import time\nstamp = time.time()\n")
+    findings = run_rule("determinism/wall-clock", bad)
+    assert len(findings) == 1
+    assert "time.time" in findings[0].message
+
+
+def test_perf_counter_and_sleep_fire():
+    bad = mod("repro.sim.scheduler", (
+        "import time\n"
+        "a = time.perf_counter()\n"
+        "time.sleep(1)\n"))
+    assert len(run_rule("determinism/wall-clock", bad)) == 2
+
+
+def test_from_time_import_fires():
+    bad = mod("repro.core.kernel", "from time import monotonic\n")
+    assert len(run_rule("determinism/wall-clock", bad)) == 1
+
+
+def test_datetime_now_fires():
+    bad = mod("repro.metrics.fitting",
+              "from datetime import datetime\nnow = datetime.now()\n")
+    findings = run_rule("determinism/wall-clock", bad)
+    # both the import and the .now() read are flagged
+    assert len(findings) == 2
+
+
+def test_bench_and_clock_are_allowlisted():
+    for name in ("repro.bench.runner", "repro.clock"):
+        good = mod(name, "import time\nstamp = time.perf_counter()\n")
+        assert run_rule("determinism/wall-clock", good) == []
+
+
+def test_clock_shim_consumer_passes():
+    good = mod("repro.gateway.gateway", "from repro.clock import monotonic\n")
+    assert run_rule("determinism/wall-clock", good) == []
+
+
+# ----------------------------------------------------------------------
+# determinism/unseeded-random
+# ----------------------------------------------------------------------
+def test_module_level_random_fires():
+    bad = mod("repro.workloads.scenarios",
+              "import random\nx = random.random()\n")
+    findings = run_rule("determinism/unseeded-random", bad)
+    assert len(findings) == 1
+    assert "process-global" in findings[0].message
+
+
+def test_seeded_instance_passes():
+    good = mod("repro.workloads.scenarios", (
+        "import random\n"
+        "rng = random.Random(7)\n"
+        "x = rng.random()\n"))
+    assert run_rule("determinism/unseeded-random", good) == []
+
+
+def test_from_random_import_fires():
+    bad = mod("repro.sim.delays", "from random import randrange\n")
+    assert len(run_rule("determinism/unseeded-random", bad)) == 1
+
+
+def test_from_random_import_random_class_passes():
+    good = mod("repro.sim.delays", "from random import Random\n")
+    assert run_rule("determinism/unseeded-random", good) == []
+
+
+# ----------------------------------------------------------------------
+# determinism/set-iteration
+# ----------------------------------------------------------------------
+def test_for_over_set_literal_fires_in_scheduling_unit():
+    bad = mod("repro.sim.policies", (
+        "for x in {3, 1, 2}:\n"
+        "    print(x)\n"))
+    findings = run_rule("determinism/set-iteration", bad)
+    assert len(findings) == 1
+    assert "sorted()" in findings[0].message
+
+
+def test_comprehension_over_set_call_fires():
+    bad = mod("repro.distributed.controller",
+              "order = [x for x in set(items)]\n")
+    assert len(run_rule("determinism/set-iteration", bad)) == 1
+
+
+def test_sorted_set_passes():
+    good = mod("repro.sim.policies", (
+        "for x in sorted({3, 1, 2}):\n"
+        "    print(x)\n"))
+    assert run_rule("determinism/set-iteration", good) == []
+
+
+def test_non_scheduling_unit_is_out_of_scope():
+    meh = mod("repro.tree.paths", (
+        "for x in {3, 1, 2}:\n"
+        "    print(x)\n"))
+    assert run_rule("determinism/set-iteration", meh) == []

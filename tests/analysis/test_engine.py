@@ -1,0 +1,166 @@
+"""The engine: classification, suppressions, baseline, parse errors."""
+
+import pytest
+
+from repro.analysis import (
+    META_RULES,
+    PARSE_ERROR,
+    STALE_BASELINE,
+    UNUSED_SUPPRESSION,
+    analyze_modules,
+    load_baseline,
+    load_tree,
+    make_rules,
+    save_baseline,
+)
+from repro.errors import ConfigError
+from tests.analysis.conftest import mod
+
+WALL = "determinism/wall-clock"
+BAD_LINE = "import time\nstamp = time.time()\n"
+
+
+def run(modules, **kwargs):
+    return analyze_modules(modules, rules=make_rules([WALL]), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def test_allow_comment_suppresses_the_finding():
+    src = f"import time\nstamp = time.time()  # lint: allow[{WALL}]\n"
+    report = run([mod("repro.core.kernel", src)])
+    assert report.clean
+    assert len(report.suppressed) == 1
+    assert report.suppressed[0].rule == WALL
+
+
+def test_allow_for_a_different_rule_does_not_suppress():
+    src = ("import time\n"
+           "stamp = time.time()  # lint: allow[layering/cycle]\n")
+    report = run([mod("repro.core.kernel", src)])
+    open_rules = {f.rule for f in report.open_findings}
+    # The violation stays open AND the allow is flagged as unused.
+    assert WALL in open_rules
+    assert UNUSED_SUPPRESSION in open_rules
+
+
+def test_unused_allow_fires_audit_finding():
+    src = "x = 1  # lint: allow[determinism/wall-clock]\n"
+    report = run([mod("repro.core.kernel", src)])
+    assert len(report.open_findings) == 1
+    finding = report.open_findings[0]
+    assert finding.rule == UNUSED_SUPPRESSION
+    assert "suppresses nothing" in finding.message
+
+
+def test_allow_with_unknown_rule_id_fires_audit_finding():
+    src = "x = 1  # lint: allow[nosuch/rule]\n"
+    report = run([mod("repro.core.kernel", src)])
+    assert len(report.open_findings) == 1
+    assert report.open_findings[0].rule == UNUSED_SUPPRESSION
+    assert "unknown rule id" in report.open_findings[0].message
+
+
+def test_allow_inside_string_literal_is_not_a_suppression():
+    src = ('text = "lint: allow[determinism/wall-clock]"\n'
+           "import time\nstamp = time.time()\n")
+    report = run([mod("repro.core.kernel", src)])
+    assert not report.clean
+    assert report.suppressed == []
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def test_baselined_finding_is_not_open():
+    bad = mod("repro.core.kernel", BAD_LINE)
+    first = run([bad])
+    assert len(first.open_findings) == 1
+    baseline = [f.key() for f in first.open_findings]
+    second = run([bad], baseline=baseline)
+    assert second.clean
+    assert len(second.baselined) == 1
+
+
+def test_stale_baseline_entry_fires_audit_finding():
+    good = mod("repro.core.kernel", "x = 1\n")
+    stale = [(WALL, good.path, "wall-clock access time.time; gone now")]
+    report = run([good], baseline=stale)
+    assert len(report.open_findings) == 1
+    finding = report.open_findings[0]
+    assert finding.rule == STALE_BASELINE
+    assert "no longer matches" in finding.message
+
+
+def test_baseline_budget_is_per_occurrence():
+    two = mod("repro.core.kernel",
+              "import time\na = time.time()\nb = time.time()\n")
+    first = run([two])
+    assert len(first.open_findings) == 2
+    # Both findings share one key; baseline one occurrence only.
+    report = run([two], baseline=[first.open_findings[0].key()])
+    assert len(report.baselined) == 1
+    assert len(report.open_findings) == 1
+
+
+def test_save_and_load_baseline_round_trip(tmp_path):
+    bad = mod("repro.core.kernel", BAD_LINE)
+    findings = run([bad]).open_findings
+    path = tmp_path / "baseline.json"
+    save_baseline(path, findings)
+    assert load_baseline(path) == sorted({f.key() for f in findings})
+    # And the written file actually neutralises the finding.
+    report = run([bad], baseline=load_baseline(path))
+    assert report.clean
+
+
+def test_load_baseline_rejects_malformed_files(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("[1, 2, 3]\n", encoding="utf-8")
+    with pytest.raises(ConfigError):
+        load_baseline(path)
+    path.write_text("not json", encoding="utf-8")
+    with pytest.raises(ConfigError):
+        load_baseline(path)
+
+
+# ----------------------------------------------------------------------
+# Parse errors and report shape
+# ----------------------------------------------------------------------
+def test_parse_error_becomes_open_finding(tmp_path):
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "broken.py").write_text("def oops(:\n", encoding="utf-8")
+    modules, errors = load_tree(tmp_path)
+    assert [path for path, _ in errors] == ["repro/broken.py"]
+    report = analyze_modules(modules, rules=make_rules([WALL]),
+                             parse_errors=errors)
+    assert [f.rule for f in report.open_findings] == [PARSE_ERROR]
+
+
+def test_meta_rules_are_not_suppressible():
+    # An allow naming the meta rule on the flagged line must not
+    # silence the audit of an unused suppression.
+    src = "x = 1  # lint: allow[determinism/wall-clock]\n"
+    report = run([mod("repro.core.kernel", src)])
+    assert report.open_findings[0].rule in META_RULES
+
+
+def test_report_counts_and_json_shape():
+    src = (f"import time\n"
+           f"a = time.time()\n"
+           f"b = time.time()  # lint: allow[{WALL}]\n")
+    report = run([mod("repro.core.kernel", src)])
+    counts = report.counts()
+    assert counts == {"open": 1, "suppressed": 1, "baselined": 0,
+                      "total": 2}
+    payload = report.to_json()
+    assert payload["clean"] is False
+    assert payload["counts"] == counts
+    statuses = [row["status"] for row in payload["findings"]]
+    assert statuses == ["open", "suppressed"]
+    assert WALL in payload["rules"]
+    text = report.render_text()
+    assert "1 open, 1 suppressed, 0 baselined" in text

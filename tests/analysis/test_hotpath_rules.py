@@ -1,0 +1,92 @@
+"""The hotpath family: slots and allocation-free fast-path functions."""
+
+from tests.analysis.conftest import mod, run_rule
+
+FAST_MODULE = "repro.distributed.agent"
+
+
+# ----------------------------------------------------------------------
+# hotpath/slots
+# ----------------------------------------------------------------------
+def test_slotless_class_in_fast_path_module_fires():
+    bad = mod(FAST_MODULE, (
+        "class Agent:\n"
+        "    def __init__(self):\n"
+        "        self.x = 0\n"))
+    findings = run_rule("hotpath/slots", bad)
+    assert len(findings) == 1
+    assert "__slots__" in findings[0].message
+
+
+def test_slotted_class_passes():
+    good = mod(FAST_MODULE, (
+        "class Agent:\n"
+        "    __slots__ = ('x',)\n"
+        "    def __init__(self):\n"
+        "        self.x = 0\n"))
+    assert run_rule("hotpath/slots", good) == []
+
+
+def test_enum_and_exception_classes_exempt():
+    good = mod(FAST_MODULE, (
+        "from enum import Enum\n"
+        "class Phase(Enum):\n"
+        "    IDLE = 0\n"
+        "class AgentError(ValueError):\n"
+        "    pass\n"))
+    assert run_rule("hotpath/slots", good) == []
+
+
+def test_non_fast_path_module_is_out_of_scope():
+    meh = mod("repro.workloads.scenarios", (
+        "class Mixer:\n"
+        "    def __init__(self):\n"
+        "        self.x = 0\n"))
+    assert run_rule("hotpath/slots", meh) == []
+
+
+# ----------------------------------------------------------------------
+# hotpath/closure-alloc
+# ----------------------------------------------------------------------
+def test_lambda_in_fast_path_function_fires():
+    bad = mod(FAST_MODULE, (
+        "def step(agents):\n"
+        "    return sorted(agents, key=lambda a: a.node_id)\n"))
+    findings = run_rule("hotpath/closure-alloc", bad)
+    assert len(findings) == 1
+    assert "lambda" in findings[0].message
+
+
+def test_nested_def_in_fast_path_function_fires():
+    bad = mod(FAST_MODULE, (
+        "def step(agents):\n"
+        "    def key(a):\n"
+        "        return a.node_id\n"
+        "    return sorted(agents, key=key)\n"))
+    findings = run_rule("hotpath/closure-alloc", bad)
+    assert len(findings) == 1
+    assert "nested def key" in findings[0].message
+
+
+def test_functools_partial_in_fast_path_function_fires():
+    bad = mod(FAST_MODULE, (
+        "import functools\n"
+        "def step(agent, defer):\n"
+        "    defer(functools.partial(agent.fire, 3))\n"))
+    assert len(run_rule("hotpath/closure-alloc", bad)) == 1
+
+
+def test_module_level_helpers_pass():
+    good = mod(FAST_MODULE, (
+        "def _key(a):\n"
+        "    return a.node_id\n"
+        "def step(agents):\n"
+        "    return sorted(agents, key=_key)\n"))
+    assert run_rule("hotpath/closure-alloc", good) == []
+
+
+def test_closures_fine_outside_fast_path():
+    meh = mod("repro.workloads.scenarios", (
+        "def step(agents):\n"
+        "    return sorted(agents, key=lambda a: a.node_id)\n"))
+    assert run_rule("hotpath/closure-alloc", meh) == []

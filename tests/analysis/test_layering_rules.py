@@ -1,0 +1,107 @@
+"""The layering family: declared DAG, cycles, import-light modules."""
+
+from tests.analysis.conftest import mod, run_rule
+
+
+# ----------------------------------------------------------------------
+# layering/declared-dag
+# ----------------------------------------------------------------------
+def test_declared_edge_passes():
+    good = mod("repro.core.centralized", "from repro.tree.node import TreeNode\n")
+    assert run_rule("layering/declared-dag", good) == []
+
+
+def test_errors_is_layer_zero_everywhere():
+    good = mod("repro.sim.delays", "from repro.errors import SimulationError\n")
+    assert run_rule("layering/declared-dag", good) == []
+
+
+def test_undeclared_edge_fires():
+    bad = mod("repro.sim.scheduler", "import repro.core.kernel\n")
+    findings = run_rule("layering/declared-dag", bad)
+    assert len(findings) == 1
+    assert "'sim' -> 'core'" in findings[0].message
+
+
+def test_deferred_import_counts():
+    bad = mod("repro.tree.node", (
+        "def late():\n"
+        "    from repro.distributed.agent import Agent\n"
+        "    return Agent\n"))
+    assert len(run_rule("layering/declared-dag", bad)) == 1
+
+
+def test_undeclared_unit_fires():
+    bad = mod("repro.newthing.impl", "from repro.core import kernel\n")
+    findings = run_rule("layering/declared-dag", bad)
+    assert len(findings) == 1
+    assert "not declared in the layer DAG" in findings[0].message
+
+
+def test_root_package_import_fires():
+    bad = mod("repro.metrics.counters", "from repro import DynamicTree\n")
+    findings = run_rule("layering/declared-dag", bad)
+    assert len(findings) == 1
+    assert "root repro package" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# layering/cycle
+# ----------------------------------------------------------------------
+def test_observed_cycle_fires():
+    a = mod("repro.sim.alpha", "import repro.sim.beta\n")
+    b = mod("repro.sim.beta", "import repro.sim.alpha\n")
+    findings = run_rule("layering/cycle", [a, b])
+    assert len(findings) == 1
+    assert "import cycle" in findings[0].message
+
+
+def test_acyclic_modules_pass():
+    a = mod("repro.sim.alpha", "import repro.sim.beta\n")
+    b = mod("repro.sim.beta", "")
+    assert run_rule("layering/cycle", [a, b]) == []
+
+
+def test_from_package_import_submodule_is_not_a_package_edge():
+    # ``from repro.sim import beta`` inside a module the package
+    # __init__ itself imports must resolve to the submodule, not the
+    # package — otherwise every such sibling import is a false cycle.
+    init = mod("repro.sim", "from repro.sim.alpha import thing\n")
+    alpha = mod("repro.sim.alpha", "from repro.sim import beta\nthing = 1\n")
+    beta = mod("repro.sim.beta", "")
+    assert run_rule("layering/cycle", [init, alpha, beta]) == []
+
+
+def test_type_checking_imports_are_not_runtime_edges():
+    a = mod("repro.sim.alpha", (
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from repro.sim.beta import Thing\n"))
+    b = mod("repro.sim.beta", "from repro.sim.alpha import helper\n")
+    assert run_rule("layering/cycle", [a, b]) == []
+
+
+# ----------------------------------------------------------------------
+# layering/protocol-import-light
+# ----------------------------------------------------------------------
+def test_protocol_allowlist_passes():
+    good = mod("repro.protocol",
+               "from dataclasses import dataclass\nfrom typing import Any\n")
+    assert run_rule("layering/protocol-import-light", good) == []
+
+
+def test_protocol_heavy_import_fires():
+    bad = mod("repro.protocol", "import collections\n")
+    findings = run_rule("layering/protocol-import-light", bad)
+    assert len(findings) == 1
+    assert "import-light" in findings[0].message
+
+
+def test_errors_module_allows_nothing():
+    bad = mod("repro.errors", "import typing\n")
+    assert len(run_rule("layering/protocol-import-light", bad)) == 1
+
+
+def test_other_units_unconstrained():
+    good = mod("repro.sim.delays", "import collections\n")
+    assert run_rule("layering/protocol-import-light", good) == []

@@ -1,0 +1,95 @@
+"""The rule registry: validation, filtering, the shipped suite."""
+
+import pytest
+
+from repro.analysis import (
+    FAMILIES,
+    RULE_REGISTRY,
+    Rule,
+    make_rules,
+    register,
+    rule_ids,
+)
+from repro.errors import ConfigError
+
+
+def test_register_rejects_id_without_family_prefix_syntax():
+    with pytest.raises(ConfigError, match="family/name"):
+        @register
+        class NoSlash(Rule):
+            rule_id = "noslash"
+            family = "layering"
+            description = "bad"
+
+
+def test_register_rejects_unknown_family():
+    with pytest.raises(ConfigError, match="unknown family"):
+        @register
+        class BadFamily(Rule):
+            rule_id = "magic/foo"
+            family = "magic"
+            description = "bad"
+
+
+def test_register_rejects_family_id_mismatch():
+    with pytest.raises(ConfigError, match="must start with its family"):
+        @register
+        class Mismatch(Rule):
+            rule_id = "layering/foo"
+            family = "determinism"
+            description = "bad"
+
+
+def test_register_rejects_duplicate_id():
+    with pytest.raises(ConfigError, match="registered twice"):
+        @register
+        class Duplicate(Rule):
+            rule_id = "layering/cycle"
+            family = "layering"
+            description = "bad"
+
+
+def test_failed_registration_leaves_registry_untouched():
+    before = rule_ids()
+    for bad in ("noslash", "magic/foo"):
+        try:
+            @register
+            class Probe(Rule):
+                rule_id = bad
+                family = "magic"
+                description = "bad"
+        except ConfigError:
+            pass
+    assert rule_ids() == before
+
+
+def test_make_rules_unknown_id_names_the_registry():
+    with pytest.raises(ConfigError, match="registered:"):
+        make_rules(["nosuch/rule"])
+
+
+def test_make_rules_default_is_the_full_suite():
+    suite = make_rules()
+    assert [r.rule_id for r in suite] == list(rule_ids())
+
+
+def test_make_rules_filter_returns_exactly_the_requested_rules():
+    suite = make_rules(["layering/cycle", "determinism/wall-clock"])
+    assert [r.rule_id for r in suite] == [
+        "layering/cycle", "determinism/wall-clock"]
+
+
+def test_shipped_suite_shape():
+    ids = rule_ids()
+    assert len(ids) == 13
+    assert len(set(ids)) == 13
+    assert FAMILIES == ("layering", "determinism", "concurrency", "api",
+                        "hotpath")
+    for rule_id in ids:
+        family = rule_id.split("/")[0]
+        assert family in FAMILIES
+        cls = RULE_REGISTRY[rule_id]
+        assert cls.family == family
+        assert cls.description
+    # Every family ships at least one rule.
+    assert {rule_id.split("/")[0] for rule_id in ids} == set(FAMILIES)

@@ -1,0 +1,73 @@
+"""The suite applied to itself: the shipped tree is clean, and the
+rule tables cannot rot against the registries they mirror."""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import run_analysis
+from repro.analysis.rules.api import (
+    APP_CLASSES,
+    CONTROLLER_CLASSES,
+    CONTROLLER_UNITS,
+)
+from repro.analysis.rules.layering import LAYER_DEPS
+from repro.apps import APP_REGISTRY
+from repro.registry import CONTROLLER_REGISTRY
+
+SRC_PKG = Path(repro.__file__).resolve().parent
+REPO_ROOT = SRC_PKG.parent.parent
+
+
+def test_shipped_tree_is_clean_with_empty_baseline():
+    report = run_analysis(SRC_PKG, baseline_path=None)
+    assert report.open_findings == [], report.render_text()
+    assert report.baselined == []
+    assert report.modules_checked > 50
+
+
+def test_shipped_baseline_file_is_empty():
+    baseline = REPO_ROOT / "LINT_BASELINE.json"
+    if baseline.exists():
+        from repro.analysis import load_baseline
+        assert load_baseline(baseline) == []
+
+
+def test_controller_classes_mirror_the_registry():
+    assert CONTROLLER_CLASSES == {
+        cls.__name__ for cls in CONTROLLER_REGISTRY.values()}
+
+
+def test_app_classes_mirror_the_registry():
+    assert APP_CLASSES == {cls.__name__ for cls in APP_REGISTRY.values()}
+
+
+def test_controller_units_cover_the_defining_modules():
+    # Every registered controller class is defined in a unit the rule
+    # allows to construct directly.
+    for cls in CONTROLLER_REGISTRY.values():
+        unit = cls.__module__.split(".")[1]
+        assert unit in CONTROLLER_UNITS, cls.__name__
+
+
+def test_every_shipped_unit_is_declared_in_the_layer_dag():
+    units = set()
+    for child in SRC_PKG.iterdir():
+        if child.is_dir() and (child / "__init__.py").exists():
+            units.add(child.name)
+        elif child.suffix == ".py" and child.stem != "__init__":
+            units.add(child.stem)
+    undeclared = units - set(LAYER_DEPS)
+    assert undeclared == set(), (
+        f"units missing from LAYER_DEPS: {sorted(undeclared)}")
+
+
+def test_layer_dag_declares_only_real_units():
+    units = set()
+    for child in SRC_PKG.iterdir():
+        if child.is_dir() and (child / "__init__.py").exists():
+            units.add(child.name)
+        elif child.suffix == ".py" and child.stem != "__init__":
+            units.add(child.stem)
+    phantom = set(LAYER_DEPS) - units - {"repro"}
+    assert phantom == set(), (
+        f"LAYER_DEPS declares units that do not exist: {sorted(phantom)}")

@@ -13,8 +13,6 @@ here too.
 
 import threading
 
-import pytest
-
 from repro import (
     AppSpec,
     Gateway,

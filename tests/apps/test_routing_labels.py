@@ -2,7 +2,6 @@
 
 import random
 
-from repro import DynamicTree
 from repro.apps import RoutingLabeling
 from repro.tree.paths import ancestors, depth
 from repro.workloads import build_path, build_random_tree

@@ -13,7 +13,7 @@ import random
 
 import pytest
 
-from repro import CentralizedController, Request, RequestKind
+from repro import CentralizedController
 from repro.distributed import DistributedController
 from repro.workloads import (
     NodePicker,

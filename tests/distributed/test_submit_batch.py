@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.distributed.controller import DistributedController
 from repro.core.requests import Request, RequestKind
 from repro.workloads import build_random_tree

@@ -2,7 +2,6 @@
 health probes, lifecycle, and both serving modes (worker and asyncio)."""
 
 import asyncio
-import math
 import threading
 
 import pytest
@@ -13,7 +12,6 @@ from repro import (
     Gateway,
     GatewayConfig,
     ControllerSession,
-    IterationRecord,
     Request,
     RequestKind,
     SessionConfig,
@@ -248,7 +246,7 @@ def test_async_gateway_serves_and_closes():
 
 
 def test_async_gateway_needs_session_or_gateway():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigError):
         AsyncGateway()
 
 

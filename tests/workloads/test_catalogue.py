@@ -5,6 +5,7 @@ import pytest
 from repro.core.iterated import IteratedController
 from repro.core.requests import RequestKind
 from repro.metrics import audit_controller
+from repro.errors import ConfigError
 from repro.workloads import CATALOGUE, get_scenario, scenario_names
 from repro.workloads.catalogue import _subtree_nodes
 from repro.workloads.scenarios import request_spec
@@ -20,7 +21,7 @@ def test_catalogue_registration():
         spec = get_scenario(name)
         assert spec.name == name
         assert spec.m > 0 and spec.w >= 1 and spec.u >= spec.n
-    with pytest.raises(KeyError):
+    with pytest.raises(ConfigError):
         get_scenario("calm_tuesday")
 
 

@@ -22,7 +22,7 @@ from repro.core.centralized import CentralizedController
 from repro.distributed import DistributedController
 from repro.metrics import audit_controller
 from repro.sim import Scheduler, make_policy
-from repro.workloads import CATALOGUE, get_scenario
+from repro.workloads import get_scenario
 from repro.workloads.scenarios import TreeMirror, request_spec
 
 

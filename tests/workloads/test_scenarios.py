@@ -11,7 +11,6 @@ from repro.workloads import (
     build_path,
     build_random_tree,
     build_star,
-    default_mix,
     grow_only_mix,
     random_request,
 )
